@@ -1,0 +1,144 @@
+// Command netsim runs one of the paper's networks operationally under a
+// seeded scheduler and reports the recorded communication history, the
+// stop reason, and whether the trace is smooth with respect to the
+// network's description.
+//
+// Usage:
+//
+//	netsim -list
+//	netsim -net fig4 -seed 3
+//	netsim -net fig2 -seed 1 -max-events 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"smoothproc/internal/desc"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/procs"
+	"smoothproc/internal/solver"
+	"smoothproc/internal/value"
+)
+
+// network bundles a runnable spec with its composed description (nil for
+// purely operational views) and a note shown by -list.
+type network struct {
+	spec netsim.Spec
+	d    *desc.Description
+	note string
+}
+
+func catalogue() map[string]network {
+	compose := func(n procs.NetworkEntry) *desc.Description {
+		d, err := n.Description()
+		if err != nil {
+			panic(err) // catalogue networks satisfy dc by construction
+		}
+		return &d
+	}
+	fig2 := procs.WithFeeders("fig2", procs.DFM("dfm", "b", "c", "d"),
+		procs.ConstFeeder("envB", "b", value.Int(0), value.Int(2)),
+		procs.ConstFeeder("envC", "c", value.Int(1)),
+	)
+	fig3 := procs.Fig3Network()
+	fig4 := procs.Fig4Network()
+	fig7 := procs.Fig7Network()
+	fig7.Spec.Procs = append(fig7.Spec.Procs,
+		netsim.Feeder("envC", "c", value.Int(10)),
+		netsim.Feeder("envD", "d", value.Int(20)),
+	)
+	return map[string]network{
+		"fig1":        {spec: procs.Fig1Network(), note: "two-copy loop (quiesces at ⊥)"},
+		"fig1-seeded": {spec: procs.Fig1SeededNetwork(), note: "copy loop seeded with 0 (runs forever)"},
+		"fig2":        {spec: fig2.Spec, d: compose(fig2), note: "dfm fed 0,2 on b and 1 on c"},
+		"fig3":        {spec: fig3.Spec, d: compose(fig3), note: "P, Q and dfm (runs forever)"},
+		"fig4":        {spec: fig4.Spec, d: compose(fig4), note: "Brock-Ackermann loop"},
+		"fig7":        {spec: fig7.Spec, note: "fair merge via tagging, fed 10 and 20"},
+		"ticks":       {spec: netsim.Spec{Name: "ticks", Procs: []netsim.Proc{procs.Ticks("ticks", "b").Proc}}, note: "T forever"},
+		"randombit":   {spec: netsim.Spec{Name: "rb", Procs: []netsim.Proc{procs.RandomBit("rb", "b").Proc}}, note: "one random bit"},
+		"randomnum":   {spec: netsim.Spec{Name: "rn", Procs: []netsim.Proc{procs.RandomNumber("rn", "d").Proc}}, note: "one random natural"},
+		"finiteticks": {spec: netsim.Spec{Name: "ft", Procs: []netsim.Proc{procs.FiniteTicks("ft", "d").Proc}}, note: "finitely many T's"},
+		"fork": {spec: netsim.Spec{Name: "fork", Procs: []netsim.Proc{
+			procs.Fork("fork", "c", "d", "e").Proc,
+			netsim.Feeder("env", "c", value.Int(5), value.Int(6)),
+		}}, note: "route each input to d or e (§4.6)"},
+		"maybetick": {spec: netsim.Spec{Name: "mt", Procs: []netsim.Proc{procs.MaybeTick("mt", "b").Proc}}, note: "halt, or emit one 0 (§3.1.1 ex.2)"},
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("net", "", "network to run (see -list)")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	maxEvents := fs.Int("max-events", 16, "event budget")
+	list := fs.Bool("list", false, "list available networks")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	nets := catalogue()
+	if *list || *name == "" {
+		names := make([]string, 0, len(nets))
+		for n := range nets {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(stdout, "%-12s %s\n", n, nets[n].note)
+		}
+		if *name == "" && !*list {
+			fmt.Fprintln(stderr, "netsim: pick a network with -net")
+			return 2
+		}
+		return 0
+	}
+
+	net, ok := nets[*name]
+	if !ok {
+		fmt.Fprintf(stderr, "netsim: unknown network %q (try -list)\n", *name)
+		return 2
+	}
+
+	res := netsim.Run(net.spec, netsim.NewRandomDecider(*seed), netsim.Limits{MaxEvents: *maxEvents})
+	if res.Err != nil {
+		fmt.Fprintf(stderr, "netsim: %v\n", res.Err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "network:   %s (seed %d)\n", net.spec.Name, *seed)
+	fmt.Fprintf(stdout, "trace:     %s\n", res.Trace)
+	fmt.Fprintf(stdout, "stopped:   %s after %d decisions\n", res.Reason, res.Decisions)
+	for _, h := range res.Halted {
+		fmt.Fprintf(stdout, "  halted:  %s\n", h)
+	}
+	for _, bp := range res.Blocked {
+		fmt.Fprintf(stdout, "  blocked: %s (waiting on %v)\n", bp.Name, bp.WaitingOn)
+	}
+	for _, ch := range res.Trace.Channels() {
+		fmt.Fprintf(stdout, "  %s = %s\n", ch, res.Trace.Channel(ch))
+	}
+	if net.d != nil {
+		if solver.IsTreeNode(*net.d, res.Trace) {
+			fmt.Fprintln(stdout, "smoothness: every step is a smooth edge of the description")
+		} else {
+			fmt.Fprintln(stdout, "smoothness: VIOLATED — this would be a bug")
+			return 1
+		}
+		if res.Reason == netsim.StopQuiescent {
+			if err := net.d.IsSmoothFinite(res.Trace); err != nil {
+				fmt.Fprintf(stdout, "quiescent trace NOT a smooth solution: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "quiescent:  the trace is a smooth solution of the description")
+		}
+	}
+	return 0
+}

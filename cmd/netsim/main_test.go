@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig4(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-net", "fig4", "-seed", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "c = ⟨0 2 1⟩") {
+		t.Errorf("Brock-Ackermann resolution missing:\n%s", got)
+	}
+	if !strings.Contains(got, "smooth solution of the description") {
+		t.Errorf("quiescent verdict missing:\n%s", got)
+	}
+}
+
+func TestRunFig1Quiesces(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-net", "fig1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "quiescent") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunFig3HitsBudget(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-net", "fig3", "-max-events", "10"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "event-budget") {
+		t.Errorf("fig3 should run forever:\n%s", got)
+	}
+	if !strings.Contains(got, "every step is a smooth edge") {
+		t.Errorf("smoothness verdict missing:\n%s", got)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig1", "fig4", "fig7", "ticks", "randombit"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunUnknownNetwork(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-net", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown network") {
+		t.Errorf("stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunNoNetworkGivesListAndError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "fig1") {
+		t.Error("bare invocation should still print the list")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	traces := map[string]bool{}
+	for _, seed := range []string{"1", "2", "3", "4", "5", "6"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-net", "fig2", "-seed", seed}, &out, &errOut); code != 0 {
+			t.Fatalf("seed %s: exit %d: %s", seed, code, errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "trace:") {
+				traces[line] = true
+			}
+		}
+	}
+	if len(traces) < 2 {
+		t.Errorf("all seeds produced the same trace: %v", traces)
+	}
+}

@@ -1,0 +1,63 @@
+// Command repro runs the full reproduction suite — every figure, worked
+// example and theorem instance of the paper (experiments E1-E23 in
+// DESIGN.md) — and prints a claim-vs-measured table.
+//
+// Usage:
+//
+//	repro [-markdown] [-only E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smoothproc/internal/experiments"
+	"smoothproc/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	markdown := fs.Bool("markdown", false, "emit the table as GitHub-flavoured markdown")
+	only := fs.String("only", "", "run a single experiment by id (e.g. E5)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var tab *report.Table
+	if *only == "" {
+		tab = experiments.RunAll()
+	} else {
+		tab = &report.Table{}
+		found := false
+		for _, e := range experiments.All() {
+			if e.ID != *only {
+				continue
+			}
+			found = true
+			measured, err := e.Run()
+			tab.AddResult(e.ID, e.Artefact, e.Claim, measured, err)
+		}
+		if !found {
+			fmt.Fprintf(stderr, "repro: unknown experiment %q (have %v)\n", *only, experiments.IDs())
+			return 2
+		}
+	}
+
+	if *markdown {
+		fmt.Fprint(stdout, tab.Markdown())
+	} else {
+		fmt.Fprint(stdout, tab.Format())
+	}
+	if failed := tab.Failed(); len(failed) > 0 {
+		fmt.Fprintf(stderr, "repro: %d experiment(s) FAILED\n", len(failed))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "E5"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "E5") || !strings.Contains(out.String(), "PASS") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "E7", "-markdown"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "| E7 |") || !strings.Contains(out.String(), "✅") {
+		t.Errorf("markdown output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

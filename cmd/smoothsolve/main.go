@@ -1,0 +1,122 @@
+// Command smoothsolve reads an eqlang description file and enumerates its
+// smooth solutions by the Section 3.3 tree search.
+//
+// Usage:
+//
+//	smoothsolve [-depth N] [-max-nodes N] [-frontier] [-dead] file.eq
+//	smoothsolve -            # read from stdin
+//
+// Example input (the Brock-Ackermann system of Figure 4):
+//
+//	alphabet b = {1}
+//	alphabet c = ints 0 .. 2
+//	depth 4
+//	desc even(c) <- [0, 2]
+//	desc odd(c)  <- b
+//	desc b <- fBA(c)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smoothproc/internal/eqlang"
+	"smoothproc/internal/solver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smoothsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	depth := fs.Int("depth", 0, "override the file's probe depth")
+	maxNodes := fs.Int("max-nodes", 0, "bound on tree nodes explored (0 = unbounded)")
+	showFrontier := fs.Bool("frontier", false, "also print frontier nodes (paths toward ω solutions)")
+	showDead := fs.Bool("dead", false, "also print dead leaves (stuck non-solutions)")
+	workers := fs.Int("workers", 1, "parallel tree workers (1 = sequential search)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: smoothsolve [flags] file.eq  (use - for stdin)")
+		return 2
+	}
+
+	var src []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "smoothsolve: %v\n", err)
+		return 1
+	}
+
+	prog, err := eqlang.CompileSource(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "smoothsolve: %v\n", err)
+		if e, ok := err.(*eqlang.Error); ok {
+			if snippet := eqlang.FormatSnippet(string(src), e.Line); snippet != "" {
+				fmt.Fprintf(stderr, "  | %s\n", snippet)
+			}
+		}
+		return 1
+	}
+
+	problem := prog.Problem()
+	if *depth > 0 {
+		problem.MaxDepth = *depth
+	}
+	problem.MaxNodes = *maxNodes
+
+	fmt.Fprintf(stdout, "system: %d description(s), channels %v, depth %d\n",
+		len(prog.System.Descs), problem.Channels, problem.MaxDepth)
+	for _, d := range prog.System.Descs {
+		fmt.Fprintf(stdout, "  %s\n", d)
+	}
+
+	var res solver.Result
+	if *workers > 1 {
+		res = solver.EnumerateParallel(problem, *workers)
+	} else {
+		res = solver.Enumerate(problem)
+	}
+	fmt.Fprintf(stdout, "explored %d tree node(s)%s\n", res.Nodes, truncNote(res.Truncated))
+	fmt.Fprintf(stdout, "smooth solutions: %d\n", len(res.Solutions))
+	for _, s := range res.Solutions {
+		fmt.Fprintf(stdout, "  %s\n", s)
+	}
+	if *showFrontier {
+		fmt.Fprintf(stdout, "frontier (depth-bound nodes with sons): %d\n", len(res.Frontier))
+		for _, s := range res.Frontier {
+			fmt.Fprintf(stdout, "  %s\n", s)
+		}
+	}
+	if *showDead {
+		fmt.Fprintf(stdout, "dead leaves: %d\n", len(res.DeadLeaves))
+		for _, s := range res.DeadLeaves {
+			fmt.Fprintf(stdout, "  %s\n", s)
+		}
+	}
+	if len(prog.Expects) > 0 {
+		if err := prog.CheckExpects(res); err != nil {
+			fmt.Fprintf(stderr, "smoothsolve: expectation FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "expectations: %d checked, all hold\n", len(prog.Expects))
+	}
+	return 0
+}
+
+func truncNote(truncated bool) string {
+	if truncated {
+		return " (truncated by -max-nodes)"
+	}
+	return ""
+}

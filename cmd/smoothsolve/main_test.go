@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fig4Source = `alphabet b = {1}
+alphabet c = ints 0 .. 2
+depth 4
+desc even(c) <- [0, 2]
+desc odd(c)  <- b
+desc b <- fBA(c)
+`
+
+func TestRunFromStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-"}, strings.NewReader(fig4Source), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "smooth solutions: 1") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "(c,0)(c,2)(b,1)(c,1)") {
+		t.Errorf("missing the Brock-Ackermann solution:\n%s", out.String())
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig4.eq")
+	if err := os.WriteFile(path, []byte(fig4Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+}
+
+func TestRunDepthOverrideAndExtras(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-depth", "2", "-frontier", "-dead", "-"},
+		strings.NewReader(fig4Source), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "depth 2") {
+		t.Errorf("depth override ignored:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "frontier") || !strings.Contains(out.String(), "dead leaves") {
+		t.Errorf("extras missing:\n%s", out.String())
+	}
+}
+
+func TestRunSyntaxErrorShowsSnippet(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-"}, strings.NewReader("desc even(d <- [0]\n"), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "line 1") {
+		t.Errorf("stderr lacks location:\n%s", errOut.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"/nonexistent.eq"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage") {
+		t.Errorf("stderr:\n%s", errOut.String())
+	}
+}
+
+// TestShippedSpecs runs every .eq file in the repository's specs/
+// directory; each carries its own expect statements, so a pass means the
+// documented semantics hold.
+func TestShippedSpecs(t *testing.T) {
+	matches, err := filepath.Glob("../../specs/*.eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 5 {
+		t.Fatalf("expected the shipped spec files, found %d", len(matches))
+	}
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run([]string{path}, strings.NewReader(""), &out, &errOut); code != 0 {
+				t.Errorf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+			}
+			if !strings.Contains(out.String(), "expectations:") {
+				t.Errorf("spec has no expectations:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestRunFailedExpectation(t *testing.T) {
+	src := fig4Source + "expect solutions 99\n"
+	var out, errOut strings.Builder
+	if code := run([]string{"-"}, strings.NewReader(src), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "expectation FAILED") {
+		t.Errorf("stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunMaxNodes(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-max-nodes", "2", "-"}, strings.NewReader(fig4Source), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "truncated") {
+		t.Errorf("truncation not reported:\n%s", out.String())
+	}
+}

@@ -1,0 +1,3 @@
+module smoothproc
+
+go 1.22

@@ -1,0 +1,380 @@
+// Package cpo provides generic complete-partial-order machinery: posets
+// presented by their order relation, chains and least upper bounds, the
+// Kleene fixpoint construction, and the paper's Section 6 generalisation
+// of smooth solutions from the cpo of traces to an arbitrary cpo.
+//
+// The package is deliberately first-order and finitary: a Domain carries
+// the order, equality, bottom, and a join for compatible elements, and all
+// iterative constructions are step-bounded, because the concrete domains
+// in this repository (sequences, tuples of sequences, traces) have
+// unbounded ascending chains.
+package cpo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Domain presents a cpo D over the element type E.
+//
+// Leq must be a partial order; Eq must agree with Leq (Eq(a,b) iff
+// Leq(a,b) and Leq(b,a)); Bottom must be the least element. Join is the
+// binary least upper bound where it exists; it reports false for
+// incomparable elements with no upper bound. For the domains used here
+// (prefix orders) Join(a,b) exists iff a and b are comparable.
+type Domain[E any] struct {
+	Name   string
+	Leq    func(a, b E) bool
+	Eq     func(a, b E) bool
+	Bottom E
+	Join   func(a, b E) (E, bool)
+}
+
+// ChainJoin builds Join from Leq alone, valid in any domain where the only
+// joins needed are of comparable elements (true for prefix orders).
+func ChainJoin[E any](leq func(a, b E) bool) func(a, b E) (E, bool) {
+	return func(a, b E) (E, bool) {
+		switch {
+		case leq(a, b):
+			return b, true
+		case leq(b, a):
+			return a, true
+		default:
+			var zero E
+			return zero, false
+		}
+	}
+}
+
+// EqFromLeq derives equality as mutual Leq.
+func EqFromLeq[E any](leq func(a, b E) bool) func(a, b E) bool {
+	return func(a, b E) bool { return leq(a, b) && leq(b, a) }
+}
+
+// IsChain reports whether the elements are pairwise comparable in d.
+func (d Domain[E]) IsChain(elems []E) bool {
+	for i := range elems {
+		for j := i + 1; j < len(elems); j++ {
+			if !d.Leq(elems[i], elems[j]) && !d.Leq(elems[j], elems[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Lub returns the least upper bound of a finite chain. It reports false
+// if the elements are not a chain. (For a finite chain the lub is its
+// maximum; this is the finitary instance of the cpo completeness axiom.)
+func (d Domain[E]) Lub(chain []E) (E, bool) {
+	if len(chain) == 0 {
+		return d.Bottom, true
+	}
+	best := chain[0]
+	for _, x := range chain[1:] {
+		j, ok := d.Join(best, x)
+		if !ok {
+			var zero E
+			return zero, false
+		}
+		best = j
+	}
+	for _, x := range chain {
+		if !d.Leq(x, best) {
+			var zero E
+			return zero, false
+		}
+	}
+	return best, true
+}
+
+// CheckLemma1 verifies Lemma 1 on concrete finite chains S and T: if every
+// element of S is dominated by some element of T then lub(S) ⊑ lub(T).
+// It returns an error describing the first violated hypothesis or, if the
+// hypotheses hold but the conclusion fails, an error naming the lemma —
+// which would indicate a broken Domain, since Lemma 1 is a theorem.
+func (d Domain[E]) CheckLemma1(s, t []E) error {
+	if !d.IsChain(s) {
+		return errors.New("cpo: S is not a chain")
+	}
+	if !d.IsChain(t) {
+		return errors.New("cpo: T is not a chain")
+	}
+	for i, x := range s {
+		dominated := false
+		for _, y := range t {
+			if d.Leq(x, y) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("cpo: S[%d] has no dominating element in T", i)
+		}
+	}
+	ls, ok := d.Lub(s)
+	if !ok {
+		return errors.New("cpo: lub(S) does not exist")
+	}
+	lt, ok := d.Lub(t)
+	if !ok {
+		return errors.New("cpo: lub(T) does not exist")
+	}
+	if !d.Leq(ls, lt) {
+		return errors.New("cpo: Lemma 1 conclusion fails: lub(S) ⋢ lub(T)")
+	}
+	return nil
+}
+
+// Fn is a named endofunction on a domain, with helpers for checking the
+// order-theoretic side conditions the paper's theorems require.
+type Fn[E any] struct {
+	Name  string
+	Apply func(E) E
+}
+
+// CheckMonotone verifies f(x) ⊑ f(y) for every ordered sample pair.
+func (d Domain[E]) CheckMonotone(f Fn[E], samples []E) error {
+	for i, x := range samples {
+		for j, y := range samples {
+			if !d.Leq(x, y) {
+				continue
+			}
+			if !d.Leq(f.Apply(x), f.Apply(y)) {
+				return fmt.Errorf("cpo: %s not monotone at samples %d ⊑ %d", f.Name, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckContinuousOnChain verifies f(lub S) = lub f(S) for a concrete
+// finite chain S. Finite chains cannot refute continuity of a monotone
+// function (their lub is attained), so this is a sanity check that the
+// Domain and Fn are coherent; genuine continuity testing in this
+// repository is done against growing prefix chains in package fn.
+func (d Domain[E]) CheckContinuousOnChain(f Fn[E], chain []E) error {
+	lub, ok := d.Lub(chain)
+	if !ok {
+		return errors.New("cpo: not a chain")
+	}
+	image := make([]E, len(chain))
+	for i, x := range chain {
+		image[i] = f.Apply(x)
+	}
+	li, ok := d.Lub(image)
+	if !ok {
+		return fmt.Errorf("cpo: image of chain under %s is not a chain (not monotone?)", f.Name)
+	}
+	if !d.Eq(f.Apply(lub), li) {
+		return fmt.Errorf("cpo: %s: f(lub S) ≠ lub f(S)", f.Name)
+	}
+	return nil
+}
+
+// FixResult reports the outcome of a bounded Kleene iteration.
+type FixResult[E any] struct {
+	// Value is the last iterate h^n(⊥) computed.
+	Value E
+	// Steps is the number of applications of h performed.
+	Steps int
+	// Converged reports whether h(Value) = Value, i.e. Value is the least
+	// fixpoint exactly rather than an approximation from below.
+	Converged bool
+	// Chain holds every iterate h^i(⊥) for i = 0..Steps; by the fixpoint
+	// theorem (Theorem 3) this is an ascending chain whose lub is the
+	// least fixpoint.
+	Chain []E
+}
+
+// Fix runs the Kleene iteration ⊥, h(⊥), h²(⊥), ... for at most maxSteps
+// applications, stopping early on convergence. It returns an error if the
+// iterates fail to ascend, which refutes monotonicity of h (such an h is
+// outside the paper's theory and its "description" would be meaningless).
+func (d Domain[E]) Fix(h Fn[E], maxSteps int) (FixResult[E], error) {
+	cur := d.Bottom
+	res := FixResult[E]{Chain: []E{cur}}
+	for i := 0; i < maxSteps; i++ {
+		next := h.Apply(cur)
+		if !d.Leq(cur, next) {
+			return res, fmt.Errorf("cpo: %s: iterate %d not ⊑ iterate %d; h is not monotone above ⊥", h.Name, i, i+1)
+		}
+		res.Steps = i + 1
+		res.Chain = append(res.Chain, next)
+		if d.Eq(cur, next) {
+			res.Value = cur
+			res.Converged = true
+			return res, nil
+		}
+		cur = next
+	}
+	res.Value = cur
+	return res, nil
+}
+
+// A CountableChain is the paper's Section 6 indexed chain x⁰ ⊑ x¹ ⊑ ...,
+// with x⁰ = ⊥, presented by its finite prefix.
+type CountableChain[E any] []E
+
+// Validate checks the chain's side conditions in d.
+func (c CountableChain[E]) Validate(d Domain[E]) error {
+	if len(c) == 0 {
+		return errors.New("cpo: empty countable chain")
+	}
+	if !d.Eq(c[0], d.Bottom) {
+		return errors.New("cpo: countable chain must start at ⊥")
+	}
+	for i := 0; i+1 < len(c); i++ {
+		if !d.Leq(c[i], c[i+1]) {
+			return fmt.Errorf("cpo: chain elements %d, %d not ordered", i, i+1)
+		}
+	}
+	return nil
+}
+
+// GenDescription is a description f ⟵ g between arbitrary cpos, the
+// Section 6 generalisation: F and G map the solution domain D into a
+// common codomain presented by leqCod/eqCod.
+type GenDescription[E, C any] struct {
+	Name   string
+	F, G   func(E) C
+	LeqCod func(a, b C) bool
+	EqCod  func(a, b C) bool
+}
+
+// IsSmoothVia reports whether z, presented as the lub of the countable
+// chain (its last element, for a finite chain), is a smooth solution of
+// the description: the limit condition f(z) = g(z) holds and every
+// consecutive pair u pre v in the chain satisfies f(v) ⊑ g(u).
+func (gd GenDescription[E, C]) IsSmoothVia(d Domain[E], chain CountableChain[E]) error {
+	if err := chain.Validate(d); err != nil {
+		return err
+	}
+	z, ok := d.Lub([]E(chain))
+	if !ok {
+		return errors.New("cpo: chain has no lub")
+	}
+	if !gd.EqCod(gd.F(z), gd.G(z)) {
+		return fmt.Errorf("cpo: %s: limit condition fails at lub", gd.Name)
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		if !gd.LeqCod(gd.F(chain[i+1]), gd.G(chain[i])) {
+			return fmt.Errorf("cpo: %s: smoothness fails at chain step %d", gd.Name, i)
+		}
+	}
+	return nil
+}
+
+// IdentityDescription builds the description id ⟵ h of Theorem 4 in
+// domain d.
+func IdentityDescription[E any](d Domain[E], h Fn[E]) GenDescription[E, E] {
+	return GenDescription[E, E]{
+		Name:   "id ⟵ " + h.Name,
+		F:      func(x E) E { return x },
+		G:      h.Apply,
+		LeqCod: d.Leq,
+		EqCod:  d.Eq,
+	}
+}
+
+// CheckTheorem4 verifies both directions of Theorem 4 on a concrete h:
+//
+//  1. the Kleene chain of h witnesses its least fixpoint as a smooth
+//     solution of id ⟵ h, and
+//  2. every candidate chain in chains whose lub is a smooth solution of
+//     id ⟵ h has the least fixpoint as that lub.
+//
+// It requires the Kleene iteration to converge within maxSteps (Theorem 4
+// is only machine-checkable here on finitely-reached fixpoints).
+func CheckTheorem4[E any](d Domain[E], h Fn[E], chains []CountableChain[E], maxSteps int) error {
+	fix, err := d.Fix(h, maxSteps)
+	if err != nil {
+		return err
+	}
+	if !fix.Converged {
+		return fmt.Errorf("cpo: %s: Kleene iteration did not converge in %d steps", h.Name, maxSteps)
+	}
+	gd := IdentityDescription(d, h)
+
+	// Direction 1: the least fixpoint is a smooth solution, witnessed by
+	// the Kleene chain itself (part 1 of the paper's proof).
+	if err := gd.IsSmoothVia(d, CountableChain[E](fix.Chain)); err != nil {
+		return fmt.Errorf("cpo: lfp is not smooth: %w", err)
+	}
+
+	// Direction 2: any smooth solution equals the least fixpoint (part 2
+	// of the paper's proof), checked over the supplied candidate chains.
+	for i, c := range chains {
+		if err := gd.IsSmoothVia(d, c); err != nil {
+			continue // not a smooth solution; nothing to check
+		}
+		z, _ := d.Lub([]E(c))
+		if !d.Eq(z, fix.Value) {
+			return fmt.Errorf("cpo: chain %d is a smooth solution of id ⟵ %s but differs from the lfp", i, h.Name)
+		}
+	}
+	return nil
+}
+
+// Flat is the flat domain over a set of base values: ⊥ plus each value,
+// with ⊥ ⊑ v and no other order — the domain of the paper's R function
+// (Section 4.3) and AND (Section 4.5).
+type Flat[V any] struct {
+	Defined bool
+	Val     V
+}
+
+// FlatBottom is ⊥ in a flat domain.
+func FlatBottom[V any]() Flat[V] { return Flat[V]{} }
+
+// FlatOf injects a base value.
+func FlatOf[V any](v V) Flat[V] { return Flat[V]{Defined: true, Val: v} }
+
+// FlatDomain builds the Domain for Flat[V] given equality on V.
+func FlatDomain[V any](name string, eq func(a, b V) bool) Domain[Flat[V]] {
+	leq := func(a, b Flat[V]) bool {
+		if !a.Defined {
+			return true
+		}
+		return b.Defined && eq(a.Val, b.Val)
+	}
+	return Domain[Flat[V]]{
+		Name:   name,
+		Leq:    leq,
+		Eq:     EqFromLeq(leq),
+		Bottom: FlatBottom[V](),
+		Join:   ChainJoin(leq),
+	}
+}
+
+// Product builds the componentwise product of two domains — the paper's
+// note in Section 4 ("Multiple Descriptions") combines descriptions by
+// pairing exactly this way.
+func Product[A, B any](da Domain[A], db Domain[B]) Domain[ProductElem[A, B]] {
+	leq := func(x, y ProductElem[A, B]) bool {
+		return da.Leq(x.A, y.A) && db.Leq(x.B, y.B)
+	}
+	return Domain[ProductElem[A, B]]{
+		Name:   da.Name + "×" + db.Name,
+		Leq:    leq,
+		Eq:     func(x, y ProductElem[A, B]) bool { return da.Eq(x.A, y.A) && db.Eq(x.B, y.B) },
+		Bottom: ProductElem[A, B]{A: da.Bottom, B: db.Bottom},
+		Join: func(x, y ProductElem[A, B]) (ProductElem[A, B], bool) {
+			ja, ok := da.Join(x.A, y.A)
+			if !ok {
+				return ProductElem[A, B]{}, false
+			}
+			jb, ok := db.Join(x.B, y.B)
+			if !ok {
+				return ProductElem[A, B]{}, false
+			}
+			return ProductElem[A, B]{A: ja, B: jb}, true
+		},
+	}
+}
+
+// ProductElem is an element of a binary product domain.
+type ProductElem[A, B any] struct {
+	A A
+	B B
+}

@@ -1,0 +1,286 @@
+package cpo
+
+import (
+	"strings"
+	"testing"
+
+	"smoothproc/internal/seq"
+	"smoothproc/internal/value"
+)
+
+// seqDomain is the cpo of finite integer sequences under prefix order.
+func seqDomain() Domain[seq.Seq] {
+	leq := func(a, b seq.Seq) bool { return a.Leq(b) }
+	return Domain[seq.Seq]{
+		Name:   "Seq",
+		Leq:    leq,
+		Eq:     EqFromLeq(leq),
+		Bottom: seq.Empty,
+		Join:   ChainJoin(leq),
+	}
+}
+
+func TestChainJoin(t *testing.T) {
+	d := seqDomain()
+	j, ok := d.Join(seq.OfInts(1), seq.OfInts(1, 2))
+	if !ok || !j.Equal(seq.OfInts(1, 2)) {
+		t.Errorf("Join = %s, %v", j, ok)
+	}
+	if _, ok := d.Join(seq.OfInts(1), seq.OfInts(2)); ok {
+		t.Error("Join of incomparable elements should fail")
+	}
+}
+
+func TestEqFromLeq(t *testing.T) {
+	d := seqDomain()
+	if !d.Eq(seq.OfInts(1), seq.OfInts(1)) {
+		t.Error("Eq on equal sequences")
+	}
+	if d.Eq(seq.OfInts(1), seq.OfInts(1, 2)) {
+		t.Error("Eq on strict prefix")
+	}
+}
+
+func TestIsChainAndLub(t *testing.T) {
+	d := seqDomain()
+	chain := []seq.Seq{seq.Empty, seq.OfInts(3), seq.OfInts(3, 1)}
+	if !d.IsChain(chain) {
+		t.Error("chain not recognised")
+	}
+	lub, ok := d.Lub(chain)
+	if !ok || !lub.Equal(seq.OfInts(3, 1)) {
+		t.Errorf("Lub = %s, %v", lub, ok)
+	}
+	if _, ok := d.Lub([]seq.Seq{seq.OfInts(1), seq.OfInts(2)}); ok {
+		t.Error("Lub of non-chain should fail")
+	}
+	empty, ok := d.Lub(nil)
+	if !ok || !empty.IsEmpty() {
+		t.Error("Lub of empty set should be ⊥")
+	}
+}
+
+func TestCheckLemma1(t *testing.T) {
+	d := seqDomain()
+	s := []seq.Seq{seq.Empty, seq.OfInts(1)}
+	tt := []seq.Seq{seq.Empty, seq.OfInts(1), seq.OfInts(1, 2)}
+	if err := d.CheckLemma1(s, tt); err != nil {
+		t.Errorf("Lemma 1 instance failed: %v", err)
+	}
+	// Hypothesis violation: an element of S with no dominator in T.
+	if err := d.CheckLemma1([]seq.Seq{seq.OfInts(9)}, tt); err == nil {
+		t.Error("expected domination failure")
+	}
+	// Non-chain S.
+	if err := d.CheckLemma1([]seq.Seq{seq.OfInts(1), seq.OfInts(2)}, tt); err == nil {
+		t.Error("expected non-chain failure")
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	d := seqDomain()
+	even := Fn[seq.Seq]{Name: "even", Apply: func(s seq.Seq) seq.Seq {
+		return s.Filter(value.Value.IsEvenInt)
+	}}
+	samples := []seq.Seq{seq.Empty, seq.OfInts(2), seq.OfInts(2, 3), seq.OfInts(2, 3, 4)}
+	if err := d.CheckMonotone(even, samples); err != nil {
+		t.Errorf("even should be monotone: %v", err)
+	}
+	// Length is monotone in ℕ but reversing is not monotone under prefix.
+	rev := Fn[seq.Seq]{Name: "rev", Apply: func(s seq.Seq) seq.Seq {
+		out := make(seq.Seq, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			out[i] = s.At(s.Len() - 1 - i)
+		}
+		return out
+	}}
+	if err := d.CheckMonotone(rev, samples); err == nil {
+		t.Error("rev should be caught as non-monotone")
+	}
+}
+
+func TestCheckContinuousOnChain(t *testing.T) {
+	d := seqDomain()
+	odd := Fn[seq.Seq]{Name: "odd", Apply: func(s seq.Seq) seq.Seq {
+		return s.Filter(value.Value.IsOddInt)
+	}}
+	chain := []seq.Seq{seq.Empty, seq.OfInts(1), seq.OfInts(1, 2), seq.OfInts(1, 2, 3)}
+	if err := d.CheckContinuousOnChain(odd, chain); err != nil {
+		t.Errorf("odd should pass: %v", err)
+	}
+	if err := d.CheckContinuousOnChain(odd, []seq.Seq{seq.OfInts(1), seq.OfInts(2)}); err == nil {
+		t.Error("non-chain input should fail")
+	}
+}
+
+func TestFixConvergent(t *testing.T) {
+	d := seqDomain()
+	// h(s) = the prefix ⟨1 2 3⟩ extended one step per application.
+	target := seq.OfInts(1, 2, 3)
+	h := Fn[seq.Seq]{Name: "toTarget", Apply: func(s seq.Seq) seq.Seq {
+		return target.Take(s.Len() + 1)
+	}}
+	res, err := d.Fix(h, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence")
+	}
+	if !res.Value.Equal(target) {
+		t.Errorf("lfp = %s, want %s", res.Value, target)
+	}
+	if res.Steps != 4 {
+		t.Errorf("Steps = %d, want 4 (3 growth + 1 to observe stability)", res.Steps)
+	}
+	if len(res.Chain) != res.Steps+1 {
+		t.Errorf("Chain length %d, want %d", len(res.Chain), res.Steps+1)
+	}
+}
+
+func TestFixDivergent(t *testing.T) {
+	d := seqDomain()
+	grow := Fn[seq.Seq]{Name: "grow", Apply: func(s seq.Seq) seq.Seq {
+		return s.Append(value.Int(0))
+	}}
+	res, err := d.Fix(grow, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("0^ω-style iteration should not converge in 5 steps")
+	}
+	if res.Value.Len() != 5 {
+		t.Errorf("approximation length %d, want 5", res.Value.Len())
+	}
+}
+
+func TestFixDetectsNonMonotone(t *testing.T) {
+	d := seqDomain()
+	bad := Fn[seq.Seq]{Name: "bad", Apply: func(s seq.Seq) seq.Seq {
+		if s.Len() == 1 {
+			return seq.OfInts(9, 9) // not an extension of the iterate ⟨0⟩
+		}
+		return seq.OfInts(0)
+	}}
+	if _, err := d.Fix(bad, 5); err == nil {
+		t.Error("expected non-monotonicity to be reported")
+	}
+}
+
+func TestCountableChainValidate(t *testing.T) {
+	d := seqDomain()
+	good := CountableChain[seq.Seq]{seq.Empty, seq.OfInts(1), seq.OfInts(1, 2)}
+	if err := good.Validate(d); err != nil {
+		t.Errorf("good chain rejected: %v", err)
+	}
+	if err := (CountableChain[seq.Seq]{}).Validate(d); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if err := (CountableChain[seq.Seq]{seq.OfInts(1)}).Validate(d); err == nil {
+		t.Error("chain not starting at ⊥ accepted")
+	}
+	bad := CountableChain[seq.Seq]{seq.Empty, seq.OfInts(1), seq.OfInts(2)}
+	if err := bad.Validate(d); err == nil {
+		t.Error("unordered chain accepted")
+	}
+}
+
+func TestIsSmoothViaIdentityDescription(t *testing.T) {
+	d := seqDomain()
+	target := seq.OfInts(7, 8)
+	h := Fn[seq.Seq]{Name: "toTarget", Apply: func(s seq.Seq) seq.Seq {
+		return target.Take(s.Len() + 1)
+	}}
+	gd := IdentityDescription(d, h)
+	// The Kleene chain witnesses the lfp as a smooth solution.
+	fix, err := d.Fix(h, 10)
+	if err != nil || !fix.Converged {
+		t.Fatalf("fix: %v converged=%v", err, fix.Converged)
+	}
+	if err := gd.IsSmoothVia(d, CountableChain[seq.Seq](fix.Chain)); err != nil {
+		t.Errorf("Kleene chain rejected: %v", err)
+	}
+	// A chain reaching a non-fixpoint must fail the limit condition.
+	short := CountableChain[seq.Seq]{seq.Empty, seq.OfInts(7)}
+	if err := gd.IsSmoothVia(d, short); err == nil {
+		t.Error("non-fixpoint accepted")
+	}
+	// A chain that jumps two steps at once violates smoothness: the
+	// element ⟨7 8⟩ cannot follow ⊥ directly since h(⊥) = ⟨7⟩.
+	jump := CountableChain[seq.Seq]{seq.Empty, target}
+	if err := gd.IsSmoothVia(d, jump); err == nil {
+		t.Error("jumping chain accepted")
+	} else if !strings.Contains(err.Error(), "smoothness") {
+		t.Errorf("expected smoothness failure, got: %v", err)
+	}
+}
+
+func TestCheckTheorem4(t *testing.T) {
+	d := seqDomain()
+	target := seq.OfInts(1, 2, 3)
+	h := Fn[seq.Seq]{Name: "toTarget", Apply: func(s seq.Seq) seq.Seq {
+		return target.Take(s.Len() + 1)
+	}}
+	chains := []CountableChain[seq.Seq]{
+		{seq.Empty, seq.OfInts(1), seq.OfInts(1, 2), target}, // the lfp, smooth
+		{seq.Empty, seq.OfInts(9)},                           // not smooth: 9 ⋢ h(⊥)
+		{seq.Empty, seq.OfInts(1), seq.OfInts(1, 2)},         // fails limit condition
+	}
+	if err := CheckTheorem4(d, h, chains, 10); err != nil {
+		t.Errorf("Theorem 4 failed: %v", err)
+	}
+}
+
+func TestCheckTheorem4RequiresConvergence(t *testing.T) {
+	d := seqDomain()
+	grow := Fn[seq.Seq]{Name: "grow", Apply: func(s seq.Seq) seq.Seq {
+		return s.Append(value.Int(0))
+	}}
+	if err := CheckTheorem4(d, grow, nil, 5); err == nil {
+		t.Error("non-convergent h should be rejected")
+	}
+}
+
+func TestFlatDomain(t *testing.T) {
+	d := FlatDomain[bool]("Bit", func(a, b bool) bool { return a == b })
+	bot := FlatBottom[bool]()
+	tt, ff := FlatOf(true), FlatOf(false)
+	if !d.Leq(bot, tt) || !d.Leq(bot, ff) {
+		t.Error("⊥ must be below both bits")
+	}
+	if d.Leq(tt, ff) || d.Leq(ff, tt) {
+		t.Error("distinct bits must be incomparable")
+	}
+	if !d.Leq(tt, tt) || !d.Eq(tt, tt) {
+		t.Error("reflexivity broken")
+	}
+	if _, ok := d.Join(tt, ff); ok {
+		t.Error("T ⊔ F must not exist in a flat domain")
+	}
+	j, ok := d.Join(bot, ff)
+	if !ok || !d.Eq(j, ff) {
+		t.Error("⊥ ⊔ F should be F")
+	}
+}
+
+func TestProductDomain(t *testing.T) {
+	bit := FlatDomain[bool]("Bit", func(a, b bool) bool { return a == b })
+	p := Product(bit, bit)
+	bot := p.Bottom
+	x := ProductElem[Flat[bool], Flat[bool]]{A: FlatOf(true), B: FlatBottom[bool]()}
+	y := ProductElem[Flat[bool], Flat[bool]]{A: FlatOf(true), B: FlatOf(false)}
+	if !p.Leq(bot, x) || !p.Leq(x, y) {
+		t.Error("componentwise order broken")
+	}
+	if p.Leq(y, x) {
+		t.Error("antisymmetry broken")
+	}
+	j, ok := p.Join(x, ProductElem[Flat[bool], Flat[bool]]{A: FlatBottom[bool](), B: FlatOf(false)})
+	if !ok || !p.Eq(j, y) {
+		t.Error("componentwise join broken")
+	}
+	if p.Name != "Bit×Bit" {
+		t.Errorf("product name %q", p.Name)
+	}
+}

@@ -1,0 +1,83 @@
+package desc
+
+import (
+	"testing"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+func benchSolution(n int) trace.Trace {
+	// A long smooth solution of the dfm description: forward each input
+	// immediately.
+	t := trace.Empty
+	for i := 0; i < n; i++ {
+		t = t.Append(trace.E("b", value.Int(int64(2*i))))
+		t = t.Append(trace.E("d", value.Int(int64(2*i))))
+	}
+	return t
+}
+
+func BenchmarkIsSmoothFinite(b *testing.B) {
+	d := dfmDesc()
+	for _, n := range []int{8, 32, 128} {
+		t := benchSolution(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := d.IsSmoothFinite(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEdgeOK(b *testing.B) {
+	d := dfmDesc()
+	u := benchSolution(32)
+	v := u.Append(trace.E("b", value.Int(999*2)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !d.EdgeOK(u, v) {
+			b.Fatal("edge rejected")
+		}
+	}
+}
+
+func BenchmarkCheckOmega(b *testing.B) {
+	d := MustNew("ticks", fn.ChanFn("b"), fn.OnChan(fn.PrependFn(value.T), "b"))
+	gen := trace.CycleGen("ticks", trace.Of(trace.E("b", value.T)))
+	for _, depth := range []int{16, 64} {
+		b.Run(sizeName(depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !d.CheckOmega(gen, depth).OmegaSolution() {
+					b.Fatal("rejected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	n := copyNetwork()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n < 10:
+		return "small"
+	case n < 64:
+		return "medium"
+	default:
+		return "large"
+	}
+}

@@ -1,0 +1,148 @@
+package desc
+
+import (
+	"testing"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/trace"
+)
+
+// copyNetwork is the Figure 1 loop as a two-component network: copy1 has
+// incident channels {b, c} with c ⟵ b, copy2 has {b, c} with b ⟵ c.
+func copyNetwork() Network {
+	return Network{
+		Name: "fig1",
+		Components: []Component{
+			{
+				Name:     "copy1",
+				Incident: trace.NewChanSet("b", "c"),
+				D:        MustNew("copy1", fn.ChanFn("c"), fn.ChanFn("b")),
+			},
+			{
+				Name:     "copy2",
+				Incident: trace.NewChanSet("b", "c"),
+				D:        MustNew("copy2", fn.ChanFn("b"), fn.ChanFn("c")),
+			},
+		},
+	}
+}
+
+// splitNetwork has components with distinct incident sets, so the dc
+// projection matters: a producer on {a, m} and a consumer on {m, z}.
+func splitNetwork() Network {
+	return Network{
+		Name: "split",
+		Components: []Component{
+			{
+				Name:     "producer",
+				Incident: trace.NewChanSet("a", "m"),
+				D:        MustNew("producer", fn.ChanFn("m"), fn.ChanFn("a")),
+			},
+			{
+				Name:     "consumer",
+				Incident: trace.NewChanSet("m", "z"),
+				D:        MustNew("consumer", fn.ChanFn("z"), fn.OnChan(fn.Double, "m")),
+			},
+		},
+	}
+}
+
+func TestCheckDC(t *testing.T) {
+	good := Component{
+		Name:     "ok",
+		Incident: trace.NewChanSet("b", "c"),
+		D:        MustNew("ok", fn.ChanFn("c"), fn.ChanFn("b")),
+	}
+	if err := good.CheckDC(); err != nil {
+		t.Errorf("dc violated unexpectedly: %v", err)
+	}
+	bad := Component{
+		Name:     "bad",
+		Incident: trace.NewChanSet("c"),
+		D:        MustNew("bad", fn.ChanFn("c"), fn.ChanFn("b")), // reads b outside incident set
+	}
+	if err := bad.CheckDC(); err == nil {
+		t.Error("dc violation not reported")
+	}
+}
+
+func TestComposeRejectsDCViolation(t *testing.T) {
+	n := copyNetwork()
+	n.Components[0].Incident = trace.NewChanSet("c") // strip b
+	if _, err := Compose(n); err == nil {
+		t.Error("Compose accepted a dc-violating component")
+	}
+}
+
+func TestNetworkIncident(t *testing.T) {
+	inc := splitNetwork().Incident()
+	for _, ch := range []string{"a", "m", "z"} {
+		if !inc.Has(ch) {
+			t.Errorf("incident set missing %s", ch)
+		}
+	}
+}
+
+func TestComposeFig1(t *testing.T) {
+	d, err := Compose(copyNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⊥ is the network's only finite smooth solution (Section 2.1).
+	if err := d.IsSmoothFinite(trace.Empty); err != nil {
+		t.Errorf("⊥ rejected: %v", err)
+	}
+	// b = c = ⟨3⟩ solves the equations but is not smooth — the loop
+	// cannot bootstrap a 3 out of nothing.
+	three := trace.Of(ev("b", 3), ev("c", 3))
+	if !d.LimitOK(three) {
+		t.Error("⟨3⟩ loop should satisfy the equations")
+	}
+	if err := d.IsSmoothFinite(three); err == nil {
+		t.Error("⟨3⟩ loop accepted as smooth — causality hole")
+	}
+}
+
+// TestSublemmaSweep checks Theorem 2's sublemma — network-smooth iff all
+// component projections smooth — over every trace up to length 3 on two
+// different networks.
+func TestSublemmaSweep(t *testing.T) {
+	cases := []struct {
+		net      Network
+		alphabet []trace.Event
+	}{
+		{copyNetwork(), []trace.Event{ev("b", 0), ev("c", 0), ev("b", 1)}},
+		{splitNetwork(), []trace.Event{ev("a", 1), ev("m", 1), ev("z", 2)}},
+	}
+	for _, tc := range cases {
+		var sweep func(tr trace.Trace, depth int)
+		sweep = func(tr trace.Trace, depth int) {
+			if err := CheckSublemma(tc.net, tr); err != nil {
+				t.Error(err)
+			}
+			if depth == 0 {
+				return
+			}
+			for _, e := range tc.alphabet {
+				sweep(tr.Append(e), depth-1)
+			}
+		}
+		sweep(trace.Empty, 3)
+	}
+}
+
+func TestComposeSplitPipeline(t *testing.T) {
+	d, err := Compose(splitNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trace.Of(ev("a", 1), ev("m", 1), ev("z", 2))
+	if err := d.IsSmoothFinite(good); err != nil {
+		t.Errorf("pipeline trace rejected: %v", err)
+	}
+	// z before its cause on m: smooth fails.
+	bad := trace.Of(ev("a", 1), ev("z", 2), ev("m", 1))
+	if err := d.IsSmoothFinite(bad); err == nil {
+		t.Error("uncaused z output accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package desc is the core of the reproduction: Misra's descriptions
+// f ⟵ g and their smooth solutions (Sections 3.2, 5, 7 and 8.4 of the
+// paper).
+//
+// A description is an ordered pair of continuous functions from traces to
+// a common cpo (here: tuples of sequences, see package fn). A trace t is
+// a smooth solution iff
+//
+//	f(t) = g(t)                                  (limit condition)
+//	∀ u,v : u pre v in t : f(v) ⊑ g(u)           (smoothness condition)
+//
+// The smoothness condition captures causality — no output may depend on
+// itself as input — and is what excludes the spurious solutions of the
+// Brock-Ackermann anomaly (Section 2.4).
+package desc
+
+import (
+	"errors"
+	"fmt"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/trace"
+)
+
+// Description is the pair f ⟵ g. The two sides do not commute: f is what
+// is being defined (the left side), g its definition (the right side).
+type Description struct {
+	Name string
+	F, G fn.TraceFn
+}
+
+// New builds a description, validating that the two sides land in the
+// same tuple width (otherwise no trace could ever satisfy the limit
+// condition and comparisons would be vacuous).
+func New(name string, f, g fn.TraceFn) (Description, error) {
+	if f.Out != g.Out {
+		return Description{}, fmt.Errorf("desc: %s: width mismatch: f is %d-wide, g is %d-wide", name, f.Out, g.Out)
+	}
+	return Description{Name: name, F: f, G: g}, nil
+}
+
+// MustNew is New that panics on error, for statically-known descriptions.
+func MustNew(name string, f, g fn.TraceFn) Description {
+	d, err := New(name, f, g)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// String renders the description as "f ⟵ g".
+func (d Description) String() string {
+	return d.F.Name + " ⟵ " + d.G.Name
+}
+
+// EdgeOK reports the smoothness unit f(v) ⊑ g(u). In the Section 3.3 tree
+// this is exactly the condition for v to be a son of u.
+func (d Description) EdgeOK(u, v trace.Trace) bool {
+	return d.F.Apply(v).Leq(d.G.Apply(u))
+}
+
+// LimitOK reports the limit condition f(t) = g(t) for a finite trace.
+func (d Description) LimitOK(t trace.Trace) bool {
+	return d.F.Apply(t).Equal(d.G.Apply(t))
+}
+
+// ErrNotSmooth wraps all smoothness-check failures.
+var ErrNotSmooth = errors.New("not a smooth solution")
+
+// IsSmoothFinite checks whether the finite trace t is a smooth solution
+// of d, returning nil if so and an error explaining the first violated
+// condition otherwise.
+func (d Description) IsSmoothFinite(t trace.Trace) error {
+	var fail error
+	t.PrePairs(func(u, v trace.Trace) bool {
+		if !d.EdgeOK(u, v) {
+			fail = fmt.Errorf("%w: %s: smoothness fails at u=%s, v=%s: f(v)=%s ⋢ g(u)=%s",
+				ErrNotSmooth, d.Name, u, v, d.F.Apply(v), d.G.Apply(u))
+			return false
+		}
+		return true
+	})
+	if fail != nil {
+		return fail
+	}
+	if !d.LimitOK(t) {
+		return fmt.Errorf("%w: %s: limit condition fails at t=%s: f(t)=%s ≠ g(t)=%s",
+			ErrNotSmooth, d.Name, t, d.F.Apply(t), d.G.Apply(t))
+	}
+	return nil
+}
+
+// CheckLemma2 verifies Lemma 2 on a concrete smooth solution: every
+// finite prefix v of t satisfies f(v) ⊑ g(v). The lemma is a theorem, so
+// a failure on a trace that IsSmoothFinite accepts indicates a bug.
+func (d Description) CheckLemma2(t trace.Trace) error {
+	if err := d.IsSmoothFinite(t); err != nil {
+		return fmt.Errorf("desc: Lemma 2 hypothesis fails: %w", err)
+	}
+	for _, v := range t.Prefixes() {
+		if !d.F.Apply(v).Leq(d.G.Apply(v)) {
+			return fmt.Errorf("desc: Lemma 2 conclusion fails at prefix %s of %s", v, t)
+		}
+	}
+	return nil
+}
+
+// Independent reports Theorem 1's hypothesis: the declared supports of f
+// and g are disjoint. (In syntactic terms, no channel is named on both
+// sides.)
+func (d Description) Independent() bool {
+	return !d.F.Support.Intersects(d.G.Support)
+}
+
+// IsSmoothFiniteThm1 checks smoothness using Theorem 1's simpler
+// characterisation, valid only for independent descriptions:
+//
+//	t is smooth  ≡  f(t) = g(t)  ∧  ∀ finite prefix s of t : f(s) ⊑ g(s)
+//
+// It returns an error if d is not independent. The package tests verify
+// agreement with IsSmoothFinite, which is the content of Theorem 1.
+func (d Description) IsSmoothFiniteThm1(t trace.Trace) error {
+	if !d.Independent() {
+		return fmt.Errorf("desc: %s: Theorem 1 requires independent sides (supports %v and %v intersect)",
+			d.Name, d.F.Support.Names(), d.G.Support.Names())
+	}
+	for _, s := range t.Prefixes() {
+		if !d.F.Apply(s).Leq(d.G.Apply(s)) {
+			return fmt.Errorf("%w: %s: Thm1 prefix condition fails at %s", ErrNotSmooth, d.Name, s)
+		}
+	}
+	if !d.LimitOK(t) {
+		return fmt.Errorf("%w: %s: limit condition fails at %s", ErrNotSmooth, d.Name, t)
+	}
+	return nil
+}
+
+// Combine merges several descriptions into one by pairing the sides —
+// the paper's note in Sections 2.2 and 4: (f′,f″) ⟵ (g′,g″), with
+// componentwise order on the product codomain.
+func Combine(name string, ds ...Description) Description {
+	fs := make([]fn.TraceFn, len(ds))
+	gs := make([]fn.TraceFn, len(ds))
+	for i, d := range ds {
+		fs[i] = d.F
+		gs[i] = d.G
+	}
+	return Description{Name: name, F: fn.Pair(fs...), G: fn.Pair(gs...)}
+}
+
+// OmegaVerdict is the depth-bounded evidence that a trace generator is
+// (or is not) an ω smooth solution. See DESIGN.md: since f and g are
+// continuous and prefixes ascend, f(tₙ) ⊑ f(t) and g(tₙ) ⊑ g(t); hence an
+// incompatibility between f(tₙ) and g(tₙ) at any n refutes the limit
+// condition outright, while compatibility plus unboundedly growing
+// agreement is evidence (exact in every example we reproduce) that the
+// ω-limit satisfies it.
+type OmegaVerdict struct {
+	// Depth is the probe depth used.
+	Depth int
+	// Smooth reports that every edge u pre v within depth satisfies
+	// f(v) ⊑ g(u). This part of the verdict is exact, not approximate.
+	Smooth bool
+	// SmoothFailAt is the index of the first violated edge, or -1.
+	SmoothFailAt int
+	// LimitRefuted reports that some f(tₙ), g(tₙ) were incompatible —
+	// an exact refutation of the limit condition.
+	LimitRefuted bool
+	// AgreedHalf and AgreedFull are the summed common-prefix lengths of
+	// f(tₙ) and g(tₙ) at n = depth/2 and n = depth.
+	AgreedHalf, AgreedFull int
+	// Converging reports the per-component limit certificate: every
+	// component of the codomain either has strictly growing agreement
+	// between depth/2 and depth (both sides heading to the same
+	// ω-sequence) or has exactly equal sides at depth (stabilised
+	// equality of finite components). A component whose agreement stalls
+	// while its sides differ — e.g. FALSE(c) against falses when c
+	// carries no F — refutes convergence.
+	Converging bool
+	// StalledComponent is the index of the first non-converging
+	// component, or -1.
+	StalledComponent int
+}
+
+// OmegaSolution reports whether the verdict certifies an ω smooth
+// solution at its probe depth.
+func (v OmegaVerdict) OmegaSolution() bool {
+	return v.Smooth && !v.LimitRefuted && v.Converging
+}
+
+// CheckOmega probes a trace generator as a candidate ω smooth solution of
+// d, to the given depth.
+func (d Description) CheckOmega(g trace.Gen, depth int) OmegaVerdict {
+	verdict := OmegaVerdict{Depth: depth, Smooth: true, SmoothFailAt: -1}
+	full := g.Prefix(depth)
+	// Edges are checked on the actual prefix chain of the generated trace.
+	full.PrePairs(func(u, v trace.Trace) bool {
+		if !d.EdgeOK(u, v) {
+			verdict.Smooth = false
+			verdict.SmoothFailAt = u.Len()
+			return false
+		}
+		return true
+	})
+	for n := 0; n <= full.Len(); n++ {
+		fv, gv := d.F.Apply(full.Take(n)), d.G.Apply(full.Take(n))
+		if !fv.Compatible(gv) {
+			verdict.LimitRefuted = true
+			break
+		}
+	}
+	half := full.Take(full.Len() / 2)
+	fHalf, gHalf := d.F.Apply(half), d.G.Apply(half)
+	fFull, gFull := d.F.Apply(full), d.G.Apply(full)
+	agreedHalf, agreedFull := fHalf.AgreedLen(gHalf), fFull.AgreedLen(gFull)
+	verdict.Converging = true
+	verdict.StalledComponent = -1
+	for i := range agreedFull {
+		verdict.AgreedHalf += agreedHalf[i]
+		verdict.AgreedFull += agreedFull[i]
+		grows := agreedFull[i] > agreedHalf[i]
+		stable := fFull[i].Equal(gFull[i])
+		if !grows && !stable {
+			verdict.Converging = false
+			if verdict.StalledComponent < 0 {
+				verdict.StalledComponent = i
+			}
+		}
+	}
+	return verdict
+}
+
+// InductionPremise checks the inductive step of the Section 8.4 rule at
+// one edge: [u ⊑ v ∧ f(v) ⊑ g(u) ∧ φ(u)] ⇒ φ(v). The tree walker in
+// package solver discharges the premise over all reachable edges; this
+// helper reports a single violation.
+func (d Description) InductionPremise(phi func(trace.Trace) bool, u, v trace.Trace) error {
+	if !u.Leq(v) || !d.EdgeOK(u, v) || !phi(u) {
+		return nil // premise antecedent false: nothing to prove
+	}
+	if !phi(v) {
+		return fmt.Errorf("desc: induction premise fails: φ(%s) holds, edge to %s is smooth, but φ(%s) fails", u, v, v)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package desc
+
+import (
+	"testing"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// pipelineSystem is a little three-channel pipeline used to exercise
+// elimination: a ⟵ ⟨1 2⟩ (source), b ⟵ 2×a (the variable to eliminate),
+// e ⟵ b (sink).
+func pipelineSystem() System {
+	return System{
+		Name: "pipe",
+		Descs: []Description{
+			MustNew("src", fn.ChanFn("a"), fn.ConstTraceFn(seq.OfInts(1, 2))),
+			MustNew("mid", fn.ChanFn("b"), fn.OnChan(fn.Double, "a")),
+			MustNew("snk", fn.ChanFn("e"), fn.ChanFn("b")),
+		},
+	}
+}
+
+func TestEliminateBasic(t *testing.T) {
+	elim, err := Eliminate(pipelineSystem(), 1, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elim.Descs) != 2 {
+		t.Fatalf("eliminated system has %d descriptions", len(elim.Descs))
+	}
+	// The sink's right side must now compute 2×a directly.
+	tr := trace.Of(trace.E("a", value.Int(1)), trace.E("a", value.Int(2)))
+	got := elim.Descs[1].G.Apply(tr)
+	if !got[0].Equal(seq.OfInts(2, 4)) {
+		t.Errorf("substituted rhs = %s, want ⟨2 4⟩", got)
+	}
+	if !elim.Descs[1].G.IndependentOf("b") {
+		t.Error("substituted rhs still depends on b")
+	}
+}
+
+func TestEliminateConditionViolations(t *testing.T) {
+	// h mentions b: b ⟵ 0; b.
+	selfRef := System{Name: "self", Descs: []Description{
+		MustNew("loop", fn.ChanFn("b"), fn.OnChan(fn.PrependFn(value.Int(0)), "b")),
+		MustNew("snk", fn.ChanFn("e"), fn.ChanFn("b")),
+	}}
+	if _, err := Eliminate(selfRef, 0, "b"); err == nil {
+		t.Error("condition (1) violation (h mentions b) not caught")
+	}
+
+	// Another left side mentions b.
+	lhsDep := System{Name: "lhs", Descs: []Description{
+		MustNew("def", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(1))),
+		MustNew("other", fn.OnChan(fn.Even, "b"), fn.ChanFn("e")),
+	}}
+	if _, err := Eliminate(lhsDep, 0, "b"); err == nil {
+		t.Error("condition (1) violation (f mentions b) not caught")
+	}
+
+	// Condition (3): f(⊥) ≠ ⊥.
+	fNotStrict := System{Name: "f⊥", Descs: []Description{
+		MustNew("def", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(1))),
+		MustNew("other", fn.ConstTraceFn(seq.OfInts(5)), fn.ChanFn("b")),
+	}}
+	if _, err := Eliminate(fNotStrict, 0, "b"); err == nil {
+		t.Error("condition (3) violation not caught")
+	}
+
+	// Defining left side must be exactly the channel function.
+	badLhs := System{Name: "lhs2", Descs: []Description{
+		MustNew("def", fn.OnChan(fn.Even, "b"), fn.ConstTraceFn(seq.OfInts(2))),
+		MustNew("snk", fn.ChanFn("e"), fn.ChanFn("b")),
+	}}
+	if _, err := Eliminate(badLhs, 0, "b"); err == nil {
+		t.Error("non-channel defining left side accepted")
+	}
+
+	// Index out of range.
+	if _, err := Eliminate(pipelineSystem(), 7, "b"); err == nil {
+		t.Error("bad index accepted")
+	}
+}
+
+func TestTheorem5OnPipeline(t *testing.T) {
+	sys := pipelineSystem()
+	// A smooth solution of the full pipeline: a, then b, then e, stepwise.
+	full := trace.Of(
+		trace.E("a", value.Int(1)), trace.E("b", value.Int(2)), trace.E("e", value.Int(2)),
+		trace.E("a", value.Int(2)), trace.E("b", value.Int(4)), trace.E("e", value.Int(4)),
+	)
+	if err := sys.Combined().IsSmoothFinite(full); err != nil {
+		t.Fatalf("pipeline solution rejected: %v", err)
+	}
+	if err := CheckTheorem5(sys, 1, "b", full); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem6WitnessOnPipeline(t *testing.T) {
+	sys := pipelineSystem()
+	elim, err := Eliminate(sys, 1, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A smooth solution of the eliminated system, without b.
+	s := trace.Of(
+		trace.E("a", value.Int(1)), trace.E("e", value.Int(2)),
+		trace.E("a", value.Int(2)), trace.E("e", value.Int(4)),
+	)
+	if err := elim.Combined().IsSmoothFinite(s); err != nil {
+		t.Fatalf("eliminated solution rejected: %v", err)
+	}
+	witness, err := Theorem6Witness(sys, 1, "b", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := trace.NewChanSet("a", "e")
+	if !witness.Project(keep).Equal(s) {
+		t.Errorf("witness %s does not project back to %s", witness, s)
+	}
+	if witness.Channel("b").IsEmpty() {
+		t.Error("witness carries no b events")
+	}
+}
+
+func TestTheorem6RejectsBadInputs(t *testing.T) {
+	sys := pipelineSystem()
+	// Input mentioning the eliminated channel.
+	withB := trace.Of(trace.E("b", value.Int(2)))
+	if _, err := Theorem6Witness(sys, 1, "b", withB); err == nil {
+		t.Error("input with b events accepted")
+	}
+	// Input that is not a smooth solution of the eliminated system.
+	bogus := trace.Of(trace.E("e", value.Int(9)))
+	if _, err := Theorem6Witness(sys, 1, "b", bogus); err == nil {
+		t.Error("non-solution accepted")
+	}
+}
+
+// TestEliminationCounterexampleF0 reproduces the paper's note after
+// Theorem 6: for D1 = (b ⟵ f, f ⟵ b) with f(⊥) ≠ ⊥, D2 = (f ⟵ f) has a
+// smooth solution (⊥) while D1 has none — which is exactly why condition
+// (3) exists. We model f as the constant ⟨5⟩ on channel e.
+func TestEliminationCounterexampleF0(t *testing.T) {
+	f := fn.ConstTraceFn(seq.OfInts(5)) // f(⊥) = ⟨5⟩ ≠ ⊥
+	d1 := System{Name: "D1", Descs: []Description{
+		MustNew("def", fn.ChanFn("b"), f),
+		MustNew("back", f, fn.ChanFn("b")),
+	}}
+	// Eliminate must refuse: condition (3) fails.
+	if _, err := Eliminate(d1, 0, "b"); err == nil {
+		t.Fatal("condition (3) not enforced on the paper's counterexample")
+	}
+	// D2 = f ⟵ f has ⊥ as a smooth solution.
+	d2 := MustNew("D2", f, f)
+	if err := d2.IsSmoothFinite(trace.Empty); err != nil {
+		t.Errorf("⊥ should solve f ⟵ f: %v", err)
+	}
+	// But D1 has no smooth solution: ⊥ fails the limit condition of
+	// "back" (f(⊥) = ⟨5⟩ ≠ b(⊥) = ε)...
+	comb := d1.Combined()
+	if err := comb.IsSmoothFinite(trace.Empty); err == nil {
+		t.Error("⊥ should not solve D1")
+	}
+	// ...and any nonempty trace violates the smoothness condition of
+	// "def" (b ⟵ f: the first b-event needs f's output as cause, but
+	// "back"'s smoothness blocks it — check a representative).
+	for _, tr := range []trace.Trace{
+		trace.Of(trace.E("b", value.Int(5))),
+		trace.Of(trace.E("b", value.Int(5)), trace.E("b", value.Int(5))),
+	} {
+		if err := comb.IsSmoothFinite(tr); err == nil {
+			t.Errorf("%s should not solve D1", tr)
+		}
+	}
+}
+
+// TestSubstitutionNotEquivalenceNote reproduces the paper's final note in
+// Section 7: D1 = (v ⟵ w, u ⟵ v) and D2 = (v ⟵ w, u ⟵ w) do NOT have
+// the same smooth solutions — (w,0)(u,0)(v,0) solves D2 but not D1.
+func TestSubstitutionNotEquivalenceNote(t *testing.T) {
+	d1 := Combine("D1",
+		MustNew("v", fn.ChanFn("v"), fn.ChanFn("w")),
+		MustNew("u", fn.ChanFn("u"), fn.ChanFn("v")),
+	)
+	d2 := Combine("D2",
+		MustNew("v", fn.ChanFn("v"), fn.ChanFn("w")),
+		MustNew("u", fn.ChanFn("u"), fn.ChanFn("w")),
+	)
+	witness := trace.Of(
+		trace.E("w", value.Int(0)), trace.E("u", value.Int(0)), trace.E("v", value.Int(0)),
+	)
+	if err := d2.IsSmoothFinite(witness); err != nil {
+		t.Errorf("witness should solve D2: %v", err)
+	}
+	if err := d1.IsSmoothFinite(witness); err == nil {
+		t.Error("witness should NOT solve D1 — u's 0 has no cause on v yet")
+	}
+}
+
+func TestEliminateFairMergeSystem(t *testing.T) {
+	// Section 4.10's worked elimination: removing c′ and d′ from the
+	// full system yields a system whose combined description accepts
+	// exactly the same smooth solutions (over the remaining channels) as
+	// the paper's eliminated system.
+	full := System{
+		Name: "fm",
+		Descs: []Description{
+			MustNew("tag0", fn.ChanFn("c'"), fn.OnChan(fn.Tag0, "c")),
+			MustNew("tag1", fn.ChanFn("d'"), fn.OnChan(fn.Tag1, "d")),
+			MustNew("zero", fn.OnChan(fn.ZeroTag, "b"), fn.ChanFn("c'")),
+			MustNew("one", fn.OnChan(fn.OneTag, "b"), fn.ChanFn("d'")),
+			MustNew("out", fn.ChanFn("e"), fn.OnChan(fn.Untag, "b")),
+		},
+	}
+	step1, err := Eliminate(full, 0, "c'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	step2, err := Eliminate(step1, 0, "d'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := System{
+		Name: "fm-direct",
+		Descs: []Description{
+			MustNew("zero", fn.OnChan(fn.ZeroTag, "b"), fn.OnChan(fn.Tag0, "c")),
+			MustNew("one", fn.OnChan(fn.OneTag, "b"), fn.OnChan(fn.Tag1, "d")),
+			MustNew("out", fn.ChanFn("e"), fn.OnChan(fn.Untag, "b")),
+		},
+	}
+	// Compare smooth-solution verdicts on a sample of traces.
+	p01 := value.Pair(value.Int(0), value.Int(10))
+	p11 := value.Pair(value.Int(1), value.Int(20))
+	samples := []trace.Trace{
+		trace.Empty,
+		trace.Of(trace.E("c", value.Int(10))),
+		trace.Of(trace.E("c", value.Int(10)), trace.E("b", p01), trace.E("e", value.Int(10))),
+		trace.Of(trace.E("d", value.Int(20)), trace.E("b", p11), trace.E("e", value.Int(20))),
+		trace.Of(trace.E("b", p01)),
+		trace.Of(
+			trace.E("c", value.Int(10)), trace.E("d", value.Int(20)),
+			trace.E("b", p01), trace.E("e", value.Int(10)),
+			trace.E("b", p11), trace.E("e", value.Int(20)),
+		),
+	}
+	got, wantD := step2.Combined(), want.Combined()
+	for _, tr := range samples {
+		a := got.IsSmoothFinite(tr) == nil
+		b := wantD.IsSmoothFinite(tr) == nil
+		if a != b {
+			t.Errorf("eliminated (%v) and direct (%v) disagree on %s", a, b, tr)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package desc
+
+import (
+	"fmt"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/trace"
+)
+
+// Monitor checks smoothness incrementally: feed a communication history
+// one event at a time and the monitor reports the first violated edge as
+// it happens. Where IsSmoothFinite recomputes both sides for every
+// prefix pair (O(n) applications of each side over the run), the monitor
+// applies each side once per event and caches the previous right side —
+// the natural shape for online checking of a running network, and the
+// form used by check.RandomRunsAreSmooth on long runs.
+//
+// The zero Monitor is not valid; use NewMonitor.
+type Monitor struct {
+	d       Description
+	current trace.Trace
+	lastG   fn.Tuple
+	lastF   fn.Tuple
+	err     error
+}
+
+// NewMonitor starts a monitor at the empty history.
+func NewMonitor(d Description) *Monitor {
+	return &Monitor{
+		d:       d,
+		current: trace.Empty,
+		lastG:   d.G.Apply(trace.Empty),
+		lastF:   d.F.Apply(trace.Empty),
+	}
+}
+
+// Step extends the history by one event. It returns an error — sticky
+// from then on — if the new event violates the smoothness condition
+// (f(v) ⋢ g(u) for the edge just taken).
+func (m *Monitor) Step(e trace.Event) error {
+	if m.err != nil {
+		return m.err
+	}
+	next := m.current.Append(e)
+	fv := m.d.F.Apply(next)
+	if !fv.Leq(m.lastG) {
+		m.err = fmt.Errorf("%w: %s: event %s: f(v)=%s ⋢ g(u)=%s",
+			ErrNotSmooth, m.d.Name, e, fv, m.lastG)
+		return m.err
+	}
+	m.current = next
+	m.lastF = fv
+	m.lastG = m.d.G.Apply(next)
+	return nil
+}
+
+// StepAll feeds a whole trace, stopping at the first violation.
+func (m *Monitor) StepAll(t trace.Trace) error {
+	for _, e := range t {
+		if err := m.Step(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quiescent reports whether the history seen so far satisfies the limit
+// condition — i.e. whether stopping here would make it a smooth
+// solution.
+func (m *Monitor) Quiescent() bool {
+	return m.err == nil && m.lastF.Equal(m.lastG)
+}
+
+// History returns the events accepted so far.
+func (m *Monitor) History() trace.Trace { return m.current }
+
+// Err returns the sticky violation, if any.
+func (m *Monitor) Err() error { return m.err }

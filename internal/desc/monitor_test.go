@@ -1,0 +1,106 @@
+package desc
+
+import (
+	"errors"
+	"testing"
+
+	"smoothproc/internal/trace"
+)
+
+func TestMonitorAgreesWithBatchChecker(t *testing.T) {
+	d := dfmDesc()
+	events := []trace.Event{ev("b", 0), ev("c", 1), ev("d", 0), ev("d", 1)}
+	// Sweep all traces up to length 4: the monitor must accept exactly
+	// the histories whose every prefix pair is a smooth edge, and report
+	// quiescence exactly when the limit condition holds.
+	var sweep func(tr trace.Trace, depth int)
+	sweep = func(tr trace.Trace, depth int) {
+		m := NewMonitor(d)
+		stepErr := m.StepAll(tr)
+		batchOK := true
+		tr.PrePairs(func(u, v trace.Trace) bool {
+			batchOK = d.EdgeOK(u, v)
+			return batchOK
+		})
+		if (stepErr == nil) != batchOK {
+			t.Errorf("monitor/batch disagree on %s: step=%v batch=%v", tr, stepErr, batchOK)
+		}
+		if stepErr == nil {
+			wantQuiescent := d.IsSmoothFinite(tr) == nil
+			if m.Quiescent() != wantQuiescent {
+				t.Errorf("quiescence disagree on %s", tr)
+			}
+			if !m.History().Equal(tr) {
+				t.Errorf("history mismatch on %s", tr)
+			}
+		}
+		if depth == 0 {
+			return
+		}
+		for _, e := range events {
+			sweep(tr.Append(e), depth-1)
+		}
+	}
+	sweep(trace.Empty, 4)
+}
+
+func TestMonitorStickyError(t *testing.T) {
+	d := dfmDesc()
+	m := NewMonitor(d)
+	if err := m.Step(ev("d", 0)); !errors.Is(err, ErrNotSmooth) {
+		t.Fatalf("uncaused output accepted: %v", err)
+	}
+	// Further steps keep returning the same violation and the history
+	// stays at the last good prefix.
+	if err := m.Step(ev("b", 0)); err == nil {
+		t.Error("sticky error cleared")
+	}
+	if m.History().Len() != 0 {
+		t.Errorf("history advanced past the violation: %s", m.History())
+	}
+	if m.Quiescent() {
+		t.Error("violated monitor reports quiescent")
+	}
+}
+
+func TestMonitorQuiescenceTransitions(t *testing.T) {
+	d := dfmDesc()
+	m := NewMonitor(d)
+	if !m.Quiescent() {
+		t.Error("⊥ should be quiescent for dfm")
+	}
+	if err := m.Step(ev("b", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Quiescent() {
+		t.Error("output owed: not quiescent")
+	}
+	if err := m.Step(ev("d", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Quiescent() {
+		t.Error("caught up: quiescent again")
+	}
+}
+
+func BenchmarkMonitorVsBatch(b *testing.B) {
+	d := dfmDesc()
+	long := benchSolution(64)
+	b.Run("monitor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMonitor(d)
+			if err := m.StepAll(long); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := d.IsSmoothFinite(long); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

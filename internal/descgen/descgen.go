@@ -1,0 +1,148 @@
+// Package descgen generates random descriptions by composing the
+// repository's continuous-function vocabulary over small channel sets —
+// the denotational mirror of package netgen. The cross-validation tests
+// drive every structural fact that should hold for ANY description built
+// from continuous functions through these random instances:
+//
+//   - Lemma 2 on every enumerated smooth solution;
+//   - Theorem 1 agreement (full definition vs prefix condition) whenever
+//     the generated sides happen to be independent;
+//   - monitor/batch checker agreement on random traces;
+//   - sequential/parallel solver agreement;
+//   - sampler soundness (sampled solutions are solutions).
+//
+// A failure on any seed is a bug in the engines, not in the generator:
+// the generator only composes functions that are continuous by
+// construction (property-checked in package fn).
+package descgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/solver"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// Config bounds generation.
+type Config struct {
+	// Channels to draw from (default: b, c, d).
+	Channels []string
+	// MaxEquations bounds the system size (default 2).
+	MaxEquations int
+	// Depth is the probe depth for the generated problem (default 4).
+	Depth int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Channels) == 0 {
+		c.Channels = []string{"b", "c", "d"}
+	}
+	if c.MaxEquations == 0 {
+		c.MaxEquations = 2
+	}
+	if c.Depth == 0 {
+		c.Depth = 4
+	}
+	return c
+}
+
+// Generated is one random description with solver branching data.
+type Generated struct {
+	D        desc.Description
+	Problem  solver.Problem
+	Shape    string
+	Channels []string
+}
+
+// integer alphabet the expression generators stay within.
+var alphabet = value.IntRange(0, 3)
+
+// Generate builds a random description system for the seed: each
+// equation pairs two random width-1 expressions (a left side and a right
+// side) over the channel set.
+func Generate(seed int64, cfg Config) Generated {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(cfg.MaxEquations)
+	var descs []desc.Description
+	shape := ""
+	for i := 0; i < n; i++ {
+		lhs := randomExpr(rng, cfg.Channels, 1)
+		rhs := randomExpr(rng, cfg.Channels, 2)
+		descs = append(descs, desc.MustNew(fmt.Sprintf("eq%d", i+1), lhs, rhs))
+		if i > 0 {
+			shape += ", "
+		}
+		shape += lhs.Name + " ⟵ " + rhs.Name
+	}
+	d := desc.Combine(fmt.Sprintf("gen-%d", seed), descs...)
+	alpha := map[string][]value.Value{}
+	for _, ch := range cfg.Channels {
+		alpha[ch] = alphabet
+	}
+	return Generated{
+		D:        d,
+		Problem:  solver.NewProblem(d, alpha, cfg.Depth),
+		Shape:    shape,
+		Channels: append([]string(nil), cfg.Channels...),
+	}
+}
+
+// randomExpr builds a random width-1 continuous TraceFn of bounded
+// structural depth.
+func randomExpr(rng *rand.Rand, channels []string, depth int) fn.TraceFn {
+	if depth <= 0 {
+		return leafExpr(rng, channels)
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return leafExpr(rng, channels)
+	case 1: // unary vocabulary application
+		sfs := []fn.SeqFn{fn.Even, fn.Odd, fn.Double, fn.DoublePlus1, fn.Identity, fn.FBA}
+		return fn.ApplySeq(sfs[rng.Intn(len(sfs))], randomExpr(rng, channels, depth-1))
+	case 2: // prepend a constant
+		return fn.ApplySeq(fn.PrependFn(randomValue(rng)), randomExpr(rng, channels, depth-1))
+	case 3: // linear map
+		return fn.ApplySeq(fn.MulAdd(int64(rng.Intn(2)+1), int64(rng.Intn(3))), randomExpr(rng, channels, depth-1))
+	case 4: // binary zip (first-projection zip keeps values in alphabet)
+		first := fn.ZipFn("zipFst", func(a, b value.Value) value.Value { return a })
+		return fn.ApplyBi(first, randomExpr(rng, channels, depth-1), randomExpr(rng, channels, depth-1))
+	default:
+		return leafExpr(rng, channels)
+	}
+}
+
+func leafExpr(rng *rand.Rand, channels []string) fn.TraceFn {
+	switch rng.Intn(3) {
+	case 0: // constant
+		n := rng.Intn(3)
+		vals := make([]value.Value, n)
+		for i := range vals {
+			vals[i] = randomValue(rng)
+		}
+		return fn.ConstTraceFn(seq.Of(vals...))
+	default: // channel history
+		return fn.ChanFn(channels[rng.Intn(len(channels))])
+	}
+}
+
+func randomValue(rng *rand.Rand) value.Value {
+	return alphabet[rng.Intn(len(alphabet))]
+}
+
+// RandomTrace builds an arbitrary trace over the generated channels for
+// monitor cross-checks (not necessarily smooth).
+func (g Generated) RandomTrace(seed int64, n int) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := trace.Empty
+	for i := 0; i < n; i++ {
+		ch := g.Channels[rng.Intn(len(g.Channels))]
+		t = t.Append(trace.E(ch, randomValue(rng)))
+	}
+	return t
+}

@@ -1,0 +1,234 @@
+// Package eqlang implements a small surface language for writing
+// descriptions the way the paper writes them, e.g.
+//
+//	# Figure 3, equations (1) and (2)
+//	alphabet d = ints -2 .. 7
+//	depth 6
+//	desc even(d) <- [0] ; 2*d
+//	desc odd(d)  <- 2*d + 1
+//
+// A file compiles to a desc.System plus solver branching data, ready for
+// smooth-solution enumeration (cmd/smoothsolve drives it).
+//
+// Expression grammar (each expression denotes a continuous width-1
+// function from traces to sequences):
+//
+//	expr    := concat
+//	concat  := factor (';' concat)?          // left side must be a literal
+//	factor  := [INT '*'] primary ['+' INT | '-' INT]
+//	primary := IDENT                         // channel history
+//	         | IDENT '(' expr {',' expr} ')' // builtin application
+//	         | '[' value* ']'                // finite constant sequence
+//	         | 'repeat' '[' value+ ']'       // ω-constant (finite approx.)
+//	         | '(' expr ')'
+//
+// Builtins: even, odd, true, false, zero, one, untilF, countT, R, tag0,
+// tag1, untag (unary); and, nsand, selT, selF (binary).
+package eqlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind discriminates lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokNewline
+	tokIdent  // identifiers and keywords, incl. channel names and T/F
+	tokInt    // integer literal
+	tokArrow  // <-
+	tokSemi   // ;
+	tokStar   // *
+	tokPlus   // +
+	tokMinus  // -
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokComma  // ,
+	tokEquals // =
+	tokDotDot // ..
+	tokLBrace // {
+	tokRBrace // }
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "newline"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokArrow:
+		return "'<-'"
+	case tokSemi:
+		return "';'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	case tokDotDot:
+		return "'..'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source line for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lex splits the source into tokens. Comments run from '#' to end of
+// line; newlines are significant (they terminate statements).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokenKind, text string) { toks = append(toks, token{kind: k, text: text, line: line}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emit(tokNewline, "\n")
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '<' && i+1 < len(src) && src[i+1] == '-':
+			emit(tokArrow, "<-")
+			i += 2
+		case c == '.' && i+1 < len(src) && src[i+1] == '.':
+			emit(tokDotDot, "..")
+			i += 2
+		case c == ';':
+			emit(tokSemi, ";")
+			i++
+		case c == '*':
+			emit(tokStar, "*")
+			i++
+		case c == '+':
+			emit(tokPlus, "+")
+			i++
+		case c == '-':
+			// A minus immediately followed by a digit lexes as part of
+			// the integer literal; otherwise it is the operator.
+			if i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+				j := i + 1
+				for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+				emit(tokInt, src[i:j])
+				i = j
+			} else {
+				emit(tokMinus, "-")
+				i++
+			}
+		case c == '(':
+			emit(tokLParen, "(")
+			i++
+		case c == ')':
+			emit(tokRParen, ")")
+			i++
+		case c == '[':
+			emit(tokLBrack, "[")
+			i++
+		case c == ']':
+			emit(tokRBrack, "]")
+			i++
+		case c == '{':
+			emit(tokLBrace, "{")
+			i++
+		case c == '}':
+			emit(tokRBrace, "}")
+			i++
+		case c == ',':
+			emit(tokComma, ",")
+			i++
+		case c == '=':
+			emit(tokEquals, "=")
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			emit(tokInt, src[i:j])
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("eqlang: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	emit(tokEOF, "")
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Error is a source-located compilation error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("eqlang: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// FormatSnippet returns the source line for diagnostics.
+func FormatSnippet(src string, line int) string {
+	lines := strings.Split(src, "\n")
+	if line < 1 || line > len(lines) {
+		return ""
+	}
+	return strings.TrimSpace(lines[line-1])
+}

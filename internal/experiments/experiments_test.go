@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass is the repository's reproduction gate: every
+// indexed artefact of the paper must measure as claimed.
+func TestAllExperimentsPass(t *testing.T) {
+	tab := RunAll()
+	for _, row := range tab.Rows() {
+		if !row.Pass {
+			t.Errorf("%s (%s): %s", row.ID, row.Artefact, row.Measured)
+		}
+	}
+	if len(tab.Rows()) != 23 {
+		t.Errorf("%d experiments, want 23", len(tab.Rows()))
+	}
+}
+
+func TestIDsAreUniqueAndOrdered(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if !strings.HasPrefix(e.ID, "E") {
+			t.Errorf("bad id %s", e.ID)
+		}
+		if e.Claim == "" || e.Artefact == "" || e.Run == nil {
+			t.Errorf("%s: incomplete experiment", e.ID)
+		}
+	}
+	if len(IDs()) != 23 {
+		t.Errorf("IDs() = %d", len(IDs()))
+	}
+}

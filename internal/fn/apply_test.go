@@ -1,0 +1,142 @@
+package fn
+
+import (
+	"testing"
+
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+func TestApplySeqComposesOverChannel(t *testing.T) {
+	// even(2×d + prepend): the compound right-hand-side shape eqlang
+	// compiles to.
+	f := ApplySeq(Even, ApplySeq(PrependFn(value.Int(0)), ApplySeq(Double, ChanFn("d"))))
+	tr := trace.Of(trace.E("d", value.Int(1)), trace.E("d", value.Int(2)))
+	// 2×⟨1 2⟩ = ⟨2 4⟩; prepend 0 → ⟨0 2 4⟩; even → ⟨0 2 4⟩.
+	if got := f.Apply(tr)[0]; !got.Equal(seq.OfInts(0, 2, 4)) {
+		t.Errorf("compound = %s", got)
+	}
+	if !f.Support.Has("d") || f.Support.Has("b") {
+		t.Error("support not propagated")
+	}
+	if f.Out != 1 {
+		t.Errorf("width = %d", f.Out)
+	}
+	if err := CheckTraceFnMonotone(f, []trace.Trace{tr}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplySeqPanicsOnWideInner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on width-2 inner")
+		}
+	}()
+	ApplySeq(Even, Pair(ChanFn("a"), ChanFn("b")))
+}
+
+func TestApplyBiCombinesOperands(t *testing.T) {
+	f := ApplyBi(And, ChanFn("b"), ApplySeq(RMap, ChanFn("c")))
+	tr := trace.Of(
+		trace.E("b", value.T), trace.E("c", value.F),
+		trace.E("b", value.F), trace.E("c", value.T),
+	)
+	// b = ⟨T F⟩, R(c) = ⟨T T⟩, AND = ⟨T F⟩.
+	if got := f.Apply(tr)[0]; !got.Equal(seq.OfBools(true, false)) {
+		t.Errorf("AND = %s", got)
+	}
+	if !f.Support.Has("b") || !f.Support.Has("c") {
+		t.Error("support not unioned")
+	}
+	if err := CheckTraceFnMonotone(f, []trace.Trace{tr}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyBiPanicsOnWideOperand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on width-2 operand")
+		}
+	}()
+	ApplyBi(And, Pair(ChanFn("a"), ChanFn("b")), ChanFn("c"))
+}
+
+func TestTupleWidth(t *testing.T) {
+	if TupleOf(seq.Empty, seq.OfInts(1)).Width() != 2 {
+		t.Error("Width wrong")
+	}
+}
+
+func TestCheckersCatchBrokenFunctions(t *testing.T) {
+	// A non-monotone "function": reverses its input.
+	rev := SeqFn{Name: "rev", Apply: func(s seq.Seq) seq.Seq {
+		out := make(seq.Seq, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			out[i] = s.At(s.Len() - 1 - i)
+		}
+		return out
+	}}
+	samples := []seq.Seq{seq.OfInts(1, 2, 3)}
+	if err := CheckSeqFnMonotone(rev, samples); err == nil {
+		t.Error("reverse accepted as monotone")
+	}
+	if err := CheckSeqFnChain(rev, seq.OfInts(1, 2, 3)); err == nil {
+		t.Error("reverse accepted as chain-continuous")
+	}
+	// A growth liar: claims 0 but prepends.
+	liar := SeqFn{Name: "liar", Growth: 0, Apply: PrependFn(value.Int(9)).Apply}
+	if err := CheckSeqFnGrowth(liar, samples); err == nil {
+		t.Error("growth lie accepted")
+	}
+	// A trace function lying about its support.
+	supLiar := TraceFn{
+		Name:    "supliar",
+		Out:     1,
+		Support: trace.NewChanSet("a"),
+		Apply:   func(tr trace.Trace) Tuple { return Tuple{tr.Channel("b")} },
+	}
+	tr := trace.Of(trace.E("b", value.Int(1)))
+	if err := CheckTraceFnSupport(supLiar, []trace.Trace{tr}); err == nil {
+		t.Error("support lie accepted")
+	}
+	// A trace function violating monotonicity.
+	nonMono := TraceFn{
+		Name:    "nonmono",
+		Out:     1,
+		Support: trace.NewChanSet("b"),
+		Apply: func(tr trace.Trace) Tuple {
+			if tr.Len()%2 == 1 {
+				return Tuple{seq.OfInts(9)}
+			}
+			return Tuple{seq.Empty}
+		},
+	}
+	long := trace.Of(trace.E("b", value.Int(1)), trace.E("b", value.Int(2)))
+	if err := CheckTraceFnMonotone(nonMono, []trace.Trace{long}); err == nil {
+		t.Error("non-monotone trace fn accepted")
+	}
+	// A trace function exceeding its growth bound.
+	growLiar := TraceFn{
+		Name:    "growliar",
+		Out:     1,
+		Support: trace.ChanSet{},
+		Growth:  0,
+		Apply:   func(tr trace.Trace) Tuple { return Tuple{seq.OfInts(1, 2, 3)} },
+	}
+	if err := CheckTraceFnGrowth(growLiar, []trace.Trace{trace.Empty}); err == nil {
+		t.Error("growth-bound violation accepted")
+	}
+	// A width liar: declares Out=2 but returns width 1.
+	widthLiar := TraceFn{
+		Name:    "widthliar",
+		Out:     2,
+		Support: trace.ChanSet{},
+		Apply:   func(tr trace.Trace) Tuple { return Tuple{seq.Empty} },
+	}
+	if err := CheckTraceFnMonotone(widthLiar, []trace.Trace{trace.Empty}); err == nil {
+		t.Error("width lie accepted")
+	}
+}

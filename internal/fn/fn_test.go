@@ -1,0 +1,424 @@
+package fn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// seqSamples exercises every element kind the vocabulary touches.
+func seqSamples() []seq.Seq {
+	return []seq.Seq{
+		seq.Empty,
+		seq.OfInts(0),
+		seq.OfInts(0, 1, 2, 3, 4),
+		seq.OfInts(-1, 0, -2),
+		seq.OfBools(true, true, false, true),
+		seq.OfBools(false),
+		seq.Of(value.Pair(value.Int(0), value.Int(7)), value.Pair(value.Int(1), value.Int(8))),
+	}
+}
+
+// vocabulary lists every SeqFn the paper uses.
+func vocabulary() []SeqFn {
+	return []SeqFn{
+		Identity,
+		Even, Odd,
+		TrueBits, FalseBits,
+		ZeroTag, OneTag,
+		Double, DoublePlus1, MulAdd(3, -1),
+		RMap,
+		UntilF,
+		CountTs,
+		Tag0, Tag1, Untag,
+		PrependFn(value.Int(0)),
+		PrependFn(value.T, value.F),
+		ConstFn(seq.OfInts(9)),
+		ComposeSeq(PrependFn(value.Int(0)), Double),
+		TakeWhileFn("untilNeg", func(v value.Value) bool { return !v.IsOddInt() }),
+		FilterFn("evens", value.Value.IsEvenInt),
+		MapFn("neg", func(v value.Value) value.Value {
+			if n, ok := v.AsInt(); ok {
+				return value.Int(-n)
+			}
+			return v
+		}),
+	}
+}
+
+func TestVocabularyMonotoneContinuousBounded(t *testing.T) {
+	samples := seqSamples()
+	for _, f := range vocabulary() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			if err := CheckSeqFnMonotone(f, samples); err != nil {
+				t.Error(err)
+			}
+			for _, s := range samples {
+				if err := CheckSeqFnChain(f, s); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := CheckSeqFnGrowth(f, samples); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestBiVocabularyMonotone(t *testing.T) {
+	samples := seqSamples()
+	for _, f := range []BiSeqFn{And, NonStrictAnd, SelectTrue, SelectFalse} {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			if err := CheckBiSeqFnMonotone(f, samples); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestEvenOddBehaviour(t *testing.T) {
+	s := seq.OfInts(0, 1, 2, 3, -1, -2)
+	if got := Even.Apply(s); !got.Equal(seq.OfInts(0, 2, -2)) {
+		t.Errorf("even = %s", got)
+	}
+	if got := Odd.Apply(s); !got.Equal(seq.OfInts(1, 3, -1)) {
+		t.Errorf("odd = %s", got)
+	}
+}
+
+func TestPointwiseArithmetic(t *testing.T) {
+	s := seq.OfInts(0, 1, 2)
+	if got := Double.Apply(s); !got.Equal(seq.OfInts(0, 2, 4)) {
+		t.Errorf("2×d = %s", got)
+	}
+	if got := DoublePlus1.Apply(s); !got.Equal(seq.OfInts(1, 3, 5)) {
+		t.Errorf("2×d+1 = %s", got)
+	}
+	// The Section 2.3 block identity: even(B_{i+1}) = 2×B_i and
+	// odd(B_{i+1}) = 2×B_i + 1.
+	b2 := seq.OfInts(0, 1, 2, 3)
+	b1 := seq.OfInts(0, 1)
+	if !Even.Apply(b2).Equal(Double.Apply(b1)) {
+		t.Error("even(B_2) ≠ 2×B_1")
+	}
+	if !Odd.Apply(b2).Equal(DoublePlus1.Apply(b1)) {
+		t.Error("odd(B_2) ≠ 2×B_1 + 1")
+	}
+}
+
+func TestRMap(t *testing.T) {
+	got := RMap.Apply(seq.OfBools(true, false, true))
+	if !got.Equal(seq.OfBools(true, true, true)) {
+		t.Errorf("R = %s", got)
+	}
+	if !RMap.Apply(seq.Empty).IsEmpty() {
+		t.Error("R(ε) ≠ ε")
+	}
+}
+
+func TestUntilFAndCountTs(t *testing.T) {
+	s := seq.OfBools(true, true, false, true)
+	if got := UntilF.Apply(s); !got.Equal(seq.OfBools(true, true)) {
+		t.Errorf("untilF = %s", got)
+	}
+	if got := UntilF.Apply(seq.OfBools(true, true)); !got.Equal(seq.OfBools(true, true)) {
+		t.Errorf("untilF without F = %s", got)
+	}
+	if got := CountTs.Apply(s); !got.Equal(seq.OfInts(2)) {
+		t.Errorf("countT = %s", got)
+	}
+	if got := CountTs.Apply(seq.OfBools(true, true)); !got.IsEmpty() {
+		t.Errorf("countT without F should be ⊥, got %s", got)
+	}
+	if got := CountTs.Apply(seq.OfBools(false)); !got.Equal(seq.OfInts(0)) {
+		t.Errorf("countT(F) = %s, want ⟨0⟩", got)
+	}
+}
+
+func TestTagUntag(t *testing.T) {
+	s := seq.OfInts(5, 6)
+	tagged := Tag0.Apply(s)
+	want := seq.Of(value.Pair(value.Int(0), value.Int(5)), value.Pair(value.Int(0), value.Int(6)))
+	if !tagged.Equal(want) {
+		t.Errorf("tag0 = %s", tagged)
+	}
+	if got := Untag.Apply(tagged); !got.Equal(s) {
+		t.Errorf("untag∘tag0 = %s", got)
+	}
+	mixed := seq.Of(
+		value.Pair(value.Int(0), value.Int(1)),
+		value.Pair(value.Int(1), value.Int(2)),
+		value.Pair(value.Int(0), value.Int(3)),
+	)
+	if got := ZeroTag.Apply(mixed); got.Len() != 2 {
+		t.Errorf("ZERO = %s", got)
+	}
+	if got := OneTag.Apply(mixed); got.Len() != 1 {
+		t.Errorf("ONE = %s", got)
+	}
+}
+
+func TestAndVariants(t *testing.T) {
+	tt := seq.OfBools(true)
+	ff := seq.OfBools(false)
+	if got := And.Apply(tt, tt); !got.Equal(seq.OfBools(true)) {
+		t.Errorf("T AND T = %s", got)
+	}
+	if got := And.Apply(tt, ff); !got.Equal(seq.OfBools(false)) {
+		t.Errorf("T AND F = %s", got)
+	}
+	// Strict: one missing operand gives ⊥.
+	if got := And.Apply(tt, seq.Empty); !got.IsEmpty() {
+		t.Errorf("T AND ⊥ = %s, want ⊥ (strict)", got)
+	}
+	// Non-strict: F dominates a missing operand.
+	if got := NonStrictAnd.Apply(ff, seq.Empty); !got.Equal(seq.OfBools(false)) {
+		t.Errorf("nsAND(F, ⊥) = %s, want ⟨F⟩", got)
+	}
+	if got := NonStrictAnd.Apply(tt, seq.Empty); !got.IsEmpty() {
+		t.Errorf("nsAND(T, ⊥) = %s, want ⊥", got)
+	}
+	if got := NonStrictAnd.Apply(seq.OfBools(true, false), seq.OfBools(true)); !got.Equal(seq.OfBools(true, false)) {
+		t.Errorf("nsAND(⟨T F⟩, ⟨T⟩) = %s", got)
+	}
+}
+
+func TestSelectFns(t *testing.T) {
+	c := seq.OfInts(10, 20, 30)
+	b := seq.OfBools(true, false, true)
+	if got := SelectTrue.Apply(c, b); !got.Equal(seq.OfInts(10, 30)) {
+		t.Errorf("selT = %s", got)
+	}
+	if got := SelectFalse.Apply(c, b); !got.Equal(seq.OfInts(20)) {
+		t.Errorf("selF = %s", got)
+	}
+}
+
+func TestTupleOrder(t *testing.T) {
+	a := TupleOf(seq.OfInts(1), seq.Empty)
+	b := TupleOf(seq.OfInts(1, 2), seq.OfInts(3))
+	if !a.Leq(b) || b.Leq(a) {
+		t.Error("componentwise order wrong")
+	}
+	if a.Leq(TupleOf(seq.OfInts(1))) {
+		t.Error("different widths must be incomparable")
+	}
+	if !a.Compatible(b) {
+		t.Error("ordered tuples are compatible")
+	}
+	c := TupleOf(seq.OfInts(9), seq.Empty)
+	if a.Compatible(c) {
+		t.Error("diverging tuples are incompatible")
+	}
+	j, ok := a.Join(b)
+	if !ok || !j.Equal(b) {
+		t.Errorf("join = %s, %v", j, ok)
+	}
+	if _, ok := a.Join(c); ok {
+		t.Error("join of incompatible tuples must fail")
+	}
+	if got := a.AgreedLen(TupleOf(seq.OfInts(1, 5), seq.OfInts(7))); got[0] != 1 || got[1] != 0 {
+		t.Errorf("AgreedLen = %v", got)
+	}
+	if BottomTuple(2).MinLen() != 0 || b.MinLen() != 1 {
+		t.Error("MinLen wrong")
+	}
+	if got := TupleOf(seq.OfInts(1)).String(); got != "⟨1⟩" {
+		t.Errorf("width-1 String = %q", got)
+	}
+	if got := a.String(); got != "(⟨1⟩, ⟨⟩)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// traceSamples for TraceFn checks.
+func traceSamples() []trace.Trace {
+	return []trace.Trace{
+		trace.Empty,
+		trace.Of(trace.E("b", value.Int(0))),
+		trace.Of(trace.E("b", value.Int(0)), trace.E("c", value.Int(1)), trace.E("d", value.Int(0))),
+		trace.Of(trace.E("c", value.T), trace.E("d", value.F), trace.E("b", value.T)),
+	}
+}
+
+func traceVocabulary() []TraceFn {
+	return []TraceFn{
+		ChanFn("b"),
+		OnChan(Even, "d"),
+		OnChan(PrependFn(value.Int(0)), "c"),
+		OnChans("sum-style", []string{"b", "c"}, 0, func(args []seq.Seq) seq.Seq {
+			return seq.Zip(args[0], args[1], func(a, b value.Value) value.Value { return a })
+		}),
+		OnTwoChans(And, "b", "c"),
+		ConstTraceFn(seq.OfInts(0, 2)),
+		OmegaConstFn("trues", seq.Of(value.T)),
+		Pair(ChanFn("b"), OnChan(Odd, "d")),
+		ProjectArg(ChanFn("b"), trace.NewChanSet("b")),
+	}
+}
+
+func TestTraceVocabularyChecks(t *testing.T) {
+	samples := traceSamples()
+	for _, f := range traceVocabulary() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			if err := CheckTraceFnMonotone(f, samples); err != nil {
+				t.Error(err)
+			}
+			if err := CheckTraceFnGrowth(f, samples); err != nil {
+				t.Error(err)
+			}
+			if f.Name != "trues" { // ω-constants depend on |t|; see package doc
+				if err := CheckTraceFnSupport(f, samples); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+func TestGrowthInvariantForOmegaPad(t *testing.T) {
+	// The OmegaPad soundness argument requires every non-ω function's
+	// growth to stay strictly below OmegaPad.
+	for _, f := range vocabulary() {
+		if f.Growth >= OmegaPad {
+			t.Errorf("%s has Growth %d ≥ OmegaPad %d", f.Name, f.Growth, OmegaPad)
+		}
+	}
+	for _, f := range traceVocabulary() {
+		if f.Name == "trues" {
+			continue
+		}
+		if f.Growth >= OmegaPad {
+			t.Errorf("%s has Growth %d ≥ OmegaPad %d", f.Name, f.Growth, OmegaPad)
+		}
+	}
+}
+
+func TestChanFnAndPair(t *testing.T) {
+	tr := trace.Of(trace.E("b", value.Int(1)), trace.E("c", value.Int(2)), trace.E("b", value.Int(3)))
+	if got := ChanFn("b").Apply(tr); !got[0].Equal(seq.OfInts(1, 3)) {
+		t.Errorf("b(t) = %s", got)
+	}
+	p := Pair(ChanFn("b"), ChanFn("c"), ChanFn("b"))
+	if p.Out != 3 {
+		t.Errorf("Pair width = %d", p.Out)
+	}
+	got := p.Apply(tr)
+	if !got[0].Equal(seq.OfInts(1, 3)) || !got[1].Equal(seq.OfInts(2)) || !got[2].Equal(seq.OfInts(1, 3)) {
+		t.Errorf("Pair apply = %s", got)
+	}
+	if !p.Support.Has("b") || !p.Support.Has("c") {
+		t.Error("Pair support not unioned")
+	}
+}
+
+func TestIndependentOf(t *testing.T) {
+	f := OnTwoChans(And, "b", "c")
+	if f.IndependentOf("b") || !f.IndependentOf("d") {
+		t.Error("IndependentOf wrong")
+	}
+}
+
+func TestSubstChan(t *testing.T) {
+	// g = b(t) (the history of b); h = ⟨7⟩ constant. g[b := h] must be
+	// the constant ⟨7⟩ regardless of actual b events.
+	g := ChanFn("b")
+	h := ConstTraceFn(seq.OfInts(7))
+	sub := SubstChan(g, "b", h)
+	tr := trace.Of(trace.E("b", value.Int(1)), trace.E("c", value.Int(2)))
+	if got := sub.Apply(tr); !got[0].Equal(seq.OfInts(7)) {
+		t.Errorf("substituted = %s", got)
+	}
+	if sub.Support.Has("b") {
+		t.Error("substituted function must not depend on b")
+	}
+	// Substitution into a function of other channels is the identity.
+	g2 := ChanFn("c")
+	sub2 := SubstChan(g2, "b", h)
+	if got := sub2.Apply(tr); !got[0].Equal(seq.OfInts(2)) {
+		t.Errorf("unrelated substitution = %s", got)
+	}
+}
+
+func TestSubstChanPanicsOnWideReplacement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for width-2 replacement")
+		}
+	}()
+	SubstChan(ChanFn("b"), "b", Pair(ChanFn("c"), ChanFn("d")))
+}
+
+func TestOmegaConstFn(t *testing.T) {
+	f := OmegaConstFn("trues", seq.Of(value.T))
+	short := f.Apply(trace.Empty)[0]
+	long := f.Apply(trace.Of(trace.E("c", value.T), trace.E("c", value.T)))[0]
+	if short.Len() != OmegaPad || long.Len() != 2+OmegaPad {
+		t.Errorf("lengths %d, %d", short.Len(), long.Len())
+	}
+	if !short.Leq(long) {
+		t.Error("ω-approximations must ascend with input length")
+	}
+}
+
+// quick generator over boolean sequences.
+type genBits struct{ S seq.Seq }
+
+// Generate implements quick.Generator.
+func (genBits) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(8)
+	s := make(seq.Seq, n)
+	for i := range s {
+		s[i] = value.Bool(r.Intn(2) == 0)
+	}
+	return reflect.ValueOf(genBits{S: s})
+}
+
+func TestQuickUntilFCountTsCoherent(t *testing.T) {
+	// h outputs the length of g's prefix when an F exists.
+	f := func(a genBits) bool {
+		g := UntilF.Apply(a.S)
+		h := CountTs.Apply(a.S)
+		if a.S.Index(value.Value.IsFalse) < 0 {
+			return h.IsEmpty()
+		}
+		return h.Len() == 1 && h.At(0).Equal(value.Int(int64(g.Len())))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFilterPartition(t *testing.T) {
+	// TRUE(s) and FALSE(s) partition a boolean sequence.
+	f := func(a genBits) bool {
+		return TrueBits.Apply(a.S).Len()+FalseBits.Apply(a.S).Len() == a.S.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelectPartition(t *testing.T) {
+	// g(c,b) and h(c,b) partition the oracle-covered prefix of c — the
+	// fork property (Section 4.6).
+	f := func(a, b genBits) bool {
+		n := SelectTrue.Apply(a.S, b.S).Len() + SelectFalse.Apply(a.S, b.S).Len()
+		m := a.S.Len()
+		if b.S.Len() < m {
+			m = b.S.Len()
+		}
+		return n == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package fn
+
+import (
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// The concrete function vocabulary of the paper's examples. Each value
+// here is continuous; the package tests property-check monotonicity,
+// chain continuity, support and growth for all of them.
+var (
+	// Even keeps the even integers of a sequence — the paper's even()
+	// (Section 2.2).
+	Even = FilterFn("even", value.Value.IsEvenInt)
+
+	// Odd keeps the odd integers — the paper's odd().
+	Odd = FilterFn("odd", value.Value.IsOddInt)
+
+	// TrueBits keeps the T's — the paper's TRUE (Section 4.7).
+	TrueBits = FilterFn("TRUE", value.Value.IsTrue)
+
+	// FalseBits keeps the F's — the paper's FALSE (Section 4.7).
+	FalseBits = FilterFn("FALSE", value.Value.IsFalse)
+
+	// ZeroTag keeps pairs tagged 0 — the paper's ZERO (Section 4.10).
+	ZeroTag = FilterFn("ZERO", hasTag(0))
+
+	// OneTag keeps pairs tagged 1 — the paper's ONE (Section 4.10).
+	OneTag = FilterFn("ONE", hasTag(1))
+
+	// Double is the pointwise 2×d of Section 2.3.
+	Double = MulAdd(2, 0)
+
+	// DoublePlus1 is the pointwise 2×d+1 of Section 2.3.
+	DoublePlus1 = MulAdd(2, 1)
+
+	// RMap is the pointwise lifting of the paper's R (Section 4.3):
+	// R(T) = R(F) = T, R(⊥) = ⊥. The lifting of the flat-domain function
+	// to sequences maps every defined element to T.
+	RMap = MapFn("R", func(value.Value) value.Value { return value.T })
+
+	// UntilF is the paper's g of Section 4.8: the longest prefix
+	// containing no F.
+	UntilF = TakeWhileFn("untilF", func(v value.Value) bool { return !v.IsFalse() })
+
+	// CountTs is the paper's h of Section 4.9: ⊥ until the first F
+	// arrives, then the singleton sequence holding the number of T's
+	// received before it.
+	CountTs = SeqFn{Name: "countT", Growth: 1, Apply: func(s seq.Seq) seq.Seq {
+		i := s.Index(value.Value.IsFalse)
+		if i < 0 {
+			return seq.Empty
+		}
+		return seq.Of(value.Int(int64(s.Take(i).Count(value.Value.IsTrue))))
+	}}
+
+	// Tag0 and Tag1 are the tagging maps t0, t1 of the fair-merge network
+	// (Section 4.10): n ↦ (0, n) and n ↦ (1, n).
+	Tag0 = TagWith(0)
+	Tag1 = TagWith(1)
+
+	// Untag is the paper's r of Section 4.10: (k, n) ↦ n.
+	Untag = MapFn("untag", func(v value.Value) value.Value {
+		if _, snd, ok := v.AsPair(); ok {
+			return snd
+		}
+		return v
+	})
+
+	// And is the strict AND of Section 4.5 lifted pointwise: the result
+	// element is ⊥ (absent) unless both operands are present; T iff both
+	// are T, F otherwise.
+	And = ZipFn("AND", func(a, b value.Value) value.Value {
+		return value.Bool(a.IsTrue() && b.IsTrue())
+	})
+
+	// NonStrictAnd is the reader-exercise variant of Section 4.5: the
+	// result is F as soon as either operand is F, even if the other is
+	// still ⊥; T only when both are T. Still continuous — the exercise's
+	// point is about the description, not continuity.
+	NonStrictAnd = BiSeqFn{Name: "nsAND", Apply: func(a, b seq.Seq) seq.Seq {
+		out := seq.Empty
+		for i := 0; ; i++ {
+			aDef, bDef := i < a.Len(), i < b.Len()
+			switch {
+			case aDef && bDef:
+				out = out.Append(value.Bool(a.At(i).IsTrue() && b.At(i).IsTrue()))
+			case aDef && a.At(i).IsFalse(), bDef && b.At(i).IsFalse():
+				out = out.Append(value.F)
+			default:
+				return out
+			}
+		}
+	}}
+
+	// SelectTrue is the fork's g(c,b) (Section 4.6): elements of the
+	// first argument at positions where the oracle (second argument) is T.
+	SelectTrue = BiSeqFn{Name: "selT", Apply: func(c, b seq.Seq) seq.Seq {
+		return seq.Select(c, b, true)
+	}}
+
+	// SelectFalse is the fork's h(c,b): positions where the oracle is F.
+	SelectFalse = BiSeqFn{Name: "selF", Apply: func(c, b seq.Seq) seq.Seq {
+		return seq.Select(c, b, false)
+	}}
+)
+
+// FBA is the Brock-Ackermann function f of Section 2.4: f(ε) = f(⟨n⟩) =
+// ε and f(n; m; x) = ⟨n+1⟩. Continuous — constant ε below length 2 and
+// constant ⟨s₀+1⟩ from length 2 on.
+var FBA = SeqFn{Name: "fBA", Growth: 1, Apply: func(s seq.Seq) seq.Seq {
+	if s.Len() < 2 {
+		return seq.Empty
+	}
+	if n, ok := s.At(0).AsInt(); ok {
+		return seq.Of(value.Int(n + 1))
+	}
+	return seq.Empty
+}}
+
+// MulAdd builds the pointwise map n ↦ a×n + b on integer elements;
+// non-integers pass through unchanged (the paper only applies it to
+// integer channels).
+func MulAdd(a, b int64) SeqFn {
+	name := "linear"
+	switch {
+	case a == 2 && b == 0:
+		name = "2×·"
+	case a == 2 && b == 1:
+		name = "2×·+1"
+	}
+	return MapFn(name, func(v value.Value) value.Value {
+		if n, ok := v.AsInt(); ok {
+			return value.Int(a*n + b)
+		}
+		return v
+	})
+}
+
+// TagWith builds the map n ↦ (tag, n).
+func TagWith(tag int64) SeqFn {
+	return MapFn("tag"+value.Int(tag).String(), func(v value.Value) value.Value {
+		return value.Pair(value.Int(tag), v)
+	})
+}
+
+func hasTag(tag int64) func(value.Value) bool {
+	return func(v value.Value) bool {
+		fst, _, ok := v.AsPair()
+		if !ok {
+			return false
+		}
+		n, ok := fst.AsInt()
+		return ok && n == tag
+	}
+}
+
+// SubstChan returns g′ with channel b's history replaced by h — the
+// substitution step of variable elimination (Section 7): g′(t) =
+// r(h(t), t_c) where g(t) = r(t_b, t_c). Because every TraceFn reads only
+// per-channel histories, g′ is realised by rewriting the argument trace:
+// drop b's events and append (b, v) events carrying h(t) instead. h must
+// have Out = 1 and, per the elimination side conditions, must be
+// independent of b (the caller — desc.Eliminate — checks this).
+func SubstChan(g TraceFn, b string, h TraceFn) TraceFn {
+	if h.Out != 1 {
+		panic("fn: SubstChan requires a width-1 replacement function")
+	}
+	support := g.Support.Without(b).Union(h.Support)
+	return TraceFn{
+		Name:    g.Name + "[" + b + ":=" + h.Name + "]",
+		Out:     g.Out,
+		Support: support,
+		Growth:  g.Growth + h.Growth,
+		Apply: func(t trace.Trace) Tuple {
+			rewritten := make(trace.Trace, 0, len(t))
+			for _, e := range t {
+				if e.Ch != b {
+					rewritten = append(rewritten, e)
+				}
+			}
+			for _, v := range h.Apply(t)[0] {
+				rewritten = append(rewritten, trace.E(b, v))
+			}
+			return g.Apply(rewritten)
+		},
+	}
+}

@@ -1,0 +1,161 @@
+package fn
+
+import (
+	"fmt"
+
+	"smoothproc/internal/seq"
+	"smoothproc/internal/value"
+)
+
+// SeqFn is a named function on message sequences. Every SeqFn constructed
+// by this package is continuous (monotone and lub-preserving) in the
+// prefix cpo; the package tests verify monotonicity and chain-continuity
+// by property testing, since the paper's theorems assume continuity of
+// every function appearing in a description.
+//
+// Growth bounds how much longer the output can be than the input:
+// |Apply(s)| ≤ |s| + Growth. Filters and pointwise maps have Growth 0;
+// Prepend(k values) has Growth k. The bound is what makes depth-bounded
+// checking against ω-constants sound (see OmegaPad in tracefn.go).
+type SeqFn struct {
+	Name   string
+	Growth int
+	Apply  func(seq.Seq) seq.Seq
+}
+
+// Identity is the identity on sequences.
+var Identity = SeqFn{Name: "id", Apply: func(s seq.Seq) seq.Seq { return s }}
+
+// FilterFn builds the continuous filter keeping elements satisfying keep.
+func FilterFn(name string, keep func(value.Value) bool) SeqFn {
+	return SeqFn{Name: name, Apply: func(s seq.Seq) seq.Seq { return s.Filter(keep) }}
+}
+
+// MapFn builds the continuous pointwise map of a total function.
+func MapFn(name string, f func(value.Value) value.Value) SeqFn {
+	return SeqFn{Name: name, Apply: func(s seq.Seq) seq.Seq { return s.Map(f) }}
+}
+
+// PrependFn builds s ↦ vals ; s — the paper's "0; c" (Section 2.1) and
+// "T; b" (Section 4.2). Continuous because the prepended part is constant.
+func PrependFn(vals ...value.Value) SeqFn {
+	prefix := seq.Of(vals...)
+	return SeqFn{
+		Name:   fmt.Sprintf("prepend%s", prefix),
+		Growth: len(vals),
+		Apply:  func(s seq.Seq) seq.Seq { return prefix.Concat(s) },
+	}
+}
+
+// TakeWhileFn builds the longest-prefix-satisfying function.
+func TakeWhileFn(name string, keep func(value.Value) bool) SeqFn {
+	return SeqFn{Name: name, Apply: func(s seq.Seq) seq.Seq { return s.TakeWhile(keep) }}
+}
+
+// ComposeSeq builds g ∘ f (apply f first).
+func ComposeSeq(g, f SeqFn) SeqFn {
+	return SeqFn{
+		Name:   g.Name + "∘" + f.Name,
+		Growth: g.Growth + f.Growth,
+		Apply:  func(s seq.Seq) seq.Seq { return g.Apply(f.Apply(s)) },
+	}
+}
+
+// ConstFn ignores its input and returns k. Constant functions are
+// trivially continuous; the paper's T̄ (Section 4.3) and "0 2" (Section
+// 2.4) are constants.
+func ConstFn(k seq.Seq) SeqFn {
+	return SeqFn{
+		Name:   "const" + k.String(),
+		Growth: k.Len(),
+		Apply:  func(seq.Seq) seq.Seq { return k },
+	}
+}
+
+// BiSeqFn is a named continuous function of two sequences, such as the
+// paper's AND (Section 4.5) and the oracle selections g(c,b), h(c,b) of
+// the fork process (Section 4.6).
+type BiSeqFn struct {
+	Name   string
+	Growth int
+	Apply  func(a, b seq.Seq) seq.Seq
+}
+
+// ZipFn lifts a total binary function pointwise, cutting at the shorter
+// argument (the strict lifting: output element i exists only when both
+// operands do).
+func ZipFn(name string, f func(a, b value.Value) value.Value) BiSeqFn {
+	return BiSeqFn{Name: name, Apply: func(a, b seq.Seq) seq.Seq { return seq.Zip(a, b, f) }}
+}
+
+// CheckSeqFnMonotone verifies f(x) ⊑ f(y) on every ordered pair of
+// samples, and additionally on every (prefix, whole) pair drawn from the
+// samples themselves.
+func CheckSeqFnMonotone(f SeqFn, samples []seq.Seq) error {
+	all := make([]seq.Seq, 0, len(samples)*3)
+	for _, s := range samples {
+		all = append(all, s)
+		all = append(all, s.Take(s.Len()/2))
+	}
+	for i, x := range all {
+		for j, y := range all {
+			if !x.Leq(y) {
+				continue
+			}
+			if !f.Apply(x).Leq(f.Apply(y)) {
+				return fmt.Errorf("fn: %s not monotone: f(%s) ⋢ f(%s) (samples %d,%d)", f.Name, x, y, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSeqFnChain verifies that f maps the full prefix chain of s to a
+// chain whose lub is f(s) — the finitary continuity check of Fact F2/F3
+// style. Monotonicity makes this automatic for finite inputs, so a
+// failure indicates a genuinely broken function.
+func CheckSeqFnChain(f SeqFn, s seq.Seq) error {
+	var prev seq.Seq
+	for n := 0; n <= s.Len(); n++ {
+		cur := f.Apply(s.Take(n))
+		if n > 0 && !prev.Leq(cur) {
+			return fmt.Errorf("fn: %s image of prefix chain of %s not a chain at %d", f.Name, s, n)
+		}
+		prev = cur
+	}
+	if !prev.Equal(f.Apply(s)) {
+		return fmt.Errorf("fn: %s: lub of image ≠ image of lub for %s", f.Name, s)
+	}
+	return nil
+}
+
+// CheckSeqFnGrowth verifies the declared Growth bound on the samples.
+func CheckSeqFnGrowth(f SeqFn, samples []seq.Seq) error {
+	for _, s := range samples {
+		if out := f.Apply(s); out.Len() > s.Len()+f.Growth {
+			return fmt.Errorf("fn: %s growth bound %d violated: |f(%s)| = %d", f.Name, f.Growth, s, out.Len())
+		}
+	}
+	return nil
+}
+
+// CheckBiSeqFnMonotone verifies monotonicity of a BiSeqFn in both
+// arguments over the sample cross product.
+func CheckBiSeqFnMonotone(f BiSeqFn, samples []seq.Seq) error {
+	for _, a := range samples {
+		for _, b := range samples {
+			whole := f.Apply(a, b)
+			for n := 0; n <= a.Len(); n++ {
+				if !f.Apply(a.Take(n), b).Leq(whole) {
+					return fmt.Errorf("fn: %s not monotone in arg 1 at (%s, %s)", f.Name, a, b)
+				}
+			}
+			for n := 0; n <= b.Len(); n++ {
+				if !f.Apply(a, b.Take(n)).Leq(whole) {
+					return fmt.Errorf("fn: %s not monotone in arg 2 at (%s, %s)", f.Name, a, b)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Package fn implements the continuous functions of the paper as
+// first-class values: functions on message sequences (SeqFn, BiSeqFn),
+// functions from traces into tuples of sequences (TraceFn), and the
+// concrete vocabulary used by the paper's examples — even, odd, TRUE,
+// FALSE, ZERO, ONE, pointwise arithmetic (2×d, 2×d+1), R, AND, the
+// prefix-until-F function g, the counting function h, tagging, untagging,
+// and oracle-driven selection.
+//
+// The codomain of every description in the paper is (isomorphic to) a
+// finite tuple of message sequences ordered componentwise by prefix —
+// the paper's own note on combining multiple equations into one uses
+// exactly this product. Tuple is that codomain.
+package fn
+
+import (
+	"strings"
+
+	"smoothproc/internal/seq"
+)
+
+// Tuple is an element of the codomain cpo Seq^k, ordered componentwise by
+// prefix. Width-1 tuples stand in for plain sequences.
+type Tuple []seq.Seq
+
+// BottomTuple returns the k-wide bottom (ε, ..., ε).
+func BottomTuple(k int) Tuple {
+	t := make(Tuple, k)
+	for i := range t {
+		t[i] = seq.Empty
+	}
+	return t
+}
+
+// TupleOf builds a tuple from sequences.
+func TupleOf(ss ...seq.Seq) Tuple {
+	t := make(Tuple, len(ss))
+	copy(t, ss)
+	return t
+}
+
+// Width returns the number of components.
+func (t Tuple) Width() int { return len(t) }
+
+// Leq reports the componentwise prefix order t ⊑ u. Tuples of different
+// widths are never comparable.
+func (t Tuple) Leq(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Leq(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports componentwise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether t and u have a common upper bound, i.e.
+// every component pair is prefix-comparable. Incompatibility between
+// f(tₙ) and g(tₙ) at any depth n definitively refutes the limit condition
+// f(t) = g(t) for the ω-trace t they approximate (see desc.CheckOmega).
+func (t Tuple) Compatible(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Compatible(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the componentwise lub of two compatible tuples.
+func (t Tuple) Join(u Tuple) (Tuple, bool) {
+	if !t.Compatible(u) {
+		return nil, false
+	}
+	out := make(Tuple, len(t))
+	for i := range t {
+		if t[i].Leq(u[i]) {
+			out[i] = u[i]
+		} else {
+			out[i] = t[i]
+		}
+	}
+	return out, true
+}
+
+// AgreedLen returns, per component, the length of the common prefix of t
+// and u — the "settled agreement" used to certify limit conditions of
+// ω-solutions at increasing depths.
+func (t Tuple) AgreedLen(u Tuple) []int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = t[i].CommonPrefixLen(u[i])
+	}
+	return out
+}
+
+// MinLen returns the length of the shortest component.
+func (t Tuple) MinLen() int {
+	if len(t) == 0 {
+		return 0
+	}
+	m := t[0].Len()
+	for _, s := range t[1:] {
+		if s.Len() < m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+// String renders the tuple as (⟨..⟩, ⟨..⟩, ...); width-1 tuples render as
+// the bare sequence.
+func (t Tuple) String() string {
+	if len(t) == 1 {
+		return t[0].String()
+	}
+	var b strings.Builder
+	b.WriteString("(")
+	for i, s := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,107 @@
+// Package histrel implements the naive input/output history-relation
+// semantics of nondeterministic dataflow — the "history-insensitive"
+// semantics in which the Brock-Ackermann anomaly arises (Section 2.4 of
+// the paper; Brock & Ackerman 1981; anticipated by Keller 1978).
+//
+// A process is modelled as a relation between input histories and output
+// histories, with all causality information discarded. Composing such
+// relations around a feedback loop admits behaviours no machine can
+// produce: for the Figure 4 network, the relation semantics accepts
+// c = 0 1 2 — process B's output 1 appearing between A's 0 and 2 even
+// though B cannot speak before consuming both. The paper's smoothness
+// condition is exactly the causality constraint this semantics lacks;
+// the package exists so the reproduction can measure the gap (extension
+// experiment E22 in EXPERIMENTS.md).
+package histrel
+
+import (
+	"fmt"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+)
+
+// Relation is a process as an input/output history relation: Out yields
+// every output history the process may produce after consuming exactly
+// the given input history, with no record of relative timing.
+type Relation struct {
+	Name string
+	Out  func(in seq.Seq) []seq.Seq
+}
+
+// FromFunction lifts a deterministic history function: one output per
+// input — e.g. process B of Figure 4 is FromFunction(fBA).
+func FromFunction(f fn.SeqFn) Relation {
+	return Relation{
+		Name: f.Name,
+		Out:  func(in seq.Seq) []seq.Seq { return []seq.Seq{f.Apply(in)} },
+	}
+}
+
+// MergeWith models a fair merge of the input with a fixed internal
+// sequence — process A of Figure 4 is MergeWith(⟨0 2⟩). At the history
+// level the possible outputs after consuming input in are ALL
+// interleavings of in with the internal store: the relation forgets that
+// internal items need no input to be emitted.
+func MergeWith(internal seq.Seq) Relation {
+	store := internal.Take(internal.Len())
+	return Relation{
+		Name: "merge" + store.String(),
+		Out: func(in seq.Seq) []seq.Seq {
+			return Interleavings(store, in)
+		},
+	}
+}
+
+// Interleavings returns every order-preserving shuffle of x and y.
+func Interleavings(x, y seq.Seq) []seq.Seq {
+	switch {
+	case x.IsEmpty():
+		return []seq.Seq{y}
+	case y.IsEmpty():
+		return []seq.Seq{x}
+	}
+	var out []seq.Seq
+	for _, rest := range Interleavings(x.Drop(1), y) {
+		out = append(out, seq.Of(x.At(0)).Concat(rest))
+	}
+	for _, rest := range Interleavings(x, y.Drop(1)) {
+		out = append(out, seq.Of(y.At(0)).Concat(rest))
+	}
+	return out
+}
+
+// FeedbackSolutions computes the history-relation semantics of the
+// two-process feedback loop of Figure 4: channel c from A, channel b
+// from B, with A consuming b and B consuming c. A history pair (b, c) is
+// consistent iff c ∈ A(b) and b ∈ B(c); the function returns the
+// distinct consistent c's among the candidates.
+//
+// This is the fixed-point equation of Section 2.4 read relationally —
+// solutions of the equations with no smoothness side condition.
+func FeedbackSolutions(a, b Relation, candidates []seq.Seq) []seq.Seq {
+	var out []seq.Seq
+	for _, c := range candidates {
+		for _, bHist := range b.Out(c) {
+			if containsSeq(a.Out(bHist), c) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func containsSeq(set []seq.Seq, want seq.Seq) bool {
+	for _, s := range set {
+		if s.Equal(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a relation sample for diagnostics.
+func (r Relation) String() string {
+	return fmt.Sprintf("relation %s", r.Name)
+}

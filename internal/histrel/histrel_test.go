@@ -1,0 +1,124 @@
+package histrel
+
+import (
+	"testing"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/procs"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+)
+
+func TestInterleavings(t *testing.T) {
+	got := Interleavings(seq.OfInts(0, 2), seq.OfInts(1))
+	want := map[string]bool{
+		seq.OfInts(1, 0, 2).String(): true,
+		seq.OfInts(0, 1, 2).String(): true,
+		seq.OfInts(0, 2, 1).String(): true,
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d interleavings", len(got))
+	}
+	for _, s := range got {
+		if !want[s.String()] {
+			t.Errorf("unexpected interleaving %s", s)
+		}
+	}
+	// Edge cases.
+	if got := Interleavings(seq.Empty, seq.OfInts(5)); len(got) != 1 || !got[0].Equal(seq.OfInts(5)) {
+		t.Errorf("empty-x case: %v", got)
+	}
+	if got := Interleavings(seq.OfInts(5), seq.Empty); len(got) != 1 {
+		t.Errorf("empty-y case: %v", got)
+	}
+	// Counting: |shuffles| = C(m+n, m).
+	if got := Interleavings(seq.OfInts(0, 2), seq.OfInts(1, 3)); len(got) != 6 {
+		t.Errorf("C(4,2) = 6, got %d", len(got))
+	}
+}
+
+func TestFromFunction(t *testing.T) {
+	r := FromFunction(fn.FBA)
+	out := r.Out(seq.OfInts(0, 2, 1))
+	if len(out) != 1 || !out[0].Equal(seq.OfInts(1)) {
+		t.Errorf("fBA relation: %v", out)
+	}
+}
+
+func TestMergeWith(t *testing.T) {
+	r := MergeWith(seq.OfInts(0, 2))
+	// With no input, only the internal store (in order).
+	out := r.Out(seq.Empty)
+	if len(out) != 1 || !out[0].Equal(seq.OfInts(0, 2)) {
+		t.Errorf("merge with ε input: %v", out)
+	}
+	// With input ⟨1⟩: the three shuffles.
+	if got := r.Out(seq.OfInts(1)); len(got) != 3 {
+		t.Errorf("merge with ⟨1⟩: %d outputs", len(got))
+	}
+}
+
+// TestAnomalyQuantified is the point of the package: the history-relation
+// semantics of the Figure 4 loop admits BOTH c = 0 1 2 and c = 0 2 1,
+// while the operational network (and the paper's smooth semantics —
+// experiment E5) produce only 0 2 1. The relation semantics is strictly
+// too big, by exactly the anomalous behaviour.
+func TestAnomalyQuantified(t *testing.T) {
+	a := MergeWith(seq.OfInts(0, 2))
+	b := FromFunction(fn.FBA)
+	// Candidates: all permutations of {0,1,2} plus assorted shorter ones.
+	candidates := []seq.Seq{
+		seq.OfInts(0, 1, 2), seq.OfInts(0, 2, 1), seq.OfInts(1, 0, 2),
+		seq.OfInts(1, 2, 0), seq.OfInts(2, 0, 1), seq.OfInts(2, 1, 0),
+		seq.OfInts(0, 2), seq.OfInts(0), seq.Empty,
+	}
+	got := FeedbackSolutions(a, b, candidates)
+	want := map[string]bool{
+		seq.OfInts(0, 1, 2).String(): true, // the anomaly
+		seq.OfInts(0, 2, 1).String(): true, // the real computation
+	}
+	if len(got) != 2 {
+		t.Fatalf("relation semantics found %d solutions: %v", len(got), got)
+	}
+	for _, s := range got {
+		if !want[s.String()] {
+			t.Errorf("unexpected relational solution %s", s)
+		}
+	}
+
+	// The operational ground truth has exactly one behaviour.
+	quiescent := netsim.QuiescentTraces(procs.Fig4Network().Spec, 30, netsim.RealizeOpts{})
+	if len(quiescent) != 1 {
+		t.Fatalf("operational behaviours: %d", len(quiescent))
+	}
+	for _, tr := range quiescent {
+		if !tr.Channel("c").Equal(seq.OfInts(0, 2, 1)) {
+			t.Errorf("operational c = %s", tr.Channel("c"))
+		}
+	}
+
+	// And the smooth semantics agrees with the machine, not the relation.
+	d := procs.Fig4Equations()
+	smooth := 0
+	for _, c := range candidates {
+		tr := tracify(c)
+		if d.IsSmoothFinite(tr) == nil {
+			smooth++
+			if !c.Equal(seq.OfInts(0, 2, 1)) {
+				t.Errorf("smooth semantics accepted %s", c)
+			}
+		}
+	}
+	if smooth != 1 {
+		t.Errorf("smooth solutions among candidates: %d, want 1", smooth)
+	}
+}
+
+func tracify(c seq.Seq) trace.Trace {
+	tr := trace.Empty
+	for i := 0; i < c.Len(); i++ {
+		tr = tr.Append(trace.E("c", c.At(i)))
+	}
+	return tr
+}

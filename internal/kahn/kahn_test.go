@@ -1,0 +1,204 @@
+package kahn
+
+import (
+	"testing"
+
+	"smoothproc/internal/cpo"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/value"
+)
+
+func TestTwoCopyLfpIsEmpty(t *testing.T) {
+	res, err := TwoCopyEquations().Solve(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence")
+	}
+	if !res.Env["b"].IsEmpty() || !res.Env["c"].IsEmpty() {
+		t.Errorf("lfp = %v", res.Env)
+	}
+	if res.Steps != 1 {
+		t.Errorf("steps = %d, want 1 (⊥ is already the fixpoint)", res.Steps)
+	}
+}
+
+func TestSeededCopyGrowsToZeroOmega(t *testing.T) {
+	for _, cap := range []int{1, 4, 16} {
+		res, err := SeededCopyEquations().Solve(200, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("cap %d: no convergence (length-capped iterations must stabilise)", cap)
+		}
+		want := seq.Repeat(seq.OfInts(0), cap)
+		if !res.Env["b"].Equal(want) || !res.Env["c"].Equal(want) {
+			t.Errorf("cap %d: env = %v", cap, res.Env)
+		}
+	}
+	// Uncapped, the iteration must not converge (0^ω is infinite).
+	res, err := SeededCopyEquations().Solve(50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("0^ω iteration converged?!")
+	}
+}
+
+func TestSolveDetectsNonMonotone(t *testing.T) {
+	eq := Equations{
+		Name:     "bad",
+		Channels: []string{"x"},
+		Rhs: []func(Env) seq.Seq{func(env Env) seq.Seq {
+			if env["x"].Len() == 1 {
+				return seq.OfInts(9) // contradicts the first iterate
+			}
+			return seq.OfInts(1)
+		}},
+	}
+	if _, err := eq.Solve(10, 0); err == nil {
+		t.Error("non-ascending iteration accepted")
+	}
+}
+
+func TestDomainAndFn(t *testing.T) {
+	eq := TwoCopyEquations()
+	d := eq.Domain()
+	bot := d.Bottom
+	if !d.Leq(bot, Env{"b": seq.OfInts(1), "c": seq.Empty}) {
+		t.Error("⊥ not least")
+	}
+	x := Env{"b": seq.OfInts(1), "c": seq.Empty}
+	y := Env{"b": seq.OfInts(1, 2), "c": seq.OfInts(3)}
+	if !d.Leq(x, y) || d.Leq(y, x) {
+		t.Error("componentwise order wrong")
+	}
+	// The generic Section 6 machinery applies to Env directly.
+	fix, err := d.Fix(eq.Fn(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fix.Converged {
+		t.Error("fig1 Kleene iteration should converge")
+	}
+}
+
+// theorem4Cases is a battery of continuous sequence functions whose least
+// fixpoints are finite, exercising Theorem 4 in the trace cpo.
+func theorem4Cases() []struct {
+	name     string
+	h        fn.SeqFn
+	alphabet []value.Value
+	depth    int
+} {
+	grow3 := fn.SeqFn{Name: "grow3", Apply: func(s seq.Seq) seq.Seq {
+		return seq.OfInts(5, 6, 7).Take(s.Len() + 1)
+	}}
+	return []struct {
+		name     string
+		h        fn.SeqFn
+		alphabet []value.Value
+		depth    int
+	}{
+		{"identity", fn.Identity, value.Ints(0, 1), 3},
+		{"const", fn.ConstFn(seq.OfInts(4, 2)), value.Ints(0, 2, 4), 4},
+		{"grow-to-567", grow3, value.Ints(5, 6, 7, 9), 5},
+		{"even-filter", fn.Even, value.Ints(0, 1, 2), 3},
+	}
+}
+
+func TestTheorem4Battery(t *testing.T) {
+	for _, tc := range theorem4Cases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckTheorem4Trace("x", tc.h, tc.alphabet, 20, tc.depth); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestTheorem4GenericOnEnvDomain(t *testing.T) {
+	// The Section 6 generic form, on the Env cpo of fig1 equations.
+	eq := TwoCopyEquations()
+	d := eq.Domain()
+	chains := []cpo.CountableChain[Env]{
+		{d.Bottom}, // the lfp itself
+		{d.Bottom, Env{"b": seq.OfInts(3), "c": seq.OfInts(3)}}, // non-smooth jump
+	}
+	if err := cpo.CheckTheorem4(d, eq.Fn(), chains, 10); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityDescriptionShape(t *testing.T) {
+	d := IdentityDescription("x", fn.Even)
+	if d.F.Out != 1 || d.G.Out != 1 {
+		t.Error("widths wrong")
+	}
+	if !d.F.Support.Has("x") || !d.G.Support.Has("x") {
+		t.Error("support wrong")
+	}
+}
+
+func TestTraceOfEnv(t *testing.T) {
+	env := Env{"b": seq.OfInts(1, 2), "c": seq.OfInts(3)}
+	tr := TraceOfEnv(env, []string{"b", "c"})
+	if tr.Len() != 3 {
+		t.Fatalf("trace = %s", tr)
+	}
+	if !tr.Channel("b").Equal(env["b"]) || !tr.Channel("c").Equal(env["c"]) {
+		t.Errorf("projections wrong: %s", tr)
+	}
+}
+
+func TestTheorem4MultiOnPipeline(t *testing.T) {
+	// src = ⟨1 2⟩, dbl = 2×src: a two-channel deterministic system whose
+	// lfp is finite. Theorem 4's uniqueness must hold over both channels.
+	eq := Equations{
+		Name:     "pipeline",
+		Channels: []string{"src", "dbl"},
+		Rhs: []func(Env) seq.Seq{
+			func(env Env) seq.Seq { return seq.OfInts(1, 2) },
+			func(env Env) seq.Seq { return fn.Double.Apply(env["src"]) },
+		},
+	}
+	alphabet := map[string][]value.Value{
+		"src": value.Ints(1, 2),
+		"dbl": value.Ints(2, 4),
+	}
+	if err := CheckTheorem4Multi(eq, alphabet, 10, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem4MultiOnFig1(t *testing.T) {
+	// Fig 1's copy loop: the lfp is the empty environment, and the only
+	// smooth solution is ⊥ even with nonempty alphabets on offer.
+	if err := CheckTheorem4Multi(TwoCopyEquations(), map[string][]value.Value{
+		"b": value.Ints(0, 3),
+		"c": value.Ints(0, 3),
+	}, 10, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem4MultiRejectsDivergent(t *testing.T) {
+	if err := CheckTheorem4Multi(SeededCopyEquations(), map[string][]value.Value{
+		"b": value.Ints(0), "c": value.Ints(0),
+	}, 10, 4); err == nil {
+		t.Error("0^ω system accepted by the finite bridge")
+	}
+}
+
+func TestCheckTheorem4TraceFailsOnDivergent(t *testing.T) {
+	// b ⟵ T;b has no finite lfp: the bridge must refuse.
+	prep := fn.PrependFn(value.Int(0))
+	if err := CheckTheorem4Trace("x", prep, value.Ints(0), 10, 5); err == nil {
+		t.Error("divergent h accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"testing"
+
+	"smoothproc/internal/value"
+)
+
+func BenchmarkRunPipeline(b *testing.B) {
+	feed := make([]value.Value, 32)
+	for i := range feed {
+		feed[i] = value.Int(int64(i))
+	}
+	stage := func(name, in, out string) Proc {
+		return Proc{Name: name, Body: func(c *Ctx) {
+			for {
+				v, ok := c.Recv(in)
+				if !ok {
+					return
+				}
+				if !c.Send(out, v) {
+					return
+				}
+			}
+		}}
+	}
+	spec := Spec{Name: "pipe", Procs: []Proc{
+		Feeder("feed", "a", feed...),
+		stage("s1", "a", "b"),
+		stage("s2", "b", "c"),
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := Run(spec, NewRandomDecider(int64(i)), Limits{}); res.Reason != StopQuiescent {
+			b.Fatal(res.Reason)
+		}
+	}
+}
+
+func BenchmarkQuiescentTracesEnumeration(b *testing.B) {
+	spec := Spec{Name: "2feed", Procs: []Proc{
+		Feeder("f1", "a", value.Ints(1, 2)...),
+		Feeder("f2", "b", value.Ints(3)...),
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := QuiescentTraces(spec, 10, RealizeOpts{}); len(got) != 3 {
+			b.Fatalf("interleavings: %d", len(got))
+		}
+	}
+}
+
+func BenchmarkRealize(b *testing.B) {
+	spec := copySpec(value.Ints(1, 2)...)
+	target := Run(spec, NewRandomDecider(1), Limits{}).Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Realize(spec, target, RealizeOpts{}).Found {
+			b.Fatal("not realized")
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package netsim is the operational substrate of the reproduction: a
+// runtime for networks of message-communicating processes in the style
+// the paper assumes operationally (Section 3.1) — asynchronous channels
+// with unbounded buffering, outputs after arbitrary finite delay, and a
+// global communication history recording each send as a (channel,
+// message) pair.
+//
+// Processes run as goroutines, but every step is granted by a single
+// cooperative scheduler: a process blocks whenever it asks to send,
+// receive, or make a nondeterministic choice, and the scheduler fires
+// exactly one enabled action at a time. All nondeterminism — interleaving
+// and internal choice alike — flows through a Decider, so a run is
+// exactly reproducible from a seed, and exhaustive search over short
+// decision scripts (package-level Realize) can decide whether a given
+// trace corresponds to a computation. That is the operational half of the
+// paper's "smooth solutions correspond to computations and vice versa".
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// Proc is a process body. The body communicates only through the Ctx and
+// must return promptly when any operation reports false (run aborted).
+type Proc struct {
+	Name string
+	Body func(*Ctx)
+}
+
+// Spec describes a network: a named set of processes. Channels need no
+// declaration; they come into being when first used. Each channel should
+// have at most one receiving process (point-to-point dataflow, as in
+// Kahn's and the paper's networks); Run reports a channel with two
+// receivers as an error in the result.
+type Spec struct {
+	Name  string
+	Procs []Proc
+}
+
+// StopReason says why a run ended.
+type StopReason int
+
+// Stop reasons.
+const (
+	// StopQuiescent: every process has halted or is blocked on a receive
+	// from an empty channel — the paper's "nothing more to do". The
+	// recorded trace is a quiescent trace of the network.
+	StopQuiescent StopReason = iota + 1
+	// StopEventBudget: the bound on emitted events was reached; the trace
+	// is a (nonquiescent, in general) communication history.
+	StopEventBudget
+	// StopDecisionBudget: the bound on scheduler decisions was reached.
+	StopDecisionBudget
+	// StopScript: a ScriptDecider ran out of script.
+	StopScript
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopQuiescent:
+		return "quiescent"
+	case StopEventBudget:
+		return "event-budget"
+	case StopDecisionBudget:
+		return "decision-budget"
+	case StopScript:
+		return "script-exhausted"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Limits bounds a run.
+type Limits struct {
+	// MaxEvents bounds the number of sends recorded; 0 means 4096.
+	MaxEvents int
+	// MaxDecisions bounds scheduler decisions; 0 means 16384.
+	MaxDecisions int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxEvents == 0 {
+		l.MaxEvents = 4096
+	}
+	if l.MaxDecisions == 0 {
+		l.MaxDecisions = 16384
+	}
+	return l
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Trace is the recorded communication history (sends only, in order).
+	Trace trace.Trace
+	// Reason says how the run ended; the trace is a quiescent trace of
+	// the network exactly when Reason == StopQuiescent.
+	Reason StopReason
+	// Decisions is the number of scheduler decisions taken.
+	Decisions int
+	// EnabledAtStop is the number of enabled actions at the moment the
+	// run stopped — used by the exhaustive search to expand script nodes.
+	EnabledAtStop int
+	// Blocked names the processes waiting on empty channels when the run
+	// stopped, with the channels they wait on — the quiescence witness
+	// (and a deadlock diagnostic when the programmer expected progress).
+	Blocked []BlockedProc
+	// Halted names the processes whose bodies returned.
+	Halted []string
+	// Crashed records processes whose bodies panicked, with the panic
+	// values. A crashed process counts as halted for quiescence; the run
+	// continues (failure isolation), and the crashes are surfaced here
+	// so tests and tools can fail loudly.
+	Crashed []Crash
+	// Err reports a malformed network (e.g. two receivers on a channel).
+	Err error
+}
+
+// Crash records one process panic.
+type Crash struct {
+	// Proc is the process name.
+	Proc string
+	// Panic is the recovered panic value, stringified.
+	Panic string
+}
+
+// BlockedProc describes one waiting process.
+type BlockedProc struct {
+	// Name is the process name.
+	Name string
+	// WaitingOn lists the channels the process is prepared to receive
+	// from (all currently empty for it).
+	WaitingOn []string
+}
+
+// Decider resolves every nondeterministic step: given n ≥ 1 enabled
+// actions it picks one, or reports false to stop the run.
+type Decider interface {
+	Pick(n int) (int, bool)
+}
+
+// RandomDecider picks uniformly with a seeded PRNG; runs replay exactly
+// per seed.
+type RandomDecider struct{ rng *rand.Rand }
+
+// NewRandomDecider builds a seeded random decider.
+func NewRandomDecider(seed int64) *RandomDecider {
+	return &RandomDecider{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Decider.
+func (d *RandomDecider) Pick(n int) (int, bool) { return d.rng.Intn(n), true }
+
+// ScriptDecider replays a fixed decision list and stops when it runs out.
+type ScriptDecider struct {
+	script []int
+	pos    int
+}
+
+// NewScriptDecider builds a decider that replays script.
+func NewScriptDecider(script []int) *ScriptDecider {
+	return &ScriptDecider{script: script}
+}
+
+// Pick implements Decider. Out-of-range entries are taken modulo n.
+func (d *ScriptDecider) Pick(n int) (int, bool) {
+	if d.pos >= len(d.script) {
+		return 0, false
+	}
+	c := d.script[d.pos] % n
+	d.pos++
+	return c, true
+}
+
+// opKind discriminates process requests.
+type opKind int
+
+const (
+	opSend opKind = iota + 1
+	opRecv
+	opRecvAny
+	opChoose
+	opSelect
+	opDone
+	opPanic
+)
+
+type request struct {
+	kind     opKind
+	ch       string
+	chans    []string
+	val      value.Value
+	n        int
+	sends    []SendAlt
+	panicVal string
+}
+
+type response struct {
+	ok     bool
+	val    value.Value
+	ch     string
+	choice int
+}
+
+// Ctx is a process's handle on the runtime. All methods block until the
+// scheduler grants the operation; a false result means the run is over
+// and the body must return.
+type Ctx struct {
+	name string
+	req  chan request
+	resp chan response
+}
+
+// Send emits v on channel ch.
+func (c *Ctx) Send(ch string, v value.Value) bool {
+	c.req <- request{kind: opSend, ch: ch, val: v}
+	return (<-c.resp).ok
+}
+
+// Recv receives the next message on ch, waiting as long as none is
+// available (the paper's receiving discipline).
+func (c *Ctx) Recv(ch string) (value.Value, bool) {
+	c.req <- request{kind: opRecv, ch: ch}
+	r := <-c.resp
+	return r.val, r.ok
+}
+
+// RecvAny receives from whichever of the listed channels the scheduler
+// picks among those with data — the ALT primitive merge processes need.
+func (c *Ctx) RecvAny(chans ...string) (string, value.Value, bool) {
+	c.req <- request{kind: opRecvAny, chans: chans}
+	r := <-c.resp
+	return r.ch, r.val, r.ok
+}
+
+// Choose makes an internal nondeterministic choice among n alternatives.
+func (c *Ctx) Choose(n int) (int, bool) {
+	c.req <- request{kind: opChoose, n: n}
+	r := <-c.resp
+	return r.choice, r.ok
+}
+
+// Flip is a two-way Choose returning a boolean — the catalogue's random
+// bits (Sections 4.3-4.7) are Flips, so that exhaustive search covers
+// oracle outcomes as well as interleavings.
+func (c *Ctx) Flip() (bool, bool) {
+	i, ok := c.Choose(2)
+	return i == 1, ok
+}
+
+// SendAlt is one send alternative of a Select.
+type SendAlt struct {
+	Ch  string
+	Val value.Value
+}
+
+// Alt reports which alternative of a Select fired.
+type Alt struct {
+	// IsSend distinguishes a fired send from a fired receive.
+	IsSend bool
+	// Ch is the channel involved.
+	Ch string
+	// Val is the value sent or received.
+	Val value.Value
+}
+
+// Select offers a set of alternatives: any of the sends (always enabled)
+// and a receive from any of the recv channels that has data. The
+// scheduler fires exactly one. A process that still has mandatory output
+// should offer it as a send alternative rather than block on a bare Recv,
+// so that it is never counted quiescent while output remains — e.g. the
+// Brock-Ackermann process A must be able to emit its internal 0 and 2
+// without waiting for input (Section 2.4).
+func (c *Ctx) Select(sends []SendAlt, recvs []string) (Alt, bool) {
+	c.req <- request{kind: opSelect, sends: sends, chans: recvs}
+	r := <-c.resp
+	if !r.ok {
+		return Alt{}, false
+	}
+	return Alt{IsSend: r.choice == 1, Ch: r.ch, Val: r.val}, true
+}

@@ -1,0 +1,455 @@
+package netsim
+
+import (
+	"testing"
+
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+func ev(ch string, n int64) trace.Event { return trace.E(ch, value.Int(n)) }
+
+// copySpec is a feeder sending vals on "in" plus a copy process to "out".
+func copySpec(vals ...value.Value) Spec {
+	return Spec{Name: "copy", Procs: []Proc{
+		Feeder("feed", "in", vals...),
+		{Name: "copy", Body: func(c *Ctx) {
+			for {
+				v, ok := c.Recv("in")
+				if !ok {
+					return
+				}
+				if !c.Send("out", v) {
+					return
+				}
+			}
+		}},
+	}}
+}
+
+func TestRunCopyQuiesces(t *testing.T) {
+	res := Run(copySpec(value.Int(1), value.Int(2)), NewRandomDecider(1), Limits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if !res.Trace.Channel("in").Equal(res.Trace.Channel("out")) {
+		t.Errorf("copy mangled data: %s", res.Trace)
+	}
+	if res.Trace.Channel("out").Len() != 2 {
+		t.Errorf("trace = %s", res.Trace)
+	}
+}
+
+func TestRunIsDeterministicPerSeed(t *testing.T) {
+	spec := copySpec(value.Ints(1, 2, 3)...)
+	a := Run(spec, NewRandomDecider(42), Limits{})
+	b := Run(spec, NewRandomDecider(42), Limits{})
+	if !a.Trace.Equal(b.Trace) || a.Decisions != b.Decisions {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestSeedsExploreInterleavings(t *testing.T) {
+	// Two independent feeders: different seeds should produce different
+	// event orders eventually.
+	spec := Spec{Name: "2feed", Procs: []Proc{
+		Feeder("f1", "a", value.Int(1)),
+		Feeder("f2", "b", value.Int(2)),
+	}}
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 16; seed++ {
+		seen[Run(spec, NewRandomDecider(seed), Limits{}).Trace.Key()] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("interleavings seen: %d, want 2", len(seen))
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	ticker := Spec{Name: "ticks", Procs: []Proc{{
+		Name: "tick",
+		Body: func(c *Ctx) {
+			for c.Send("b", value.T) {
+			}
+		},
+	}}}
+	res := Run(ticker, NewRandomDecider(1), Limits{MaxEvents: 5})
+	if res.Reason != StopEventBudget {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if res.Trace.Len() != 5 {
+		t.Errorf("trace length %d", res.Trace.Len())
+	}
+}
+
+func TestDecisionBudget(t *testing.T) {
+	// A process that chooses forever without sending.
+	chooser := Spec{Name: "chooser", Procs: []Proc{{
+		Name: "c",
+		Body: func(c *Ctx) {
+			for {
+				if _, ok := c.Choose(3); !ok {
+					return
+				}
+			}
+		},
+	}}}
+	res := Run(chooser, NewRandomDecider(1), Limits{MaxDecisions: 7})
+	if res.Reason != StopDecisionBudget {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if res.Decisions != 7 {
+		t.Errorf("decisions = %d", res.Decisions)
+	}
+	if res.EnabledAtStop != 3 {
+		t.Errorf("enabled at stop = %d", res.EnabledAtStop)
+	}
+}
+
+func TestScriptDeciderStops(t *testing.T) {
+	spec := copySpec(value.Int(1))
+	res := Run(spec, NewScriptDecider([]int{0}), Limits{})
+	if res.Reason != StopScript {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if res.Decisions != 1 {
+		t.Errorf("decisions = %d", res.Decisions)
+	}
+	if res.EnabledAtStop == 0 {
+		t.Error("should report the open alternatives at the stall")
+	}
+}
+
+func TestFanOutDelivery(t *testing.T) {
+	// One feeder, two independent readers of the same channel: both must
+	// see the whole stream (Kahn fan-out, as in Figure 3's d).
+	reader := func(name, out string) Proc {
+		return Proc{Name: name, Body: func(c *Ctx) {
+			for {
+				v, ok := c.Recv("src")
+				if !ok {
+					return
+				}
+				if !c.Send(out, v) {
+					return
+				}
+			}
+		}}
+	}
+	spec := Spec{Name: "fan", Procs: []Proc{
+		Feeder("feed", "src", value.Ints(1, 2)...),
+		reader("r1", "o1"),
+		reader("r2", "o2"),
+	}}
+	res := Run(spec, NewRandomDecider(3), Limits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	for _, out := range []string{"o1", "o2"} {
+		if got := res.Trace.Channel(out); !got.Equal(res.Trace.Channel("src")) {
+			t.Errorf("%s = %s, want full stream", out, got)
+		}
+	}
+}
+
+func TestRecvAny(t *testing.T) {
+	spec := Spec{Name: "merge", Procs: []Proc{
+		Feeder("fa", "a", value.Int(1)),
+		Feeder("fb", "b", value.Int(2)),
+		{Name: "m", Body: func(c *Ctx) {
+			for {
+				_, v, ok := c.RecvAny("a", "b")
+				if !ok {
+					return
+				}
+				if !c.Send("out", v) {
+					return
+				}
+			}
+		}},
+	}}
+	outs := map[string]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		res := Run(spec, NewRandomDecider(seed), Limits{})
+		if res.Reason != StopQuiescent {
+			t.Fatalf("seed %d: %v", seed, res.Reason)
+		}
+		outs[res.Trace.Channel("out").String()] = true
+	}
+	if len(outs) != 2 {
+		t.Errorf("merge orders: %v, want both", outs)
+	}
+}
+
+func TestSelectPrefersNothing(t *testing.T) {
+	// A process with a pending mandatory output offered via Select is
+	// never quiescent until it fires.
+	spec := Spec{Name: "sel", Procs: []Proc{{
+		Name: "s",
+		Body: func(c *Ctx) {
+			alt, ok := c.Select([]SendAlt{{Ch: "out", Val: value.Int(7)}}, []string{"in"})
+			if !ok {
+				return
+			}
+			if !alt.IsSend {
+				c.Send("echo", alt.Val)
+			}
+		},
+	}}}
+	res := Run(spec, NewRandomDecider(1), Limits{})
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if !res.Trace.Equal(trace.Of(ev("out", 7))) {
+		t.Errorf("trace = %s", res.Trace)
+	}
+}
+
+func TestSelectReceive(t *testing.T) {
+	spec := Spec{Name: "sel2", Procs: []Proc{
+		Feeder("feed", "in", value.Int(9)),
+		{Name: "s", Body: func(c *Ctx) {
+			for {
+				alt, ok := c.Select(nil, []string{"in"})
+				if !ok {
+					return
+				}
+				if !c.Send("echo", alt.Val) {
+					return
+				}
+			}
+		}},
+	}}
+	res := Run(spec, NewRandomDecider(1), Limits{})
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if !res.Trace.Channel("echo").Equal(seq.OfInts(9)) {
+		t.Errorf("trace = %s", res.Trace)
+	}
+}
+
+func TestChooseAndFlip(t *testing.T) {
+	seen := map[int64]bool{}
+	spec := Spec{Name: "flip", Procs: []Proc{{
+		Name: "f",
+		Body: func(c *Ctx) {
+			bit, ok := c.Flip()
+			if !ok {
+				return
+			}
+			n := int64(0)
+			if bit {
+				n = 1
+			}
+			c.Send("out", value.Int(n))
+		},
+	}}}
+	for seed := int64(0); seed < 16; seed++ {
+		res := Run(spec, NewRandomDecider(seed), Limits{})
+		v, _ := res.Trace.At(0).Val.AsInt()
+		seen[v] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("flip outcomes: %v", seen)
+	}
+}
+
+func TestAbortJoinsProcesses(t *testing.T) {
+	// A run stopped by budget must still terminate all bodies (the test
+	// itself would hang or leak otherwise; -race and goroutine counts in
+	// CI would flag it). Run many budget-limited runs back to back.
+	spec := copySpec(value.Ints(1, 2, 3, 4, 5)...)
+	for i := 0; i < 50; i++ {
+		res := Run(spec, NewRandomDecider(int64(i)), Limits{MaxEvents: 2})
+		if res.Reason != StopEventBudget {
+			t.Fatalf("run %d: %v", i, res.Reason)
+		}
+	}
+}
+
+func TestBlockedAndHaltedDiagnostics(t *testing.T) {
+	res := Run(copySpec(value.Int(1)), NewRandomDecider(1), Limits{})
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	// The feeder halted; the copy process is blocked on "in".
+	if len(res.Halted) != 1 || res.Halted[0] != "feed" {
+		t.Errorf("halted = %v", res.Halted)
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0].Name != "copy" {
+		t.Fatalf("blocked = %+v", res.Blocked)
+	}
+	if len(res.Blocked[0].WaitingOn) != 1 || res.Blocked[0].WaitingOn[0] != "in" {
+		t.Errorf("waiting on %v", res.Blocked[0].WaitingOn)
+	}
+}
+
+func TestBlockedReportsRecvAnyChannels(t *testing.T) {
+	spec := Spec{Name: "alt", Procs: []Proc{{
+		Name: "m",
+		Body: func(c *Ctx) { c.RecvAny("x", "y") },
+	}}}
+	res := Run(spec, NewRandomDecider(1), Limits{})
+	if len(res.Blocked) != 1 || len(res.Blocked[0].WaitingOn) != 2 {
+		t.Fatalf("blocked = %+v", res.Blocked)
+	}
+}
+
+func TestPanickingProcessIsContained(t *testing.T) {
+	spec := Spec{Name: "crashy", Procs: []Proc{
+		Feeder("feed", "in", value.Ints(1, 2)...),
+		{Name: "boom", Body: func(c *Ctx) {
+			if _, ok := c.Recv("in"); !ok {
+				return
+			}
+			panic("injected failure")
+		}},
+		{Name: "bystander", Body: func(c *Ctx) {
+			for {
+				v, ok := c.Recv("in")
+				if !ok {
+					return
+				}
+				if !c.Send("echo", v) {
+					return
+				}
+			}
+		}},
+	}}
+	res := Run(spec, NewRandomDecider(1), Limits{})
+	if len(res.Crashed) != 1 || res.Crashed[0].Proc != "boom" {
+		t.Fatalf("crashed = %+v", res.Crashed)
+	}
+	if res.Crashed[0].Panic != "injected failure" {
+		t.Errorf("panic value = %q", res.Crashed[0].Panic)
+	}
+	// The rest of the network kept running: the bystander echoed both
+	// items (fan-out delivery is unaffected by the crash).
+	if got := res.Trace.Channel("echo"); got.Len() != 2 {
+		t.Errorf("bystander output %s", got)
+	}
+	if res.Reason != StopQuiescent {
+		t.Errorf("reason = %v", res.Reason)
+	}
+	// Crashed processes are not listed as cleanly halted.
+	for _, h := range res.Halted {
+		if h == "boom" {
+			t.Error("crashed process listed as halted")
+		}
+	}
+}
+
+func TestPanicDuringManyRunsDoesNotLeak(t *testing.T) {
+	spec := Spec{Name: "crashy", Procs: []Proc{{
+		Name: "boom",
+		Body: func(c *Ctx) { panic("always") },
+	}}}
+	for i := 0; i < 100; i++ {
+		res := Run(spec, NewRandomDecider(int64(i)), Limits{})
+		if len(res.Crashed) != 1 {
+			t.Fatalf("run %d: crashed = %+v", i, res.Crashed)
+		}
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	for r, want := range map[StopReason]string{
+		StopQuiescent:      "quiescent",
+		StopEventBudget:    "event-budget",
+		StopDecisionBudget: "decision-budget",
+		StopScript:         "script-exhausted",
+		StopReason(99):     "StopReason(99)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestRealizeQuiescentTarget(t *testing.T) {
+	spec := copySpec(value.Ints(1, 2)...)
+	target := trace.Of(ev("in", 1), ev("out", 1), ev("in", 2), ev("out", 2))
+	r := Realize(spec, target, RealizeOpts{})
+	if !r.Found {
+		t.Fatalf("quiescent trace not realized (runs=%d)", r.Runs)
+	}
+	// Replaying the witness script reproduces the target.
+	res := Run(spec, NewScriptDecider(r.Script), Limits{})
+	if !res.Trace.Equal(target) || res.Reason != StopQuiescent {
+		t.Errorf("witness replay = %s (%v)", res.Trace, res.Reason)
+	}
+}
+
+func TestRealizeRejectsImpossible(t *testing.T) {
+	spec := copySpec(value.Ints(1)...)
+	// Output before input is impossible.
+	bad := trace.Of(ev("out", 1), ev("in", 1))
+	if r := Realize(spec, bad, RealizeOpts{}); r.Found {
+		t.Error("impossible order realized")
+	}
+	// Wrong value.
+	bad2 := trace.Of(ev("in", 1), ev("out", 9))
+	if r := Realize(spec, bad2, RealizeOpts{}); r.Found {
+		t.Error("wrong value realized")
+	}
+	// Non-quiescent prefix rejected in exact mode...
+	prefix := trace.Of(ev("in", 1))
+	if r := Realize(spec, prefix, RealizeOpts{}); r.Found {
+		t.Error("nonquiescent trace accepted as quiescent")
+	}
+	// ...but accepted as a history.
+	if r := Realize(spec, prefix, RealizeOpts{History: true}); !r.Found {
+		t.Error("reachable history rejected")
+	}
+}
+
+func TestQuiescentTracesEnumeration(t *testing.T) {
+	spec := Spec{Name: "2feed", Procs: []Proc{
+		Feeder("f1", "a", value.Int(1)),
+		Feeder("f2", "b", value.Int(2)),
+	}}
+	got := QuiescentTraces(spec, 10, RealizeOpts{})
+	if len(got) != 2 {
+		t.Fatalf("quiescent traces: %d, want 2 interleavings", len(got))
+	}
+}
+
+func TestHistoriesEnumeration(t *testing.T) {
+	spec := copySpec(value.Int(1))
+	got := Histories(spec, 10, RealizeOpts{})
+	// ⊥, (in,1), (in,1)(out,1).
+	if len(got) != 3 {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		t.Fatalf("histories: %v", keys)
+	}
+	if _, ok := got[trace.Empty.Key()]; !ok {
+		t.Error("⊥ missing from histories")
+	}
+}
+
+func TestTwoReadersAllowed(t *testing.T) {
+	// Fan-out means two readers are legal; ensure no error is reported.
+	spec := Spec{Name: "fan2", Procs: []Proc{
+		Feeder("feed", "x", value.Int(1)),
+		{Name: "r1", Body: func(c *Ctx) { c.Recv("x") }},
+		{Name: "r2", Body: func(c *Ctx) { c.Recv("x") }},
+	}}
+	res := Run(spec, NewRandomDecider(1), Limits{})
+	if res.Err != nil {
+		t.Fatalf("unexpected error: %v", res.Err)
+	}
+	if res.Reason != StopQuiescent {
+		t.Errorf("reason = %v", res.Reason)
+	}
+}

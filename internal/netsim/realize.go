@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"smoothproc/internal/trace"
+)
+
+// RealizeOpts bounds the exhaustive search over decision scripts.
+type RealizeOpts struct {
+	// MaxRuns bounds the number of replays; 0 means 200000.
+	MaxRuns int
+	// Limits bounds each individual replay.
+	Limits Limits
+	// History accepts the target as a reachable communication history
+	// (any run whose trace extends or equals the target); when false the
+	// target must be reached as a quiescent trace exactly.
+	History bool
+}
+
+func (o RealizeOpts) withDefaults() RealizeOpts {
+	if o.MaxRuns == 0 {
+		o.MaxRuns = 200000
+	}
+	return o
+}
+
+// RealizeResult reports the outcome of a realization search.
+type RealizeResult struct {
+	// Found reports whether some schedule realises the target.
+	Found bool
+	// Script is a witnessing decision script when Found.
+	Script []int
+	// Runs is the number of replays performed.
+	Runs int
+	// Exhausted reports that MaxRuns stopped the search before the
+	// script space within the event bound was covered; Found=false is
+	// then inconclusive.
+	Exhausted bool
+}
+
+// Realize searches exhaustively (depth-first over decision scripts,
+// replaying the network from scratch per script, pruning on trace
+// mismatch) for a schedule whose run produces the target trace. With
+// opts.History false it decides — within its budgets — whether target is
+// a quiescent trace of the network, i.e. whether the trace "corresponds
+// to a computation" in the paper's sense; with opts.History true it
+// decides reachability as a communication history.
+//
+// All nondeterminism, including internal Choose/Flip outcomes, is part of
+// the searched script, so oracle-driven processes (Sections 4.3-4.9) are
+// covered.
+func Realize(spec Spec, target trace.Trace, opts RealizeOpts) RealizeResult {
+	opts = opts.withDefaults()
+	res := RealizeResult{}
+	// The event budget never needs to exceed the target (plus one event
+	// to witness an overrun, pruned below).
+	limits := opts.Limits.withDefaults()
+	if limits.MaxEvents > target.Len()+1 {
+		limits.MaxEvents = target.Len() + 1
+	}
+
+	var dfs func(script []int) bool
+	dfs = func(script []int) bool {
+		if res.Runs >= opts.MaxRuns {
+			res.Exhausted = true
+			return false
+		}
+		res.Runs++
+		run := Run(spec, NewScriptDecider(script), limits)
+		if run.Err != nil {
+			return false
+		}
+		switch {
+		case !run.Trace.Leq(target) && !target.Leq(run.Trace):
+			return false // diverged from target: prune
+		case opts.History && target.Leq(run.Trace):
+			res.Found = true
+			res.Script = append([]int(nil), script...)
+			return true
+		case !opts.History && run.Reason == StopQuiescent && run.Trace.Equal(target):
+			res.Found = true
+			res.Script = append([]int(nil), script...)
+			return true
+		case run.Reason != StopScript:
+			// The run ended (quiescent or budget) without matching and
+			// without wanting another decision: dead branch.
+			return false
+		case !run.Trace.Leq(target):
+			return false // overran the target
+		}
+		for opt := 0; opt < run.EnabledAtStop; opt++ {
+			if dfs(append(append([]int(nil), script...), opt)) {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(nil)
+	return res
+}
+
+// QuiescentTraces runs the network under every decision script up to the
+// given decision depth (breadth-bounded by MaxRuns) and returns the set
+// of distinct quiescent traces found, keyed canonically. It is the
+// operational enumeration matched against the solver's smooth solutions
+// by the conformance harness.
+func QuiescentTraces(spec Spec, maxDecisions int, opts RealizeOpts) map[string]trace.Trace {
+	opts = opts.withDefaults()
+	limits := opts.Limits.withDefaults()
+	found := map[string]trace.Trace{}
+	runs := 0
+	var dfs func(script []int)
+	dfs = func(script []int) {
+		if runs >= opts.MaxRuns || len(script) > maxDecisions {
+			return
+		}
+		runs++
+		run := Run(spec, NewScriptDecider(script), limits)
+		if run.Err != nil {
+			return
+		}
+		if run.Reason == StopQuiescent {
+			found[run.Trace.Key()] = run.Trace
+			return
+		}
+		if run.Reason != StopScript {
+			return
+		}
+		for opt := 0; opt < run.EnabledAtStop; opt++ {
+			dfs(append(append([]int(nil), script...), opt))
+		}
+	}
+	dfs(nil)
+	return found
+}
+
+// Histories collects the distinct communication histories (all run-trace
+// prefixes) reachable within the decision depth.
+func Histories(spec Spec, maxDecisions int, opts RealizeOpts) map[string]trace.Trace {
+	opts = opts.withDefaults()
+	limits := opts.Limits.withDefaults()
+	found := map[string]trace.Trace{trace.Empty.Key(): trace.Empty}
+	runs := 0
+	var dfs func(script []int)
+	dfs = func(script []int) {
+		if runs >= opts.MaxRuns || len(script) > maxDecisions {
+			return
+		}
+		runs++
+		run := Run(spec, NewScriptDecider(script), limits)
+		if run.Err != nil {
+			return
+		}
+		for _, p := range run.Trace.Prefixes() {
+			found[p.Key()] = p
+		}
+		if run.Reason != StopScript {
+			return
+		}
+		for opt := 0; opt < run.EnabledAtStop; opt++ {
+			dfs(append(append([]int(nil), script...), opt))
+		}
+	}
+	dfs(nil)
+	return found
+}

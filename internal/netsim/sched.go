@@ -1,0 +1,281 @@
+package netsim
+
+import (
+	"fmt"
+
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// runner holds one run's mutable state. A fresh runner (with fresh
+// goroutines) is built per Run call; nothing is shared between runs.
+//
+// Channels are append-only logs with a per-(process, channel) read
+// cursor: a channel read by several processes delivers its whole stream
+// to each of them. This is Kahn-style fan-out, which the paper's
+// networks use — in Figure 3 the dfm output d is consumed by both P
+// and Q.
+type runner struct {
+	spec   Spec
+	procs  []*procState
+	logs   map[string][]value.Value
+	events trace.Trace
+}
+
+type procState struct {
+	name    string
+	req     chan request
+	resp    chan response
+	pending *request
+	done    bool
+	crash   *Crash
+	cursor  map[string]int
+}
+
+// avail returns the unread portion of ch's log for this process.
+func (r *runner) avail(ps *procState, ch string) int {
+	return len(r.logs[ch]) - ps.cursor[ch]
+}
+
+// action is one enabled step: grant option opt of proc p's pending request.
+type action struct {
+	proc int
+	opt  int
+}
+
+// Run executes the network until quiescence, budget exhaustion, or the
+// decider stops. It always joins every process goroutine before
+// returning.
+func Run(spec Spec, d Decider, limits Limits) Result {
+	limits = limits.withDefaults()
+	r := &runner{
+		spec: spec,
+		logs: map[string][]value.Value{},
+	}
+	for _, p := range spec.Procs {
+		ps := &procState{
+			name:   p.Name,
+			req:    make(chan request),
+			resp:   make(chan response),
+			cursor: map[string]int{},
+		}
+		r.procs = append(r.procs, ps)
+		body := p.Body
+		go func(ps *procState) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					ps.req <- request{kind: opPanic, panicVal: fmt.Sprint(rec)}
+					return
+				}
+				ps.req <- request{kind: opDone}
+			}()
+			body(&Ctx{name: ps.name, req: ps.req, resp: ps.resp})
+		}(ps)
+	}
+
+	res := Result{}
+	// Wait for every process to post its first request.
+	for i := range r.procs {
+		r.await(i)
+	}
+	for {
+		acts, err := r.enabled()
+		if err != nil {
+			res.Err = err
+			break
+		}
+		if len(acts) == 0 {
+			res.Reason = StopQuiescent
+			break
+		}
+		if res.Decisions >= limits.MaxDecisions {
+			res.Reason = StopDecisionBudget
+			res.EnabledAtStop = len(acts)
+			break
+		}
+		choice, ok := d.Pick(len(acts))
+		if !ok {
+			res.Reason = StopScript
+			res.EnabledAtStop = len(acts)
+			break
+		}
+		res.Decisions++
+		r.fire(acts[choice])
+		if len(r.events) >= limits.MaxEvents {
+			res.Reason = StopEventBudget
+			break
+		}
+	}
+	res.Blocked, res.Halted = r.status()
+	r.abort()
+	for _, ps := range r.procs {
+		if ps.crash != nil {
+			res.Crashed = append(res.Crashed, *ps.crash)
+		}
+	}
+	res.Trace = r.events
+	return res
+}
+
+// status reports, at the moment the run stopped, which processes had
+// halted and which were blocked waiting for input (with the channels
+// they were prepared to receive from).
+func (r *runner) status() (blocked []BlockedProc, halted []string) {
+	for _, ps := range r.procs {
+		switch {
+		case ps.done && ps.crash != nil:
+			// Reported via Result.Crashed.
+		case ps.done:
+			halted = append(halted, ps.name)
+		case ps.pending == nil:
+			// Unreachable between decisions; defensive.
+		case ps.pending.kind == opRecv:
+			blocked = append(blocked, BlockedProc{Name: ps.name, WaitingOn: []string{ps.pending.ch}})
+		case ps.pending.kind == opRecvAny:
+			blocked = append(blocked, BlockedProc{
+				Name:      ps.name,
+				WaitingOn: append([]string(nil), ps.pending.chans...),
+			})
+		case ps.pending.kind == opSelect && len(ps.pending.sends) == 0:
+			blocked = append(blocked, BlockedProc{
+				Name:      ps.name,
+				WaitingOn: append([]string(nil), ps.pending.chans...),
+			})
+		}
+	}
+	return blocked, halted
+}
+
+// await blocks until proc i posts a request; opDone marks it finished,
+// opPanic marks it finished and records the crash.
+func (r *runner) await(i int) {
+	ps := r.procs[i]
+	req := <-ps.req
+	switch req.kind {
+	case opDone:
+		ps.done = true
+		ps.pending = nil
+	case opPanic:
+		ps.done = true
+		ps.pending = nil
+		ps.crash = &Crash{Proc: ps.name, Panic: req.panicVal}
+	default:
+		ps.pending = &req
+	}
+}
+
+// enabled enumerates the grantable actions in deterministic order.
+func (r *runner) enabled() ([]action, error) {
+	var acts []action
+	for i, ps := range r.procs {
+		if ps.done || ps.pending == nil {
+			continue
+		}
+		switch req := ps.pending; req.kind {
+		case opSend:
+			acts = append(acts, action{proc: i, opt: 0})
+		case opRecv:
+			if r.avail(ps, req.ch) > 0 {
+				acts = append(acts, action{proc: i, opt: 0})
+			}
+		case opRecvAny:
+			for oi, ch := range req.chans {
+				if r.avail(ps, ch) > 0 {
+					acts = append(acts, action{proc: i, opt: oi})
+				}
+			}
+		case opChoose:
+			for oi := 0; oi < req.n; oi++ {
+				acts = append(acts, action{proc: i, opt: oi})
+			}
+		case opSelect:
+			for oi := range req.sends {
+				acts = append(acts, action{proc: i, opt: oi})
+			}
+			for ri, ch := range req.chans {
+				if r.avail(ps, ch) > 0 {
+					acts = append(acts, action{proc: i, opt: len(req.sends) + ri})
+				}
+			}
+		default:
+			return nil, fmt.Errorf("netsim: process %s posted invalid request kind %d", ps.name, req.kind)
+		}
+	}
+	return acts, nil
+}
+
+// fire grants one action, then waits for that process's next request.
+func (r *runner) fire(a action) {
+	ps := r.procs[a.proc]
+	req := *ps.pending
+	ps.pending = nil
+	switch req.kind {
+	case opSend:
+		r.emit(req.ch, req.val)
+		ps.resp <- response{ok: true}
+	case opRecv:
+		v := r.read(ps, req.ch)
+		ps.resp <- response{ok: true, val: v}
+	case opRecvAny:
+		ch := req.chans[a.opt]
+		v := r.read(ps, ch)
+		ps.resp <- response{ok: true, val: v, ch: ch}
+	case opChoose:
+		ps.resp <- response{ok: true, choice: a.opt}
+	case opSelect:
+		if a.opt < len(req.sends) {
+			alt := req.sends[a.opt]
+			r.emit(alt.Ch, alt.Val)
+			ps.resp <- response{ok: true, choice: 1, ch: alt.Ch, val: alt.Val}
+		} else {
+			ch := req.chans[a.opt-len(req.sends)]
+			v := r.read(ps, ch)
+			ps.resp <- response{ok: true, choice: 0, ch: ch, val: v}
+		}
+	}
+	r.await(a.proc)
+}
+
+func (r *runner) emit(ch string, v value.Value) {
+	r.logs[ch] = append(r.logs[ch], v)
+	r.events = r.events.Append(trace.E(ch, v))
+}
+
+func (r *runner) read(ps *procState, ch string) value.Value {
+	v := r.logs[ch][ps.cursor[ch]]
+	ps.cursor[ch]++
+	return v
+}
+
+// abort unblocks every live process with ok=false responses and drains
+// its requests until it reports done, so no goroutine outlives the run.
+func (r *runner) abort() {
+	for i, ps := range r.procs {
+		if ps.done {
+			continue
+		}
+		if ps.pending != nil {
+			ps.pending = nil
+			ps.resp <- response{ok: false}
+			r.await(i)
+		}
+		for !ps.done {
+			ps.resp <- response{ok: false}
+			r.await(i)
+		}
+	}
+}
+
+// Feeder is a process that sends the given values on ch and halts — the
+// environment side of an open network (e.g. the inputs of dfm in the
+// paper's examples are supplied this way).
+func Feeder(name, ch string, vals ...value.Value) Proc {
+	supply := append([]value.Value(nil), vals...)
+	return Proc{Name: name, Body: func(c *Ctx) {
+		for _, v := range supply {
+			if !c.Send(ch, v) {
+				return
+			}
+		}
+	}}
+}

@@ -1,0 +1,177 @@
+package procs
+
+import (
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// Copy is the deterministic copy process of Section 2.1: every message
+// received on in is forwarded to out. Description: out ⟵ in.
+func Copy(name, in, out string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			for {
+				v, ok := c.Recv(in)
+				if !ok {
+					return
+				}
+				if !c.Send(out, v) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(in, out),
+			D:        desc.MustNew(name, fn.ChanFn(out), fn.ChanFn(in)),
+		},
+	}
+}
+
+// SeededCopy is the Section 2.1 variant that "first sends a 0 along b and
+// then copies every input to its output". Description: out ⟵ 0; in.
+func SeededCopy(name, in, out string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			if !c.Send(out, value.Int(0)) {
+				return
+			}
+			for {
+				v, ok := c.Recv(in)
+				if !ok {
+					return
+				}
+				if !c.Send(out, v) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(in, out),
+			D:        desc.MustNew(name, fn.ChanFn(out), fn.OnChan(fn.PrependFn(value.Int(0)), in)),
+		},
+	}
+}
+
+// FigP is process P of Figure 3: "it outputs a 0, then repeatedly
+// receives a number, say n, and outputs 2×n". Description: b ⟵ 0; 2×d.
+func FigP(name, d, b string) Entry {
+	rhs := fn.OnChan(fn.ComposeSeq(fn.PrependFn(value.Int(0)), fn.Double), d)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			if !c.Send(b, value.Int(0)) {
+				return
+			}
+			for {
+				v, ok := c.Recv(d)
+				if !ok {
+					return
+				}
+				if !c.Send(b, value.Int(2*v.MustInt())) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(d, b),
+			D:        desc.MustNew(name, fn.ChanFn(b), rhs),
+		},
+	}
+}
+
+// FigQ is process Q of Figure 3: "it repeatedly receives a number, say m,
+// and outputs 2×m+1". Description: c ⟵ 2×d+1.
+func FigQ(name, d, c string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				v, ok := ctx.Recv(d)
+				if !ok {
+					return
+				}
+				if !ctx.Send(c, value.Int(2*v.MustInt()+1)) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(d, c),
+			D:        desc.MustNew(name, fn.ChanFn(c), fn.OnChan(fn.DoublePlus1, d)),
+		},
+	}
+}
+
+// Ticks is the process of Section 4.2: an unending stream of T's on b.
+// Description: b ⟵ T; b. Its only quiescent trace is (b,T)^ω.
+func Ticks(name, b string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			for c.Send(b, value.T) {
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b),
+			D:        desc.MustNew(name, fn.ChanFn(b), fn.OnChan(fn.PrependFn(value.T), b)),
+		},
+	}
+}
+
+// Naturals outputs all natural numbers consecutively along b — the third
+// quiescent-trace example of Section 3.1.1.
+func Naturals(name, b string) Entry {
+	// Description: b ⟵ 0; b+1 (pointwise successor), whose unique smooth
+	// solution is 0 1 2 ... — the deterministic-recursion pattern of
+	// Section 2.1 applied to the successor map.
+	succ := fn.MapFn("+1", func(v value.Value) value.Value {
+		if n, ok := v.AsInt(); ok {
+			return value.Int(n + 1)
+		}
+		return v
+	})
+	rhs := fn.OnChan(fn.ComposeSeq(fn.PrependFn(value.Int(0)), succ), b)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			for i := int64(0); c.Send(b, value.Int(i)); i++ {
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b),
+			D:        desc.MustNew(name, fn.ChanFn(b), rhs),
+		},
+	}
+}
+
+// BrockAckermannB is process B of Figure 4: it outputs n+1 where n is the
+// first number received, but only after receiving two inputs, then halts.
+// Description: b ⟵ fBA(c) with fBA(ε) = fBA(⟨n⟩) = ε, fBA(n;m;x) = ⟨n+1⟩.
+func BrockAckermannB(name, c, b string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			n, ok := ctx.Recv(c)
+			if !ok {
+				return
+			}
+			if _, ok := ctx.Recv(c); !ok {
+				return
+			}
+			ctx.Send(b, value.Int(n.MustInt()+1))
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(c, b),
+			D:        desc.MustNew(name, fn.ChanFn(b), fn.OnChan(FBA, c)),
+		},
+	}
+}
+
+// FBA is the Brock-Ackermann function f of Section 2.4 (re-exported from
+// the fn vocabulary for callers that reach it via the catalogue).
+var FBA = fn.FBA

@@ -1,0 +1,38 @@
+package procs
+
+import (
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// ConstFeeder is the environment of an open network: a process that sends
+// the fixed values on ch and halts, described by ch ⟵ ⟨vals⟩. Feeding
+// inputs this way keeps input events in the network trace, matching the
+// paper's convention that a history records every send, including those
+// of the environment.
+func ConstFeeder(name, ch string, vals ...value.Value) Entry {
+	return Entry{
+		Proc: netsim.Feeder(name, ch, vals...),
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(ch),
+			D:        desc.MustNew(name, fn.ChanFn(ch), fn.ConstTraceFn(seq.Of(vals...))),
+		},
+	}
+}
+
+// WithFeeders builds a closed network entry from a process entry plus
+// constant feeders for its input channels.
+func WithFeeders(name string, e Entry, feeders ...Entry) NetworkEntry {
+	spec := netsim.Spec{Name: name, Procs: []netsim.Proc{e.Proc}}
+	net := desc.Network{Name: name, Components: []desc.Component{e.Comp}}
+	for _, f := range feeders {
+		spec.Procs = append(spec.Procs, f.Proc)
+		net.Components = append(net.Components, f.Comp)
+	}
+	return NetworkEntry{Spec: spec, Net: net}
+}

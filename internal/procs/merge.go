@@ -1,0 +1,218 @@
+package procs
+
+import (
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// DFM is the discriminated fair merge of Section 2.2 (Figure 2): channel
+// b carries even integers, c carries odd integers, and the process merges
+// them fairly onto d. Description: even(d) ⟵ b, odd(d) ⟵ c.
+//
+// Operationally the merge forwards whichever input the scheduler offers;
+// fairness is an ω-property that every finite prefix satisfies vacuously,
+// and the bounded conformance checks quantify over finite prefixes.
+func DFM(name, b, c, d string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				_, v, ok := ctx.RecvAny(b, c)
+				if !ok {
+					return
+				}
+				if !ctx.Send(d, v) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b, c, d),
+			D: desc.Combine(name,
+				desc.MustNew(name+".even", fn.OnChan(fn.Even, d), fn.ChanFn(b)),
+				desc.MustNew(name+".odd", fn.OnChan(fn.Odd, d), fn.ChanFn(c)),
+			),
+		},
+	}
+}
+
+// BrockAckermannA is process A of Figure 4: it receives odd numbers on b
+// and fair-merges them with the internally stored sequence 0 2, emitting
+// on c. Description: even(c) ⟵ "0 2", odd(c) ⟵ b.
+//
+// The implementation offers its next internal item as a send alternative
+// whenever one remains, so it is never quiescent while 0 or 2 is still
+// owed — which is exactly why the network can only ever produce 0 2 1 and
+// not the anomalous 0 1 2.
+func BrockAckermannA(name, b, c string) Entry {
+	internal := []value.Value{value.Int(0), value.Int(2)}
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			pending := append([]value.Value(nil), internal...)
+			for {
+				var sends []netsim.SendAlt
+				if len(pending) > 0 {
+					sends = append(sends, netsim.SendAlt{Ch: c, Val: pending[0]})
+				}
+				alt, ok := ctx.Select(sends, []string{b})
+				if !ok {
+					return
+				}
+				if alt.IsSend {
+					pending = pending[1:]
+					continue
+				}
+				if !ctx.Send(c, alt.Val) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b, c),
+			D: desc.Combine(name,
+				desc.MustNew(name+".even", fn.OnChan(fn.Even, c), fn.ConstTraceFn(seq.OfInts(0, 2))),
+				desc.MustNew(name+".odd", fn.OnChan(fn.Odd, c), fn.ChanFn(b)),
+			),
+		},
+	}
+}
+
+// FairMerge is the general fair merge of Section 4.10 (Figure 7): inputs
+// c and d merged fairly onto e. Its description uses the auxiliary tagged
+// channel b of the paper's implementation (after eliminating c' and d'):
+//
+//	ZERO(b) ⟵ t0(c), ONE(b) ⟵ t1(d), e ⟵ r(b)
+func FairMerge(name, c, d, e string) Entry {
+	b := name + ".b" // auxiliary, internal to this process (Section 8.2)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				_, v, ok := ctx.RecvAny(c, d)
+				if !ok {
+					return
+				}
+				if !ctx.Send(e, v) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b, c, d, e),
+			D:        FairMergeSystem(name, b, c, d, e).Combined(),
+		},
+		Aux: []string{b},
+	}
+}
+
+// FairMergeSystem is the eliminated description system of Section 4.10:
+// ZERO(b) ⟵ t0(c), ONE(b) ⟵ t1(d), e ⟵ r(b).
+func FairMergeSystem(name, b, c, d, e string) desc.System {
+	return desc.System{
+		Name: name,
+		Descs: []desc.Description{
+			desc.MustNew(name+".zero", fn.OnChan(fn.ZeroTag, b), fn.OnChan(fn.Tag0, c)),
+			desc.MustNew(name+".one", fn.OnChan(fn.OneTag, b), fn.OnChan(fn.Tag1, d)),
+			desc.MustNew(name+".out", fn.ChanFn(e), fn.OnChan(fn.Untag, b)),
+		},
+	}
+}
+
+// FairMergeFullSystem is the pre-elimination system of Section 4.10, with
+// the intermediate tagged channels cp (c′) and dp (d′) still present:
+//
+//	c′ ⟵ t0(c), d′ ⟵ t1(d), ZERO(b) ⟵ c′, ONE(b) ⟵ d′, e ⟵ r(b)
+//
+// Eliminating cp and dp with desc.Eliminate must yield (the combined
+// equivalent of) FairMergeSystem — the worked elimination of Section 4.10,
+// validated in the tests.
+func FairMergeFullSystem(name, b, c, d, e, cp, dp string) desc.System {
+	return desc.System{
+		Name: name,
+		Descs: []desc.Description{
+			desc.MustNew(name+".tag0", fn.ChanFn(cp), fn.OnChan(fn.Tag0, c)),
+			desc.MustNew(name+".tag1", fn.ChanFn(dp), fn.OnChan(fn.Tag1, d)),
+			desc.MustNew(name+".zero", fn.OnChan(fn.ZeroTag, b), fn.ChanFn(cp)),
+			desc.MustNew(name+".one", fn.OnChan(fn.OneTag, b), fn.ChanFn(dp)),
+			desc.MustNew(name+".out", fn.ChanFn(e), fn.OnChan(fn.Untag, b)),
+		},
+	}
+}
+
+// TaggedMergeD is process D of Figure 7 in isolation: the discriminated
+// merge over tags. Description: ZERO(b) ⟵ c′, ONE(b) ⟵ d′.
+func TaggedMergeD(name, cp, dp, b string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				_, v, ok := ctx.RecvAny(cp, dp)
+				if !ok {
+					return
+				}
+				if !ctx.Send(b, v) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(cp, dp, b),
+			D: desc.Combine(name,
+				desc.MustNew(name+".zero", fn.OnChan(fn.ZeroTag, b), fn.ChanFn(cp)),
+				desc.MustNew(name+".one", fn.OnChan(fn.OneTag, b), fn.ChanFn(dp)),
+			),
+		},
+	}
+}
+
+// Tagger is process A (or B) of Figure 7: it wraps each input in a tagged
+// pair. Description: out ⟵ tag_k(in).
+func Tagger(name, in, out string, tag int64) Entry {
+	tagFn := fn.TagWith(tag)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				v, ok := ctx.Recv(in)
+				if !ok {
+					return
+				}
+				if !ctx.Send(out, value.Pair(value.Int(tag), v)) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(in, out),
+			D:        desc.MustNew(name, fn.ChanFn(out), fn.OnChan(tagFn, in)),
+		},
+	}
+}
+
+// Untagger is process C of Figure 7: it strips tags. Description:
+// out ⟵ r(in).
+func Untagger(name, in, out string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				v, ok := ctx.Recv(in)
+				if !ok {
+					return
+				}
+				if !ctx.Send(out, v.Second()) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(in, out),
+			D:        desc.MustNew(name, fn.ChanFn(out), fn.OnChan(fn.Untag, in)),
+		},
+	}
+}

@@ -1,0 +1,181 @@
+package procs
+
+import (
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// Fig1Network is the two-copy loop of Figure 1 as an operational network.
+// Its only quiescent trace is ⊥ — the least fixpoint of c = b, b = c.
+func Fig1Network() netsim.Spec {
+	return netsim.Spec{Name: "fig1", Procs: []netsim.Proc{
+		Copy("copy1", "b", "c").Proc,
+		Copy("copy2", "c", "b").Proc,
+	}}
+}
+
+// Fig1SeededNetwork is Figure 1's variant where the second process first
+// sends a 0: its behaviour is the growing approximations of b = c = 0^ω.
+func Fig1SeededNetwork() netsim.Spec {
+	return netsim.Spec{Name: "fig1-seeded", Procs: []netsim.Proc{
+		Copy("copy1", "b", "c").Proc,
+		SeededCopy("copy2", "c", "b").Proc,
+	}}
+}
+
+// Fig3Network is the three-process network of Figure 3: P (b = 0; 2×d),
+// Q (c = 2×d+1) and dfm (even(d) = b, odd(d) = c).
+func Fig3Network() NetworkEntry {
+	p := FigP("P", "d", "b")
+	q := FigQ("Q", "d", "c")
+	m := DFM("dfm", "b", "c", "d")
+	return NetworkEntry{
+		Spec: netsim.Spec{Name: "fig3", Procs: []netsim.Proc{p.Proc, q.Proc, m.Proc}},
+		Net: desc.Network{
+			Name:       "fig3",
+			Components: []desc.Component{p.Comp, q.Comp, m.Comp},
+		},
+	}
+}
+
+// Fig3System is the description system of Section 2.3 before variable
+// elimination: b ⟵ 0; 2×d, c ⟵ 2×d+1, even(d) ⟵ b, odd(d) ⟵ c.
+func Fig3System() desc.System {
+	prepend0Double := fn.OnChan(fn.ComposeSeq(fn.PrependFn(value.Int(0)), fn.Double), "d")
+	return desc.System{
+		Name: "fig3",
+		Descs: []desc.Description{
+			desc.MustNew("P", fn.ChanFn("b"), prepend0Double),
+			desc.MustNew("Q", fn.ChanFn("c"), fn.OnChan(fn.DoublePlus1, "d")),
+			desc.MustNew("dfm.even", fn.OnChan(fn.Even, "d"), fn.ChanFn("b")),
+			desc.MustNew("dfm.odd", fn.OnChan(fn.Odd, "d"), fn.ChanFn("c")),
+		},
+	}
+}
+
+// Fig3Equations is the eliminated description of Section 2.3, equations
+// (1) and (2): even(d) ⟵ 0; 2×d, odd(d) ⟵ 2×d+1.
+func Fig3Equations() desc.Description {
+	prepend0Double := fn.OnChan(fn.ComposeSeq(fn.PrependFn(value.Int(0)), fn.Double), "d")
+	return desc.Combine("fig3-eliminated",
+		desc.MustNew("eq1", fn.OnChan(fn.Even, "d"), prepend0Double),
+		desc.MustNew("eq2", fn.OnChan(fn.Odd, "d"), fn.OnChan(fn.DoublePlus1, "d")),
+	)
+}
+
+// Fig3X is the Section 2.3 solution x: the concatenation of the blocks
+// B_i = 0, 1, ..., 2^i - 1 on channel d. It is a smooth solution.
+func Fig3X() trace.Gen {
+	return trace.BlockGen("x", func(i int) trace.Trace {
+		return intBlock("d", 0, 1<<uint(i)-1, false)
+	})
+}
+
+// Fig3Y is the solution y: the concatenation of the reversed blocks
+// rev(B_i). Also a smooth solution — a different computation of the
+// network.
+func Fig3Y() trace.Gen {
+	return trace.BlockGen("y", func(i int) trace.Trace {
+		return intBlock("d", 0, 1<<uint(i)-1, true)
+	})
+}
+
+// Fig3Z is the sequence z: the concatenation of the blocks C_i with
+// C_0 = ⟨-1⟩, C_1 = ⟨0 -2⟩ and C_{i+1} obtained by replacing each m of
+// C_i by 2m, 2m+1. It satisfies the equations but is NOT smooth — the
+// network can never output -1 (its first element would have to cause
+// itself).
+func Fig3Z() trace.Gen {
+	memo := [][]int64{{-1}, {0, -2}}
+	block := func(i int) []int64 {
+		for len(memo) <= i {
+			prev := memo[len(memo)-1]
+			next := make([]int64, 0, 2*len(prev))
+			for _, m := range prev {
+				next = append(next, 2*m, 2*m+1)
+			}
+			memo = append(memo, next)
+		}
+		return memo[i]
+	}
+	return trace.BlockGen("z", func(i int) trace.Trace {
+		out := trace.Empty
+		for _, m := range block(i) {
+			out = out.Append(trace.E("d", value.Int(m)))
+		}
+		return out
+	})
+}
+
+func intBlock(ch string, lo, hi int64, reversed bool) trace.Trace {
+	out := trace.Empty
+	if reversed {
+		for n := hi; n >= lo; n-- {
+			out = out.Append(trace.E(ch, value.Int(n)))
+		}
+	} else {
+		for n := lo; n <= hi; n++ {
+			out = out.Append(trace.E(ch, value.Int(n)))
+		}
+	}
+	return out
+}
+
+// Fig4Network is the Brock-Ackermann network of Figure 4: process A
+// (fair merge with internal 0 2) feeding process B (outputs first+1 after
+// two inputs) in a loop.
+func Fig4Network() NetworkEntry {
+	a := BrockAckermannA("A", "b", "c")
+	b := BrockAckermannB("B", "c", "b")
+	return NetworkEntry{
+		Spec: netsim.Spec{Name: "fig4", Procs: []netsim.Proc{a.Proc, b.Proc}},
+		Net: desc.Network{
+			Name:       "fig4",
+			Components: []desc.Component{a.Comp, b.Comp},
+		},
+	}
+}
+
+// Fig4System is the description system of Section 2.4 before
+// elimination: even(c) ⟵ "0 2", odd(c) ⟵ b, b ⟵ f(c).
+func Fig4System() desc.System {
+	return desc.System{
+		Name: "fig4",
+		Descs: []desc.Description{
+			desc.MustNew("A.even", fn.OnChan(fn.Even, "c"), fn.ConstTraceFn(seq.OfInts(0, 2))),
+			desc.MustNew("A.odd", fn.OnChan(fn.Odd, "c"), fn.ChanFn("b")),
+			desc.MustNew("B", fn.ChanFn("b"), fn.OnChan(FBA, "c")),
+		},
+	}
+}
+
+// Fig4Equations is the eliminated description of Section 2.4:
+// even(c) ⟵ "0 2", odd(c) ⟵ f(c). Its solutions in c are exactly
+// 0 1 2 and 0 2 1; only 0 2 1 is smooth.
+func Fig4Equations() desc.Description {
+	return desc.Combine("fig4-eliminated",
+		desc.MustNew("eq1", fn.OnChan(fn.Even, "c"), fn.ConstTraceFn(seq.OfInts(0, 2))),
+		desc.MustNew("eq2", fn.OnChan(fn.Odd, "c"), fn.OnChan(FBA, "c")),
+	)
+}
+
+// Fig7Network is the fair-merge implementation of Figure 7: taggers A
+// and B, discriminated merge D and untagger C, merging inputs c and d
+// onto e via internal channels c′, d′ and b.
+func Fig7Network() NetworkEntry {
+	a := Tagger("A", "c", "c'", 0)
+	b := Tagger("B", "d", "d'", 1)
+	dd := TaggedMergeD("D", "c'", "d'", "b")
+	cc := Untagger("C", "b", "e")
+	return NetworkEntry{
+		Spec: netsim.Spec{Name: "fig7", Procs: []netsim.Proc{a.Proc, b.Proc, dd.Proc, cc.Proc}},
+		Net: desc.Network{
+			Name:       "fig7",
+			Components: []desc.Component{a.Comp, b.Comp, dd.Comp, cc.Comp},
+		},
+	}
+}

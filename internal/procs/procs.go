@@ -1,0 +1,42 @@
+// Package procs is the catalogue of every process appearing in the paper,
+// each in two forms: an operational implementation for the netsim runtime
+// and a description (pair of continuous functions) for the denotational
+// machinery. The conformance harness (package check) verifies the two
+// agree — every run trace is smooth, every smooth solution is realisable.
+package procs
+
+import (
+	"smoothproc/internal/desc"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/trace"
+)
+
+// Entry bundles the two views of one process.
+type Entry struct {
+	// Proc is the operational implementation.
+	Proc netsim.Proc
+	// Comp carries the description and the incident channel set.
+	Comp desc.Component
+	// Aux lists auxiliary channels (Section 8.2): channels the
+	// description mentions but the operational process does not
+	// communicate on. Smooth solutions are compared with run traces
+	// after projecting the auxiliaries away.
+	Aux []string
+}
+
+// Visible returns the entry's non-auxiliary incident channels.
+func (e Entry) Visible() trace.ChanSet {
+	return e.Comp.Incident.Without(e.Aux...)
+}
+
+// NetworkEntry bundles the two views of one network: the operational spec
+// and the denotational network of components (Theorem 2's input).
+type NetworkEntry struct {
+	Spec netsim.Spec
+	Net  desc.Network
+}
+
+// Description composes the network description per Theorem 2.
+func (n NetworkEntry) Description() (desc.Description, error) {
+	return desc.Compose(n.Net)
+}

@@ -1,0 +1,347 @@
+package procs
+
+import (
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// Chaos is the process of Section 4.1 (Hoare's CHAOS): it sends any
+// sequence of messages from alphabet along b. Every trace over b is a
+// quiescent trace. Description: K ⟵ K for any constant K — the paper
+// synthesises this from the requirement that all traces be smooth
+// solutions; we take K = ε.
+func Chaos(name, b string, alphabet []value.Value) Entry {
+	alpha := append([]value.Value(nil), alphabet...)
+	k := fn.ConstTraceFn(seq.Empty)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			for {
+				i, ok := c.Choose(len(alpha) + 1)
+				if !ok || i == len(alpha) {
+					return // nondeterministic halt
+				}
+				if !c.Send(b, alpha[i]) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b),
+			D:        desc.MustNew(name, k, k),
+		},
+	}
+}
+
+// RandomBit is the process of Section 4.3: it outputs a single bit, T or
+// F, on b and halts. Description: R(b) ⟵ T̄.
+func RandomBit(name, b string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			bit, ok := c.Flip()
+			if !ok {
+				return
+			}
+			c.Send(b, value.Bool(bit))
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b),
+			D:        desc.MustNew(name, fn.OnChan(fn.RMap, b), fn.ConstTraceFn(seq.Of(value.T))),
+		},
+	}
+}
+
+// RandomBitSeq is the process of Section 4.4: for each tick received on
+// c it outputs one random bit on b. Description: R(b) ⟵ c.
+func RandomBitSeq(name, c, b string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				if _, ok := ctx.Recv(c); !ok {
+					return
+				}
+				bit, ok := ctx.Flip()
+				if !ok {
+					return
+				}
+				if !ctx.Send(b, value.Bool(bit)) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(c, b),
+			D:        desc.MustNew(name, fn.OnChan(fn.RMap, b), fn.ChanFn(c)),
+		},
+	}
+}
+
+// Implication is the process of Section 4.5 (Figure 5): it receives at
+// most one bit on c and outputs one bit on d — F if the input was F,
+// arbitrary otherwise. Its four quiescent traces are ⊥, (c,T)(d,T),
+// (c,T)(d,F) and (c,F)(d,F) — note ⊥ alone; (c,T) and (c,F) are
+// nonquiescent because an output is owed.
+//
+// The description uses the paper's implementation with the auxiliary
+// random-bit channel b: R(b) ⟵ T̄, d ⟵ b AND c.
+func Implication(name, c, d string) Entry {
+	b := name + ".b" // auxiliary (Section 8.2)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			v, ok := ctx.Recv(c)
+			if !ok {
+				return
+			}
+			out := value.F
+			if v.IsTrue() {
+				bit, ok := ctx.Flip()
+				if !ok {
+					return
+				}
+				out = value.Bool(bit)
+			}
+			ctx.Send(d, out)
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b, c, d),
+			D:        ImplicationSystem(name, b, c, d).Combined(),
+		},
+		Aux: []string{b},
+	}
+}
+
+// ImplicationSystem is the description system of Section 4.5:
+// R(b) ⟵ T̄, d ⟵ b AND c.
+func ImplicationSystem(name, b, c, d string) desc.System {
+	return desc.System{
+		Name: name,
+		Descs: []desc.Description{
+			desc.MustNew(name+".bit", fn.OnChan(fn.RMap, b), fn.ConstTraceFn(seq.Of(value.T))),
+			desc.MustNew(name+".and", fn.ChanFn(d), fn.OnTwoChans(fn.And, b, c)),
+		},
+	}
+}
+
+// BadImplicationSystem is the reader exercise of Section 4.5: why is
+// d ⟵ c AND d NOT a description of the implication process? The tests
+// answer mechanically: its smooth solutions do not match the process's
+// traces (e.g. (c,T)(d,T) requires d's own output as evidence for
+// itself).
+func BadImplicationSystem(name, c, d string) desc.System {
+	return desc.System{
+		Name: name,
+		Descs: []desc.Description{
+			desc.MustNew(name+".and", fn.ChanFn(d), fn.OnTwoChans(fn.And, c, d)),
+		},
+	}
+}
+
+// NonStrictImplicationSystem is the second reader exercise: the variant
+// of the implication description using the non-strict AND.
+func NonStrictImplicationSystem(name, b, c, d string) desc.System {
+	return desc.System{
+		Name: name,
+		Descs: []desc.Description{
+			desc.MustNew(name+".bit", fn.OnChan(fn.RMap, b), fn.ConstTraceFn(seq.Of(value.T))),
+			desc.MustNew(name+".and", fn.ChanFn(d), fn.OnTwoChans(fn.NonStrictAnd, b, c)),
+		},
+	}
+}
+
+// Fork is the process of Section 4.6 (Figure 6): every item received on
+// c is sent along d or e, with no fairness requirement. The description
+// uses the auxiliary oracle channel b ("an infinite sequence of random
+// bits"): R(b) ⟵ R(c), d ⟵ g(c,b), e ⟵ h(c,b) — one oracle bit per
+// input received.
+func Fork(name, c, d, e string) Entry {
+	b := name + ".b" // auxiliary oracle (Park 1982)
+	return Entry{
+		// The body buffers routed items per output and offers the heads
+		// as send alternatives: outputs on the two branches may cross
+		// (item 2 can appear on e before item 1 appears on d), exactly
+		// as the description's oracle semantics allows, while the order
+		// within each branch is preserved (g and h are subsequences).
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			var pendD, pendE []value.Value
+			for {
+				var sends []netsim.SendAlt
+				if len(pendD) > 0 {
+					sends = append(sends, netsim.SendAlt{Ch: d, Val: pendD[0]})
+				}
+				if len(pendE) > 0 {
+					sends = append(sends, netsim.SendAlt{Ch: e, Val: pendE[0]})
+				}
+				alt, ok := ctx.Select(sends, []string{c})
+				if !ok {
+					return
+				}
+				if alt.IsSend {
+					if alt.Ch == d {
+						pendD = pendD[1:]
+					} else {
+						pendE = pendE[1:]
+					}
+					continue
+				}
+				bit, ok := ctx.Flip()
+				if !ok {
+					return
+				}
+				if bit {
+					pendD = append(pendD, alt.Val)
+				} else {
+					pendE = append(pendE, alt.Val)
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b, c, d, e),
+			D: desc.Combine(name,
+				desc.MustNew(name+".oracle", fn.OnChan(fn.RMap, b), fn.OnChan(fn.RMap, c)),
+				desc.MustNew(name+".d", fn.ChanFn(d), fn.OnTwoChans(fn.SelectTrue, c, b)),
+				desc.MustNew(name+".e", fn.ChanFn(e), fn.OnTwoChans(fn.SelectFalse, c, b)),
+			),
+		},
+		Aux: []string{b},
+	}
+}
+
+// FairRandomSeq is the process of Section 4.7: an infinite sequence on c
+// with infinitely many T's and infinitely many F's. Description:
+// TRUE(c) ⟵ trues, FALSE(c) ⟵ falses (ω-constants). It has no finite
+// quiescent trace.
+func FairRandomSeq(name, c string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				bit, ok := ctx.Flip()
+				if !ok {
+					return
+				}
+				if !ctx.Send(c, value.Bool(bit)) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(c),
+			D: desc.Combine(name,
+				desc.MustNew(name+".T", fn.OnChan(fn.TrueBits, c), fn.OmegaConstFn("trues", seq.Of(value.T))),
+				desc.MustNew(name+".F", fn.OnChan(fn.FalseBits, c), fn.OmegaConstFn("falses", seq.Of(value.F))),
+			),
+		},
+	}
+}
+
+// FiniteTicks is the process of Section 4.8: it sends a finite number of
+// T's on d and halts — a fairness property, since (d,T)^ω is NOT a trace
+// while every (d,T)^i is. Description (via the auxiliary fair-random
+// input c): d ⟵ g(c) with g = longest F-free prefix, plus the
+// fair-random description of c.
+func FiniteTicks(name, d string) Entry {
+	c := name + ".c" // auxiliary fair-random source (Section 8.2)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			for {
+				bit, ok := ctx.Flip()
+				if !ok || !bit {
+					return // first F: halt
+				}
+				if !ctx.Send(d, value.T) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(c, d),
+			D: desc.Combine(name,
+				desc.MustNew(name+".T", fn.OnChan(fn.TrueBits, c), fn.OmegaConstFn("trues", seq.Of(value.T))),
+				desc.MustNew(name+".F", fn.OnChan(fn.FalseBits, c), fn.OmegaConstFn("falses", seq.Of(value.F))),
+				desc.MustNew(name+".out", fn.ChanFn(d), fn.OnChan(fn.UntilF, c)),
+			),
+		},
+		Aux: []string{c},
+	}
+}
+
+// MaybeTick is example 2 of Section 3.1.1: a process that halts or,
+// nondeterministically, outputs a single 0 on b and then halts — its two
+// quiescent traces are ε and (b,0).
+//
+// This process is the minimal witness for Section 8.2's claim that
+// auxiliary channels are essential. No description over b alone can have
+// exactly {ε, (b,0)} as its smooth solutions: if both are solutions then
+// monotonicity forces f((b,0)) ⊑ f((b,0)(b,0)) while the smoothness edge
+// into (b,0) forces f((b,0)) ⊑ g(ε) = f(ε), so f is constant K on the
+// first two levels, g((b,0)) = K by the limit condition, and then the
+// edge into (b,0)(b,0) holds as well — the unwanted history is always a
+// tree node. The description below therefore uses an auxiliary
+// random-bit channel c: R(c) ⟵ T̄, b ⟵ zeroIfT(c).
+func MaybeTick(name, b string) Entry {
+	c := name + ".c" // auxiliary single random bit (Section 8.2)
+	zeroIfT := fn.ComposeSeq(fn.MapFn("→0", func(value.Value) value.Value {
+		return value.Int(0)
+	}), fn.TrueBits)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			bit, ok := ctx.Flip()
+			if !ok || !bit {
+				return // chose to halt silently
+			}
+			ctx.Send(b, value.Int(0))
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(c, b),
+			D: desc.Combine(name,
+				desc.MustNew(name+".bit", fn.OnChan(fn.RMap, c), fn.ConstTraceFn(seq.Of(value.T))),
+				desc.MustNew(name+".out", fn.ChanFn(b), fn.OnChan(zeroIfT, c)),
+			),
+		},
+		Aux: []string{c},
+	}
+}
+
+// RandomNumber is the process of Section 4.9: it outputs one arbitrary
+// natural number on d and halts. Description (via the auxiliary
+// fair-random input c): d ⟵ h(c) with h = count of T's before the first
+// F, plus the fair-random description of c.
+func RandomNumber(name, d string) Entry {
+	c := name + ".c" // auxiliary fair-random source
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
+			var n int64
+			for {
+				bit, ok := ctx.Flip()
+				if !ok {
+					return
+				}
+				if !bit {
+					ctx.Send(d, value.Int(n))
+					return
+				}
+				n++
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(c, d),
+			D: desc.Combine(name,
+				desc.MustNew(name+".T", fn.OnChan(fn.TrueBits, c), fn.OmegaConstFn("trues", seq.Of(value.T))),
+				desc.MustNew(name+".F", fn.OnChan(fn.FalseBits, c), fn.OmegaConstFn("falses", seq.Of(value.F))),
+				desc.MustNew(name+".out", fn.ChanFn(d), fn.OnChan(fn.CountTs, c)),
+			),
+		},
+		Aux: []string{c},
+	}
+}

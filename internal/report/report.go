@@ -1,0 +1,98 @@
+// Package report formats the experiment tables printed by cmd/repro and
+// recorded in EXPERIMENTS.md: one row per reproduced figure, worked
+// example or theorem instance, pairing the paper's claim with the
+// measured outcome.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one experiment outcome.
+type Row struct {
+	// ID is the experiment id from DESIGN.md (E1..E21).
+	ID string
+	// Artefact names the paper artefact (figure / section / theorem).
+	Artefact string
+	// Claim is the paper's claim being reproduced.
+	Claim string
+	// Measured is what the reproduction observed.
+	Measured string
+	// Pass reports whether the observation matches the claim.
+	Pass bool
+}
+
+// Table accumulates experiment rows.
+type Table struct {
+	rows []Row
+}
+
+// Add appends a row.
+func (t *Table) Add(r Row) { t.rows = append(t.rows, r) }
+
+// AddResult appends a row whose Measured text doubles as the pass/fail
+// explanation: err == nil passes with okText, otherwise the row fails
+// with the error text.
+func (t *Table) AddResult(id, artefact, claim, okText string, err error) {
+	r := Row{ID: id, Artefact: artefact, Claim: claim, Measured: okText, Pass: err == nil}
+	if err != nil {
+		r.Measured = err.Error()
+	}
+	t.Add(r)
+}
+
+// Rows returns the accumulated rows.
+func (t *Table) Rows() []Row { return append([]Row(nil), t.rows...) }
+
+// Failed returns the failing rows.
+func (t *Table) Failed() []Row {
+	var out []Row
+	for _, r := range t.rows {
+		if !r.Pass {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Format renders an aligned plain-text table.
+func (t *Table) Format() string {
+	var b strings.Builder
+	idW, artW := len("id"), len("artefact")
+	for _, r := range t.rows {
+		idW = max(idW, len(r.ID))
+		artW = max(artW, len(r.Artefact))
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %-4s  %s\n", idW, "id", artW, "artefact", "ok", "claim → measured")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", idW+artW+40))
+	for _, r := range t.rows {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %-4s  %s\n", idW, r.ID, artW, r.Artefact, status, r.Claim)
+		fmt.Fprintf(&b, "%-*s  %-*s        → %s\n", idW, "", artW, "", r.Measured)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| id | artefact | paper claim | measured | ok |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, r := range t.rows {
+		status := "✅"
+		if !r.Pass {
+			status = "❌"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			mdEscape(r.ID), mdEscape(r.Artefact), mdEscape(r.Claim), mdEscape(r.Measured), status)
+	}
+	return b.String()
+}
+
+func mdEscape(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, "|", "\\|"), "\n", " ")
+}

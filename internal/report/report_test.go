@@ -1,0 +1,72 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	var t Table
+	t.Add(Row{ID: "E1", Artefact: "Fig 1", Claim: "lfp is ε", Measured: "ε", Pass: true})
+	t.AddResult("E2", "Fig 2", "dfm conformance", "both directions hold", nil)
+	t.AddResult("E3", "Fig 3", "z not smooth", "", errors.New("z accepted"))
+	return &t
+}
+
+func TestRowsAndFailed(t *testing.T) {
+	tab := sampleTable()
+	if len(tab.Rows()) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows()))
+	}
+	failed := tab.Failed()
+	if len(failed) != 1 || failed[0].ID != "E3" {
+		t.Errorf("failed = %+v", failed)
+	}
+	// Rows returns a copy.
+	tab.Rows()[0].ID = "X"
+	if tab.Rows()[0].ID != "E1" {
+		t.Error("Rows leaked internal state")
+	}
+}
+
+func TestAddResultErrorBecomesMeasured(t *testing.T) {
+	tab := sampleTable()
+	last := tab.Rows()[2]
+	if last.Pass || last.Measured != "z accepted" {
+		t.Errorf("AddResult error handling: %+v", last)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := sampleTable().Format()
+	for _, want := range []string{"E1", "PASS", "FAIL", "Fig 3", "→ both directions hold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 6 {
+		t.Errorf("Format too short: %d lines", lines)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sampleTable().Markdown()
+	for _, want := range []string{"| id |", "| E1 |", "✅", "❌"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownEscapesPipesAndNewlines(t *testing.T) {
+	var tab Table
+	tab.Add(Row{ID: "E9", Artefact: "a|b", Claim: "line1\nline2", Measured: "x", Pass: true})
+	out := tab.Markdown()
+	if strings.Contains(out, "a|b |") && !strings.Contains(out, `a\|b`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "line1\nline2") {
+		t.Errorf("newline not flattened:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package seq
+
+import (
+	"testing"
+
+	"smoothproc/internal/value"
+)
+
+func benchSeq(n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = value.Int(int64(i % 7))
+	}
+	return s
+}
+
+func BenchmarkLeq(b *testing.B) {
+	long := benchSeq(256)
+	prefix := long.Take(255)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !prefix.Leq(long) {
+			b.Fatal("prefix not ⊑ whole")
+		}
+	}
+}
+
+func BenchmarkFilterEven(b *testing.B) {
+	s := benchSeq(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Filter(value.Value.IsEvenInt)
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	s := benchSeq(256)
+	double := func(v value.Value) value.Value { return value.Int(2 * v.MustInt()) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Map(double)
+	}
+}
+
+func BenchmarkCommonPrefixLen(b *testing.B) {
+	x := benchSeq(256)
+	y := x.Take(200).Append(value.Int(99))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if x.CommonPrefixLen(y) != 200 {
+			b.Fatal("wrong common prefix")
+		}
+	}
+}
+
+func BenchmarkIsSubsequenceOf(b *testing.B) {
+	whole := benchSeq(256)
+	sub := whole.Filter(value.Value.IsOddInt)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !sub.IsSubsequenceOf(whole) {
+			b.Fatal("subsequence check failed")
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package seq implements the cpo of finite message sequences under prefix
+// ordering.
+//
+// In the paper, a channel variable such as b denotes "the sequence of all
+// data sent along the correspondingly named channel"; these sequences,
+// ordered by the prefix relation ⊑ with the empty sequence as bottom, form
+// the cpo over which Kahn's equations and Misra's descriptions are
+// interpreted (Section 3). This package provides the finite elements of
+// that cpo; ω-sequences are handled by finite approximation everywhere in
+// this repository (every check the paper states quantifies over finite
+// prefixes — see DESIGN.md).
+package seq
+
+import (
+	"strings"
+
+	"smoothproc/internal/value"
+)
+
+// Seq is a finite sequence of message values. The nil and empty slices
+// both represent ⊥ (the paper's ε). Seq values are treated as immutable:
+// operations return fresh slices and never alias their inputs' backing
+// arrays in a way a caller could observe.
+type Seq []value.Value
+
+// Empty is the bottom element ⊥ (the paper also writes ε).
+var Empty = Seq{}
+
+// Of builds a sequence from the given values.
+func Of(vs ...value.Value) Seq {
+	s := make(Seq, len(vs))
+	copy(s, vs)
+	return s
+}
+
+// OfInts builds an integer sequence; convenient for the paper's examples.
+func OfInts(ns ...int64) Seq { return Seq(value.Ints(ns...)) }
+
+// OfBools builds a boolean (T/F) sequence.
+func OfBools(bs ...bool) Seq { return Seq(value.Bools(bs...)) }
+
+// Len returns the number of elements.
+func (s Seq) Len() int { return len(s) }
+
+// IsEmpty reports whether s is ⊥.
+func (s Seq) IsEmpty() bool { return len(s) == 0 }
+
+// At returns the i-th element (0-based).
+func (s Seq) At(i int) value.Value { return s[i] }
+
+// Equal reports element-wise equality.
+func (s Seq) Equal(t Seq) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if !s[i].Equal(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Leq reports the prefix order s ⊑ t.
+func (s Seq) Leq(t Seq) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	for i := range s {
+		if !s[i].Equal(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether s and t are comparable, i.e. one is a prefix
+// of the other. In a chain any two elements are compatible; two
+// incompatible sequences can never share an upper bound, which is how the
+// depth-bounded limit-condition check refutes candidate ω-solutions (see
+// package desc).
+func (s Seq) Compatible(t Seq) bool { return s.Leq(t) || t.Leq(s) }
+
+// CommonPrefixLen returns the length of the longest common prefix.
+func (s Seq) CommonPrefixLen(t Seq) int {
+	n := min(len(s), len(t))
+	for i := 0; i < n; i++ {
+		if !s[i].Equal(t[i]) {
+			return i
+		}
+	}
+	return n
+}
+
+// Take returns the prefix of length at most n.
+func (s Seq) Take(n int) Seq {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make(Seq, n)
+	copy(out, s[:n])
+	return out
+}
+
+// Drop returns the suffix after removing min(n, len) elements.
+func (s Seq) Drop(n int) Seq {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(s) {
+		n = len(s)
+	}
+	out := make(Seq, len(s)-n)
+	copy(out, s[n:])
+	return out
+}
+
+// Concat returns s followed by t — the paper's ";" operator (Section 2.1,
+// "b = 0; c"). Note that over ω-sequences ";" is continuous only in its
+// second argument; we use it with constant first arguments, as the paper
+// does.
+func (s Seq) Concat(t Seq) Seq {
+	out := make(Seq, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// Append returns s extended by one element.
+func (s Seq) Append(v value.Value) Seq {
+	out := make(Seq, 0, len(s)+1)
+	out = append(out, s...)
+	out = append(out, v)
+	return out
+}
+
+// Filter returns the subsequence of elements satisfying keep. Filters such
+// as even/odd/TRUE/FALSE/ZERO/ONE in the paper are all instances; all are
+// continuous.
+func (s Seq) Filter(keep func(value.Value) bool) Seq {
+	out := make(Seq, 0, len(s))
+	for _, v := range s {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Map applies f pointwise — the paper's 2×d, 2×d+1 and R(b) are pointwise
+// maps; all pointwise maps of total functions are continuous.
+func (s Seq) Map(f func(value.Value) value.Value) Seq {
+	out := make(Seq, len(s))
+	for i, v := range s {
+		out[i] = f(v)
+	}
+	return out
+}
+
+// TakeWhile returns the longest prefix whose elements satisfy keep — the
+// paper's g in Section 4.8 ("longest prefix of s that contains no F") is
+// TakeWhile(not F). Continuous.
+func (s Seq) TakeWhile(keep func(value.Value) bool) Seq {
+	n := 0
+	for n < len(s) && keep(s[n]) {
+		n++
+	}
+	return s.Take(n)
+}
+
+// Count returns the number of elements satisfying pred.
+func (s Seq) Count(pred func(value.Value) bool) int {
+	n := 0
+	for _, v := range s {
+		if pred(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Index returns the index of the first element satisfying pred, or -1.
+func (s Seq) Index(pred func(value.Value) bool) int {
+	for i, v := range s {
+		if pred(v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether v occurs in s.
+func (s Seq) Contains(v value.Value) bool {
+	return s.Index(v.Equal) >= 0
+}
+
+// IsSubsequenceOf reports whether s embeds into t preserving order — the
+// fair-merge property of Section 4.10 is stated with subsequences.
+func (s Seq) IsSubsequenceOf(t Seq) bool {
+	i := 0
+	for _, v := range t {
+		if i < len(s) && s[i].Equal(v) {
+			i++
+		}
+	}
+	return i == len(s)
+}
+
+// Zip applies f pointwise to corresponding elements of s and t, up to the
+// shorter length. This is the sequence lifting of a strict binary function
+// such as the paper's AND (Section 4.5): the result is ⊥-cut at the first
+// missing operand. Continuous in both arguments.
+func Zip(s, t Seq, f func(a, b value.Value) value.Value) Seq {
+	n := min(len(s), len(t))
+	out := make(Seq, n)
+	for i := 0; i < n; i++ {
+		out[i] = f(s[i], t[i])
+	}
+	return out
+}
+
+// Select returns the subsequence of s at the positions where oracle holds
+// bit — the functions g(c,b) and h(c,b) of the fork process (Section 4.6,
+// Figure 6). Elements of s beyond the oracle's length are not selected
+// (the choice for them has not been made yet), which keeps Select
+// continuous in both arguments.
+func Select(s, oracle Seq, bit bool) Seq {
+	n := min(len(s), len(oracle))
+	out := make(Seq, 0, n)
+	for i := 0; i < n; i++ {
+		if b, ok := oracle[i].AsBool(); ok && b == bit {
+			out = append(out, s[i])
+		}
+	}
+	return out
+}
+
+// Repeat returns period repeated whole-and-partially until the result has
+// length n — the length-n prefix of the ω-sequence period^ω. It is the
+// finite approximation used for the paper's infinite constants trues,
+// falses (Section 4.7) and the 0^ω limit of Section 2.1.
+func Repeat(period Seq, n int) Seq {
+	if len(period) == 0 || n <= 0 {
+		return Empty
+	}
+	out := make(Seq, n)
+	for i := 0; i < n; i++ {
+		out[i] = period[i%len(period)]
+	}
+	return out
+}
+
+// Lub returns the least upper bound of a finite chain given as a slice.
+// It reports false if the elements do not form a chain. For finite chains
+// of sequences the lub is just the longest element (Fact F2 restricted to
+// finite sets).
+func Lub(chain []Seq) (Seq, bool) {
+	best := Empty
+	for _, s := range chain {
+		if len(s) > len(best) {
+			best = s
+		}
+	}
+	for _, s := range chain {
+		if !s.Leq(best) {
+			return Empty, false
+		}
+	}
+	return best, true
+}
+
+// IsChain reports whether every pair of elements is comparable.
+func IsChain(elems []Seq) bool {
+	for i := range elems {
+		for j := i + 1; j < len(elems); j++ {
+			if !elems[i].Compatible(elems[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the sequence as space-separated values inside ⟨⟩,
+// e.g. ⟨0 1 2⟩; ⊥ renders as ⟨⟩.
+func (s Seq) String() string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, v := range s {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString("⟩")
+	return b.String()
+}

@@ -1,0 +1,344 @@
+package seq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"smoothproc/internal/value"
+)
+
+func TestConstructorsAndBasics(t *testing.T) {
+	s := OfInts(1, 2, 3)
+	if s.Len() != 3 || s.IsEmpty() {
+		t.Fatalf("OfInts(1,2,3) = %s", s)
+	}
+	if !s.At(1).Equal(value.Int(2)) {
+		t.Errorf("At(1) = %s", s.At(1))
+	}
+	if !Empty.IsEmpty() || Empty.Len() != 0 {
+		t.Error("Empty is not empty")
+	}
+	b := OfBools(true, false)
+	if !b.At(0).IsTrue() || !b.At(1).IsFalse() {
+		t.Errorf("OfBools = %s", b)
+	}
+}
+
+func TestOfCopiesInput(t *testing.T) {
+	vals := value.Ints(1, 2)
+	s := Of(vals...)
+	vals[0] = value.Int(99)
+	if !s.At(0).Equal(value.Int(1)) {
+		t.Error("Of aliased its input slice")
+	}
+}
+
+func TestPrefixOrder(t *testing.T) {
+	tests := []struct {
+		a, b Seq
+		leq  bool
+	}{
+		{Empty, Empty, true},
+		{Empty, OfInts(1), true},
+		{OfInts(1), Empty, false},
+		{OfInts(1), OfInts(1), true},
+		{OfInts(1), OfInts(1, 2), true},
+		{OfInts(1, 2), OfInts(1), false},
+		{OfInts(2), OfInts(1, 2), false},
+		{OfInts(1, 3), OfInts(1, 2, 3), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Leq(tt.b); got != tt.leq {
+			t.Errorf("%s ⊑ %s = %v, want %v", tt.a, tt.b, got, tt.leq)
+		}
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	if !OfInts(1).Compatible(OfInts(1, 2)) {
+		t.Error("prefix pairs are compatible")
+	}
+	if OfInts(1).Compatible(OfInts(2)) {
+		t.Error("diverging sequences are not compatible")
+	}
+	if !Empty.Compatible(OfInts(5)) {
+		t.Error("⊥ is compatible with everything")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	tests := []struct {
+		a, b Seq
+		n    int
+	}{
+		{Empty, Empty, 0},
+		{OfInts(1, 2, 3), OfInts(1, 2, 4), 2},
+		{OfInts(1, 2), OfInts(1, 2, 3), 2},
+		{OfInts(9), OfInts(1), 0},
+	}
+	for _, tt := range tests {
+		if got := tt.a.CommonPrefixLen(tt.b); got != tt.n {
+			t.Errorf("CommonPrefixLen(%s, %s) = %d, want %d", tt.a, tt.b, got, tt.n)
+		}
+	}
+}
+
+func TestTakeDrop(t *testing.T) {
+	s := OfInts(1, 2, 3)
+	if !s.Take(2).Equal(OfInts(1, 2)) {
+		t.Errorf("Take(2) = %s", s.Take(2))
+	}
+	if !s.Take(99).Equal(s) || !s.Take(-1).Equal(Empty) {
+		t.Error("Take clamping wrong")
+	}
+	if !s.Drop(1).Equal(OfInts(2, 3)) {
+		t.Errorf("Drop(1) = %s", s.Drop(1))
+	}
+	if !s.Drop(99).Equal(Empty) || !s.Drop(-1).Equal(s) {
+		t.Error("Drop clamping wrong")
+	}
+}
+
+func TestConcatAppend(t *testing.T) {
+	if got := OfInts(1).Concat(OfInts(2, 3)); !got.Equal(OfInts(1, 2, 3)) {
+		t.Errorf("Concat = %s", got)
+	}
+	if got := Empty.Concat(Empty); !got.IsEmpty() {
+		t.Errorf("ε;ε = %s", got)
+	}
+	if got := OfInts(1).Append(value.Int(2)); !got.Equal(OfInts(1, 2)) {
+		t.Errorf("Append = %s", got)
+	}
+}
+
+func TestAppendDoesNotAliasPrefix(t *testing.T) {
+	base := OfInts(1)
+	a := base.Append(value.Int(2))
+	b := base.Append(value.Int(3))
+	if !a.Equal(OfInts(1, 2)) || !b.Equal(OfInts(1, 3)) {
+		t.Errorf("Append aliased: a=%s b=%s", a, b)
+	}
+}
+
+func TestFilterMapTakeWhile(t *testing.T) {
+	s := OfInts(0, 1, 2, 3, 4)
+	if got := s.Filter(value.Value.IsEvenInt); !got.Equal(OfInts(0, 2, 4)) {
+		t.Errorf("even filter = %s", got)
+	}
+	double := func(v value.Value) value.Value { return value.Int(2 * v.MustInt()) }
+	if got := s.Map(double); !got.Equal(OfInts(0, 2, 4, 6, 8)) {
+		t.Errorf("map = %s", got)
+	}
+	bits := OfBools(true, true, false, true)
+	if got := bits.TakeWhile(func(v value.Value) bool { return !v.IsFalse() }); !got.Equal(OfBools(true, true)) {
+		t.Errorf("takewhile = %s", got)
+	}
+}
+
+func TestCountIndexContains(t *testing.T) {
+	s := OfBools(true, false, true)
+	if got := s.Count(value.Value.IsTrue); got != 2 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := s.Index(value.Value.IsFalse); got != 1 {
+		t.Errorf("Index = %d", got)
+	}
+	if got := Empty.Index(value.Value.IsFalse); got != -1 {
+		t.Errorf("Index on ε = %d", got)
+	}
+	if !s.Contains(value.F) || s.Contains(value.Int(1)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestIsSubsequenceOf(t *testing.T) {
+	tests := []struct {
+		sub, whole Seq
+		want       bool
+	}{
+		{Empty, Empty, true},
+		{Empty, OfInts(1), true},
+		{OfInts(1, 3), OfInts(1, 2, 3), true},
+		{OfInts(3, 1), OfInts(1, 2, 3), false},
+		{OfInts(1, 1), OfInts(1), false},
+		{OfInts(0, 2), OfInts(0, 1, 2, 3), true},
+	}
+	for _, tt := range tests {
+		if got := tt.sub.IsSubsequenceOf(tt.whole); got != tt.want {
+			t.Errorf("%s subseq of %s = %v, want %v", tt.sub, tt.whole, got, tt.want)
+		}
+	}
+}
+
+func TestZipCutsAtShorter(t *testing.T) {
+	and := func(a, b value.Value) value.Value { return value.Bool(a.IsTrue() && b.IsTrue()) }
+	got := Zip(OfBools(true, true, true), OfBools(true, false), and)
+	if !got.Equal(OfBools(true, false)) {
+		t.Errorf("Zip = %s", got)
+	}
+	if !Zip(Empty, OfBools(true), and).IsEmpty() {
+		t.Error("Zip with ε should be ε")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	c := OfInts(10, 20, 30)
+	oracle := OfBools(true, false, true)
+	if got := Select(c, oracle, true); !got.Equal(OfInts(10, 30)) {
+		t.Errorf("Select true = %s", got)
+	}
+	if got := Select(c, oracle, false); !got.Equal(OfInts(20)) {
+		t.Errorf("Select false = %s", got)
+	}
+	// Elements beyond the oracle's length are not selected (continuity).
+	if got := Select(c, OfBools(true), true); !got.Equal(OfInts(10)) {
+		t.Errorf("Select with short oracle = %s", got)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	if got := Repeat(OfBools(true), 3); !got.Equal(OfBools(true, true, true)) {
+		t.Errorf("Repeat T = %s", got)
+	}
+	if got := Repeat(OfInts(1, 2), 5); !got.Equal(OfInts(1, 2, 1, 2, 1)) {
+		t.Errorf("Repeat 12 = %s", got)
+	}
+	if !Repeat(Empty, 5).IsEmpty() || !Repeat(OfInts(1), 0).IsEmpty() {
+		t.Error("Repeat edge cases wrong")
+	}
+}
+
+func TestLubAndIsChain(t *testing.T) {
+	chain := []Seq{Empty, OfInts(1), OfInts(1, 2)}
+	if !IsChain(chain) {
+		t.Error("prefix chain not recognised")
+	}
+	lub, ok := Lub(chain)
+	if !ok || !lub.Equal(OfInts(1, 2)) {
+		t.Errorf("Lub = %s, %v", lub, ok)
+	}
+	notChain := []Seq{OfInts(1), OfInts(2)}
+	if IsChain(notChain) {
+		t.Error("diverging set recognised as chain")
+	}
+	if _, ok := Lub(notChain); ok {
+		t.Error("Lub of a non-chain should fail")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := OfInts(0, 1).String(); got != "⟨0 1⟩" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Empty.String(); got != "⟨⟩" {
+		t.Errorf("ε String = %q", got)
+	}
+}
+
+// genSeq builds an arbitrary short integer sequence.
+type genSeq struct{ S Seq }
+
+// Generate implements quick.Generator.
+func (genSeq) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(6)
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = value.Int(int64(r.Intn(4)))
+	}
+	return reflect.ValueOf(genSeq{S: s})
+}
+
+func TestQuickLeqIsPartialOrder(t *testing.T) {
+	refl := func(a genSeq) bool { return a.S.Leq(a.S) }
+	if err := quick.Check(refl, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	antisym := func(a, b genSeq) bool {
+		if a.S.Leq(b.S) && b.S.Leq(a.S) {
+			return a.S.Equal(b.S)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	trans := func(a, b, c genSeq) bool {
+		if a.S.Leq(b.S) && b.S.Leq(c.S) {
+			return a.S.Leq(c.S)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+func TestQuickBottomIsLeast(t *testing.T) {
+	f := func(a genSeq) bool { return Empty.Leq(a.S) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTakeIsPrefix(t *testing.T) {
+	f := func(a genSeq, n int) bool {
+		p := a.S.Take(n % 8)
+		return p.Leq(a.S)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatMonotoneInSecondArg(t *testing.T) {
+	// The paper's ";" with constant first argument is continuous: check
+	// monotonicity in the second argument.
+	f := func(a, b genSeq, n int) bool {
+		prefix := b.S.Take(n % 8)
+		return a.S.Concat(prefix).Leq(a.S.Concat(b.S))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFilterMonotone(t *testing.T) {
+	f := func(a genSeq, n int) bool {
+		p := a.S.Take(n % 8)
+		return p.Filter(value.Value.IsEvenInt).Leq(a.S.Filter(value.Value.IsEvenInt))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFilterOfPrefixChainHasLub(t *testing.T) {
+	// Continuity of filters over the full prefix chain: the image is a
+	// chain and its lub is the image of the lub (Fact F2/F3 pattern).
+	f := func(a genSeq) bool {
+		var image []Seq
+		for n := 0; n <= a.S.Len(); n++ {
+			image = append(image, a.S.Take(n).Filter(value.Value.IsOddInt))
+		}
+		lub, ok := Lub(image)
+		return ok && lub.Equal(a.S.Filter(value.Value.IsOddInt))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsequenceClosedUnderPrefix(t *testing.T) {
+	// The fair-merge property quantifies over prefixes; check that a
+	// subsequence's prefixes remain subsequences.
+	f := func(a genSeq, n int) bool {
+		whole := a.S
+		sub := whole.Filter(value.Value.IsEvenInt)
+		return sub.Take(n % 8).IsSubsequenceOf(whole)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

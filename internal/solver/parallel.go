@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"smoothproc/internal/trace"
+)
+
+// EnumerateParallel is Enumerate with the tree expanded level by level
+// across a worker pool. Results are identical to Enumerate up to
+// ordering; this implementation sorts each level canonically, so the
+// output is deterministic (and equal to Enumerate's after sorting).
+// Workers ≤ 0 uses GOMAXPROCS. The node budget is enforced per level
+// boundary, so a parallel run may visit up to one level beyond the
+// budget before stopping — still reported via Truncated.
+func EnumerateParallel(p Problem, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var res Result
+	level := []trace.Trace{trace.Empty}
+	for len(level) > 0 {
+		// Classify and expand this level in parallel.
+		type nodeOut struct {
+			solution bool
+			frontier bool
+			dead     bool
+			sons     []trace.Trace
+		}
+		outs := make([]nodeOut, len(level))
+		var wg sync.WaitGroup
+		chunk := (len(level) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(level))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					cur := level[i]
+					o := &outs[i]
+					o.solution = p.D.LimitOK(cur)
+					if !p.Prune && o.solution {
+						o.solution = p.D.IsSmoothFinite(cur) == nil
+					}
+					if cur.Len() >= p.MaxDepth {
+						if hasSon(p, cur) {
+							o.frontier = true
+						} else if !o.solution {
+							o.dead = true
+						}
+						continue
+					}
+					o.sons = expand(p, cur)
+					if len(o.sons) == 0 && !o.solution {
+						o.dead = true
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		var next []trace.Trace
+		for i, o := range outs {
+			res.Nodes++
+			res.Visited = append(res.Visited, level[i])
+			if o.solution {
+				res.Solutions = append(res.Solutions, level[i])
+			}
+			if o.frontier {
+				res.Frontier = append(res.Frontier, level[i])
+			}
+			if o.dead {
+				res.DeadLeaves = append(res.DeadLeaves, level[i])
+			}
+			next = append(next, o.sons...)
+		}
+		if p.MaxNodes > 0 && res.Nodes+len(next) > p.MaxNodes {
+			res.Truncated = true
+			return res
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].Key() < next[j].Key() })
+		level = next
+	}
+	return res
+}

@@ -1,0 +1,71 @@
+package solver
+
+import (
+	"math/rand"
+
+	"smoothproc/internal/trace"
+)
+
+// SampleOpts configures the random-walk sampler.
+type SampleOpts struct {
+	// Seed drives the walk; equal seeds give equal samples.
+	Seed int64
+	// Walks is the number of random walks (default 32).
+	Walks int
+	// MaxDepth bounds each walk (default: the problem's MaxDepth).
+	MaxDepth int
+}
+
+func (o SampleOpts) withDefaults(p Problem) SampleOpts {
+	if o.Walks == 0 {
+		o.Walks = 32
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = p.MaxDepth
+	}
+	return o
+}
+
+// SampleResult reports what the walks found.
+type SampleResult struct {
+	// Solutions are the distinct smooth solutions hit, keyed canonically.
+	Solutions map[string]trace.Trace
+	// Deepest is the longest tree node reached.
+	Deepest trace.Trace
+	// Steps is the total number of edges taken.
+	Steps int
+}
+
+// Sample explores the Section 3.3 tree by random walks instead of
+// exhaustive BFS — the tool for problems whose full tree is too wide to
+// enumerate (wide alphabets, long probes). Each walk starts at ⊥,
+// repeatedly picks a uniformly random smooth son, records every node
+// that satisfies the limit condition, and stops at a leaf or the depth
+// bound. Sampling is sound (everything returned is a smooth solution)
+// but deliberately incomplete; use Enumerate when the bounds allow.
+func Sample(p Problem, opts SampleOpts) SampleResult {
+	opts = opts.withDefaults(p)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := SampleResult{Solutions: map[string]trace.Trace{}}
+	for w := 0; w < opts.Walks; w++ {
+		cur := trace.Empty
+		for depth := 0; ; depth++ {
+			if p.D.LimitOK(cur) {
+				res.Solutions[cur.Key()] = cur
+			}
+			if depth >= opts.MaxDepth {
+				break
+			}
+			sons := expand(p, cur)
+			if len(sons) == 0 {
+				break
+			}
+			cur = sons[rng.Intn(len(sons))]
+			res.Steps++
+			if cur.Len() > res.Deepest.Len() {
+				res.Deepest = cur
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,79 @@
+package solver
+
+import (
+	"testing"
+
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/value"
+)
+
+func TestSampleFindsOnlySolutions(t *testing.T) {
+	p := dfmProblem(4)
+	s := Sample(p, SampleOpts{Seed: 1, Walks: 64})
+	if len(s.Solutions) == 0 {
+		t.Fatal("sampler found nothing")
+	}
+	for _, tr := range s.Solutions {
+		if err := p.D.IsSmoothFinite(tr); err != nil {
+			t.Errorf("sampled non-solution %s: %v", tr, err)
+		}
+	}
+	// Soundness against the exhaustive set.
+	full := Enumerate(p)
+	for k := range s.Solutions {
+		found := false
+		for _, sol := range full.Solutions {
+			if sol.Key() == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("sampled solution %s not in the exhaustive set", k)
+		}
+	}
+}
+
+func TestSampleIsDeterministicPerSeed(t *testing.T) {
+	p := dfmProblem(4)
+	a := Sample(p, SampleOpts{Seed: 9})
+	b := Sample(p, SampleOpts{Seed: 9})
+	if len(a.Solutions) != len(b.Solutions) || a.Steps != b.Steps {
+		t.Error("same seed, different samples")
+	}
+}
+
+func TestSampleWalksDeepOnInfinitePaths(t *testing.T) {
+	// Ticks: the single infinite path; walks must follow it to the bound.
+	d := desc.MustNew("ticks", fn.ChanFn("b"), fn.OnChan(fn.PrependFn(value.T), "b"))
+	p := NewProblem(d, map[string][]value.Value{"b": {value.T, value.F}}, 64)
+	s := Sample(p, SampleOpts{Seed: 3, Walks: 2})
+	if s.Deepest.Len() != 64 {
+		t.Errorf("deepest = %d, want 64", s.Deepest.Len())
+	}
+	if len(s.Solutions) != 0 {
+		t.Errorf("ticks has no finite solutions, sampler found %d", len(s.Solutions))
+	}
+}
+
+func TestSampleCoversMostOfSmallSpace(t *testing.T) {
+	// With enough walks on a small problem the sampler should see a
+	// large fraction of the solution set.
+	p := dfmProblem(4)
+	full := Enumerate(p)
+	s := Sample(p, SampleOpts{Seed: 5, Walks: 512})
+	if len(s.Solutions)*2 < len(full.Solutions) {
+		t.Errorf("sampler hit %d of %d solutions", len(s.Solutions), len(full.Solutions))
+	}
+}
+
+func TestSampleRespectsDepthOverride(t *testing.T) {
+	d := desc.MustNew("const", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(7, 7, 7, 7)))
+	p := NewProblem(d, map[string][]value.Value{"b": value.Ints(7)}, 16)
+	s := Sample(p, SampleOpts{Seed: 1, Walks: 4, MaxDepth: 2})
+	if s.Deepest.Len() > 2 {
+		t.Errorf("walk exceeded depth override: %d", s.Deepest.Len())
+	}
+}

@@ -1,0 +1,226 @@
+// Package solver implements the operational view of smooth solutions in
+// Section 3.3 of the paper: a tree rooted at ⊥ in which a node labelled u
+// has a son labelled v iff u pre v and f(v) ⊑ g(u). Smooth solutions are
+// the nodes that also satisfy the limit condition f = g; infinite paths
+// approximate ω smooth solutions. The construction generalises Kleene's
+// fixpoint chain — for a description id ⟵ h the tree degenerates to the
+// chain ⊥, h(⊥), h²(⊥), ... (Theorem 4, checked in package kahn).
+//
+// The paper's tree branches over all one-step extensions of u; to make
+// that finite the Problem supplies a candidate alphabet per channel (see
+// DESIGN.md on this substitution).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smoothproc/internal/desc"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// Problem is a description together with the finite branching data the
+// tree search needs.
+type Problem struct {
+	// D is the (usually combined) description whose smooth solutions are
+	// sought.
+	D desc.Description
+	// Channels lists the channels over which traces are built, in a
+	// deterministic exploration order.
+	Channels []string
+	// Alphabet gives the candidate messages per channel.
+	Alphabet map[string][]value.Value
+	// MaxDepth bounds the trace length explored.
+	MaxDepth int
+	// MaxNodes bounds the total number of tree nodes expanded; 0 means
+	// no bound beyond MaxDepth.
+	MaxNodes int
+	// Prune disables the f(v) ⊑ g(u) edge filter when false — only used
+	// by the pruning ablation (experiment E21); real searches always
+	// prune. With pruning off, every one-step extension is a son and
+	// smoothness is re-checked from scratch on candidate solutions.
+	Prune bool
+}
+
+// NewProblem builds a pruned problem with sane defaults.
+func NewProblem(d desc.Description, alphabet map[string][]value.Value, maxDepth int) Problem {
+	chans := make([]string, 0, len(alphabet))
+	for c := range alphabet {
+		chans = append(chans, c)
+	}
+	sort.Strings(chans)
+	return Problem{D: d, Channels: chans, Alphabet: alphabet, MaxDepth: maxDepth, Prune: true}
+}
+
+// Result reports a bounded exploration of the smooth-solution tree.
+type Result struct {
+	// Solutions are the tree nodes satisfying the limit condition —
+	// exactly the finite smooth solutions within the depth bound.
+	Solutions []trace.Trace
+	// Frontier are the depth-bound nodes that still have sons (or are at
+	// MaxDepth); every ω smooth solution within the alphabet passes
+	// through the frontier.
+	Frontier []trace.Trace
+	// DeadLeaves are nodes with no sons that fail the limit condition:
+	// communication histories after which the process is stuck yet its
+	// equations do not hold. (For a well-formed process description these
+	// are nonquiescent histories whose extensions all left the alphabet.)
+	DeadLeaves []trace.Trace
+	// Visited lists every tree node reached, in BFS order; the root ⊥ is
+	// always first. Every communication history of the described process
+	// is a visited node (within the bounds).
+	Visited []trace.Trace
+	// Nodes is the number of tree nodes visited.
+	Nodes int
+	// Truncated reports that MaxNodes stopped the search early.
+	Truncated bool
+}
+
+// ErrBudget is returned via Result.Truncated semantics; kept for callers
+// that prefer errors.
+var ErrBudget = errors.New("solver: node budget exhausted")
+
+// Enumerate explores the Section 3.3 tree breadth-first to the problem's
+// bounds and classifies every visited node.
+func Enumerate(p Problem) Result {
+	var res Result
+	type node struct{ t trace.Trace }
+	queue := []node{{trace.Empty}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		res.Nodes++
+		res.Visited = append(res.Visited, cur.t)
+		if p.MaxNodes > 0 && res.Nodes > p.MaxNodes {
+			res.Truncated = true
+			return res
+		}
+		isSolution := p.D.LimitOK(cur.t)
+		if p.Prune {
+			// With pruning, every node is reachable only through smooth
+			// edges, so the limit condition alone decides.
+		} else if isSolution {
+			// Without pruning, re-check the full smoothness condition.
+			isSolution = p.D.IsSmoothFinite(cur.t) == nil
+		}
+		if isSolution {
+			res.Solutions = append(res.Solutions, cur.t)
+		}
+		if cur.t.Len() >= p.MaxDepth {
+			if hasSon(p, cur.t) {
+				res.Frontier = append(res.Frontier, cur.t)
+			} else if !isSolution {
+				res.DeadLeaves = append(res.DeadLeaves, cur.t)
+			}
+			continue
+		}
+		sons := expand(p, cur.t)
+		if len(sons) == 0 && !isSolution {
+			res.DeadLeaves = append(res.DeadLeaves, cur.t)
+		}
+		for _, s := range sons {
+			queue = append(queue, node{s})
+		}
+	}
+	return res
+}
+
+func expand(p Problem, u trace.Trace) []trace.Trace {
+	var sons []trace.Trace
+	for _, c := range p.Channels {
+		for _, m := range p.Alphabet[c] {
+			v := u.Append(trace.E(c, m))
+			if !p.Prune || p.D.EdgeOK(u, v) {
+				sons = append(sons, v)
+			}
+		}
+	}
+	return sons
+}
+
+func hasSon(p Problem, u trace.Trace) bool {
+	for _, c := range p.Channels {
+		for _, m := range p.Alphabet[c] {
+			if p.D.EdgeOK(u, u.Append(trace.E(c, m))) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Contains reports whether the result's solutions include t.
+func (r Result) Contains(t trace.Trace) bool {
+	for _, s := range r.Solutions {
+		if s.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SolutionKeys returns the canonical strings of all solutions, sorted —
+// convenient for table-driven tests.
+func (r Result) SolutionKeys() []string {
+	keys := make([]string, len(r.Solutions))
+	for i, s := range r.Solutions {
+		keys[i] = s.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IsTreeNode reports whether t is a node of the Section 3.3 tree, i.e.
+// every consecutive prefix pair is a smooth edge. Every communication
+// history of a process — every prefix of a run trace, quiescent or not —
+// must be a tree node; the conformance harness (package check) relies on
+// this.
+func IsTreeNode(d desc.Description, t trace.Trace) bool {
+	ok := true
+	t.PrePairs(func(u, v trace.Trace) bool {
+		ok = d.EdgeOK(u, v)
+		return ok
+	})
+	return ok
+}
+
+// CheckInduction discharges the Section 8.4 smooth-solution induction
+// rule over the bounded tree: it verifies φ(⊥), then checks the inductive
+// step along every explored edge, and finally — soundness of the rule —
+// confirms φ on every enumerated solution. It returns an error describing
+// the first failed premise; if the premises hold but some solution
+// violates φ, the returned error says so (and would indicate a bug, since
+// the rule is sound).
+func CheckInduction(p Problem, phi func(trace.Trace) bool) error {
+	if !phi(trace.Empty) {
+		return errors.New("solver: induction base φ(⊥) fails")
+	}
+	var queue []trace.Trace
+	queue = append(queue, trace.Empty)
+	nodes := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		nodes++
+		if p.MaxNodes > 0 && nodes > p.MaxNodes {
+			return ErrBudget
+		}
+		if u.Len() >= p.MaxDepth {
+			continue
+		}
+		for _, v := range expand(p, u) {
+			if err := p.D.InductionPremise(phi, u, v); err != nil {
+				return err
+			}
+			queue = append(queue, v)
+		}
+	}
+	for _, s := range Enumerate(p).Solutions {
+		if !phi(s) {
+			return fmt.Errorf("solver: induction rule unsound?! φ fails on smooth solution %s", s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"testing"
+
+	"smoothproc/internal/value"
+)
+
+func benchTrace(n int) Trace {
+	chans := []string{"a", "b", "c"}
+	t := make(Trace, n)
+	for i := range t {
+		t[i] = E(chans[i%3], value.Int(int64(i%5)))
+	}
+	return t
+}
+
+func BenchmarkProject(b *testing.B) {
+	t := benchTrace(256)
+	l := NewChanSet("a", "c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Project(l)
+	}
+}
+
+func BenchmarkChannelHistory(b *testing.B) {
+	t := benchTrace(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Channel("b")
+	}
+}
+
+func BenchmarkPrePairsSweep(b *testing.B) {
+	t := benchTrace(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		t.PrePairs(func(u, v Trace) bool {
+			count++
+			return true
+		})
+		if count != 64 {
+			b.Fatal("wrong pair count")
+		}
+	}
+}
+
+func BenchmarkF5Witness(b *testing.B) {
+	t := benchTrace(64)
+	l := NewChanSet("b")
+	ti := t.Project(l)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := F5Witness(ti.Take(10), ti.Take(11), t, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package trace implements communication traces: sequences of
+// (channel, message) pairs, as defined in Section 3.1 of the paper.
+//
+// A trace records the sends of a computation — "a pair (c, m) is included
+// in a history if m is sent along c; receipt of a data item is not shown".
+// Traces under prefix ordering form a cpo (Fact F1); projection onto a
+// channel set is continuous (Fact F3); and the pre relation — u pre v in t
+// iff u, v are finite prefixes of t with |v| = |u|+1 — drives the
+// smoothness condition of descriptions (package desc).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smoothproc/internal/seq"
+	"smoothproc/internal/value"
+)
+
+// Event is one communication: message Val sent along channel Ch.
+type Event struct {
+	Ch  string
+	Val value.Value
+}
+
+// E is shorthand for constructing an Event.
+func E(ch string, v value.Value) Event { return Event{Ch: ch, Val: v} }
+
+// Equal reports equality of events.
+func (e Event) Equal(f Event) bool { return e.Ch == f.Ch && e.Val.Equal(f.Val) }
+
+// String renders the event as (c,m), matching the paper's notation.
+func (e Event) String() string { return "(" + e.Ch + "," + e.Val.String() + ")" }
+
+// Trace is a finite communication history. The nil and empty slices both
+// represent ⊥ (the empty trace). Traces are treated as immutable.
+type Trace []Event
+
+// Empty is the bottom element ⊥ of the trace cpo.
+var Empty = Trace{}
+
+// Of builds a trace from events.
+func Of(events ...Event) Trace {
+	t := make(Trace, len(events))
+	copy(t, events)
+	return t
+}
+
+// Len returns the number of events.
+func (t Trace) Len() int { return len(t) }
+
+// IsEmpty reports whether t is ⊥.
+func (t Trace) IsEmpty() bool { return len(t) == 0 }
+
+// At returns the i-th event.
+func (t Trace) At(i int) Event { return t[i] }
+
+// Equal reports event-wise equality.
+func (t Trace) Equal(u Trace) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Leq reports the prefix order t ⊑ u (Fact F1's ordering).
+func (t Trace) Leq(u Trace) bool {
+	if len(t) > len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether t and u are comparable under ⊑.
+func (t Trace) Compatible(u Trace) bool { return t.Leq(u) || u.Leq(t) }
+
+// Take returns the prefix of length at most n.
+func (t Trace) Take(n int) Trace {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(t) {
+		n = len(t)
+	}
+	out := make(Trace, n)
+	copy(out, t[:n])
+	return out
+}
+
+// Append returns t extended by one event.
+func (t Trace) Append(e Event) Trace {
+	out := make(Trace, 0, len(t)+1)
+	out = append(out, t...)
+	out = append(out, e)
+	return out
+}
+
+// Concat returns t followed by u.
+func (t Trace) Concat(u Trace) Trace {
+	out := make(Trace, 0, len(t)+len(u))
+	out = append(out, t...)
+	out = append(out, u...)
+	return out
+}
+
+// Prefixes returns all finite prefixes of t in increasing length,
+// including ⊥ and t itself — the chain of Fact F2, whose lub is t.
+func (t Trace) Prefixes() []Trace {
+	out := make([]Trace, len(t)+1)
+	for i := 0; i <= len(t); i++ {
+		out[i] = t.Take(i)
+	}
+	return out
+}
+
+// PrePairs calls visit(u, v) for every pair with u pre v in t, i.e. for
+// each consecutive pair of finite prefixes. Returning false from visit
+// stops the iteration early.
+func (t Trace) PrePairs(visit func(u, v Trace) bool) {
+	for i := 0; i < len(t); i++ {
+		if !visit(t.Take(i), t.Take(i+1)) {
+			return
+		}
+	}
+}
+
+// Pre reports whether u pre v in t holds.
+func Pre(u, v, t Trace) bool {
+	return len(v) == len(u)+1 && u.Leq(t) && v.Leq(t) && u.Leq(v)
+}
+
+// Project returns the projection t_L: the subsequence of events whose
+// channel is in L (Section 3.1.2). Projection is continuous (Fact F3);
+// the package tests check this on growing prefix chains.
+func (t Trace) Project(l ChanSet) Trace {
+	out := make(Trace, 0, len(t))
+	for _, e := range t {
+		if l.Has(e.Ch) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Channel returns the sequence of messages sent along channel c in t —
+// the paper's convention that "a channel name denotes the function that
+// maps a trace to the sequence associated with c in the trace" (Section
+// 4). Continuous.
+func (t Trace) Channel(c string) seq.Seq {
+	out := make(seq.Seq, 0, len(t))
+	for _, e := range t {
+		if e.Ch == c {
+			out = append(out, e.Val)
+		}
+	}
+	return out
+}
+
+// Channels returns the sorted set of channel names occurring in t.
+func (t Trace) Channels() []string {
+	set := map[string]bool{}
+	for _, e := range t {
+		set[e.Ch] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the trace in the paper's notation, e.g.
+// ⟨(b,0)(c,1)(d,0)⟩; ⊥ renders as ⟨⟩.
+func (t Trace) String() string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for _, e := range t {
+		b.WriteString(e.String())
+	}
+	b.WriteString("⟩")
+	return b.String()
+}
+
+// Key returns a canonical string usable as a map key for deduplication.
+func (t Trace) Key() string { return t.String() }
+
+// ChanSet is a set of channel names.
+type ChanSet map[string]bool
+
+// NewChanSet builds a set from names.
+func NewChanSet(names ...string) ChanSet {
+	s := make(ChanSet, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Has reports membership.
+func (s ChanSet) Has(c string) bool { return s[c] }
+
+// Names returns the sorted member names.
+func (s ChanSet) Names() []string {
+	out := make([]string, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Union returns the union of the sets — the incident channels of a
+// network are the union of its components' incident channels.
+func (s ChanSet) Union(t ChanSet) ChanSet {
+	out := make(ChanSet, len(s)+len(t))
+	for c := range s {
+		out[c] = true
+	}
+	for c := range t {
+		out[c] = true
+	}
+	return out
+}
+
+// Intersects reports whether the sets share a member. Theorem 1's
+// independence hypothesis is the negation of this for the supports of the
+// two sides of a description.
+func (s ChanSet) Intersects(t ChanSet) bool {
+	for c := range s {
+		if t[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// Without returns s minus the given names — used by variable elimination
+// (Section 7), where c is "the subset of channels excluding b".
+func (s ChanSet) Without(names ...string) ChanSet {
+	out := make(ChanSet, len(s))
+	for c := range s {
+		out[c] = true
+	}
+	for _, n := range names {
+		delete(out, n)
+	}
+	return out
+}
+
+// CheckF4 verifies Fact F4 on concrete u, v, t, l: if u pre v in t then
+// either the projections on l are equal or they are consecutive prefixes
+// of t's projection. It returns an error naming the failed clause; a
+// failure indicates broken projection code, as F4 is a theorem.
+func CheckF4(u, v, t Trace, l ChanSet) error {
+	if !Pre(u, v, t) {
+		return fmt.Errorf("trace: hypothesis u pre v in t fails for u=%s v=%s", u, v)
+	}
+	ui, vi, ti := u.Project(l), v.Project(l), t.Project(l)
+	if ui.Equal(vi) || Pre(ui, vi, ti) {
+		return nil
+	}
+	return fmt.Errorf("trace: F4 fails: u_i=%s v_i=%s", ui, vi)
+}
+
+// F5Witness realises Fact F5: given x pre y in the projection of t on l,
+// it returns u, v with u pre v in t, u's projection x and v's projection
+// y. It follows the paper's proof: v is the shortest prefix of t whose
+// projection is y.
+func F5Witness(x, y, t Trace, l ChanSet) (u, v Trace, err error) {
+	ti := t.Project(l)
+	if !Pre(x, y, ti) {
+		return nil, nil, fmt.Errorf("trace: hypothesis x pre y in t_i fails for x=%s y=%s", x, y)
+	}
+	for n := 1; n <= len(t); n++ {
+		cand := t.Take(n)
+		if cand.Project(l).Equal(y) {
+			u, v = t.Take(n-1), cand
+			if !u.Project(l).Equal(x) {
+				return nil, nil, fmt.Errorf("trace: F5 construction failed: u_i=%s, want %s", u.Project(l), x)
+			}
+			return u, v, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("trace: no prefix of t projects to %s", y)
+}
+
+// Gen generates the finite prefixes of a possibly-infinite trace: Prefix
+// must be monotone in n (Prefix(m) ⊑ Prefix(n) for m ≤ n) and return the
+// length-n prefix, or the whole trace if it is shorter than n. Gens are
+// this repository's finite-approximation stand-in for the paper's
+// ω-traces (see DESIGN.md).
+type Gen struct {
+	Name   string
+	Prefix func(n int) Trace
+}
+
+// FiniteGen wraps a finite trace as a generator.
+func FiniteGen(t Trace) Gen {
+	return Gen{Name: t.String(), Prefix: func(n int) Trace { return t.Take(n) }}
+}
+
+// CycleGen generates period repeated forever — e.g. the Ticks trace
+// (b,T)^ω of Section 4.2 and the 0^ω limit of Section 2.1.
+func CycleGen(name string, period Trace) Gen {
+	return Gen{Name: name, Prefix: func(n int) Trace {
+		if len(period) == 0 || n <= 0 {
+			return Empty
+		}
+		out := make(Trace, n)
+		for i := 0; i < n; i++ {
+			out[i] = period[i%len(period)]
+		}
+		return out
+	}}
+}
+
+// FuncGen generates the trace whose i-th event (0-based) is at(i).
+func FuncGen(name string, at func(i int) Event) Gen {
+	return Gen{Name: name, Prefix: func(n int) Trace {
+		if n <= 0 {
+			return Empty
+		}
+		out := make(Trace, n)
+		for i := 0; i < n; i++ {
+			out[i] = at(i)
+		}
+		return out
+	}}
+}
+
+// BlockGen generates the infinite concatenation block(0), block(1), ... —
+// used for Section 2.3's solutions x (blocks B_i), y (reversed blocks)
+// and z (blocks C_i).
+func BlockGen(name string, block func(i int) Trace) Gen {
+	return Gen{Name: name, Prefix: func(n int) Trace {
+		out := make(Trace, 0, n)
+		for i := 0; len(out) < n; i++ {
+			b := block(i)
+			if len(b) == 0 {
+				continue
+			}
+			out = append(out, b...)
+		}
+		return Trace(out).Take(n)
+	}}
+}
+
+// CheckGenMonotone verifies the generator's prefix-chain property up to
+// depth: Prefix(n) ⊑ Prefix(n+1) and |Prefix(n)| ≤ n.
+func CheckGenMonotone(g Gen, depth int) error {
+	prev := g.Prefix(0)
+	if !prev.IsEmpty() {
+		return fmt.Errorf("trace: gen %s: Prefix(0) not empty", g.Name)
+	}
+	for n := 1; n <= depth; n++ {
+		cur := g.Prefix(n)
+		if len(cur) > n {
+			return fmt.Errorf("trace: gen %s: |Prefix(%d)| = %d > %d", g.Name, n, len(cur), n)
+		}
+		if !prev.Leq(cur) {
+			return fmt.Errorf("trace: gen %s: Prefix(%d) ⋢ Prefix(%d)", g.Name, n-1, n)
+		}
+		prev = cur
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+# Fair merge (Section 4.10) after eliminating the tagged intermediates:
+#   ZERO(b) <- tag0(c), ONE(b) <- tag1(d), e <- untag(b)
+# with single-item feeds.
+alphabet c = {10}
+alphabet d = {20}
+alphabet b = {(0,10), (1,20)}
+alphabet e = {10, 20}
+depth 6
+desc zero(b) <- tag0(c)
+desc one(b)  <- tag1(d)
+desc e       <- untag(b)
+desc c       <- [10]
+desc d       <- [20]
+expect solutions 14

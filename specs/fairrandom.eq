@@ -1,0 +1,8 @@
+# The fair random sequence of Section 4.7: TRUE(c) <- trues,
+# FALSE(c) <- falses. Fairness is an omega-property: no finite trace is a
+# smooth solution (every finite prefix still owes both bits forever).
+alphabet c = {T, F}
+depth 4
+desc true(c)  <- repeat [T]
+desc false(c) <- repeat [F]
+expect solutions 0

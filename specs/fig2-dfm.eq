@@ -1,0 +1,13 @@
+# The discriminated fair merge of Figure 2 (Section 2.2), fed 0 on b and
+# 1 on c: even(d) <- b, odd(d) <- c plus the two feeders.
+alphabet b = {0}
+alphabet c = {1}
+alphabet d = {0, 1}
+depth 4
+desc even(d) <- b
+desc odd(d)  <- c
+desc b <- [0]
+desc c <- [1]
+expect solutions 6
+expect solution [(b,0)(d,0)(c,1)(d,1)]
+expect nonsolution [(d,0)(b,0)(c,1)(d,1)]

@@ -1,0 +1,10 @@
+# Figure 3's eliminated equations (Section 2.3):
+#   even(d) <- 0; 2*d      odd(d) <- 2*d + 1
+# No finite smooth solutions exist (the network runs forever); the
+# sequence starting with -1 (the paper's z) is rejected at its first
+# element while the x-prefix 0 0 1 is a reachable history.
+alphabet d = ints -2 .. 7
+depth 5
+desc even(d) <- [0] ; 2*d
+desc odd(d)  <- 2*d + 1
+expect solutions 0

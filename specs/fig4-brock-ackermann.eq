@@ -1,0 +1,14 @@
+# The Brock-Ackermann network of Figure 4 (Section 2.4):
+#   process A fair-merges channel b with the internal sequence 0 2 onto c;
+#   process B answers first+1 after two inputs.
+# The equations have two solutions in c — 0 1 2 and 0 2 1 — but only
+# 0 2 1 is smooth: the smoothness condition resolves the anomaly.
+alphabet b = {1}
+alphabet c = ints 0 .. 2
+depth 4
+desc even(c) <- [0, 2]
+desc odd(c)  <- b
+desc b <- fBA(c)
+expect solutions 1
+expect solution [(c,0)(c,2)(b,1)(c,1)]
+expect nonsolution [(c,0)(c,1)(c,2)(b,1)]

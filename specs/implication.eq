@@ -1,0 +1,11 @@
+# The implication process of Figure 5 (Section 4.5), via the auxiliary
+# random bit b: R(b) <- T-bar, d <- b AND c.
+alphabet b = {T, F}
+alphabet c = {T, F}
+alphabet d = {T, F}
+depth 3
+desc R(b) <- [T]
+desc d <- and(b, c)
+expect solution [(b,T)(c,T)(d,T)]
+expect solution [(b,F)(c,T)(d,F)]
+expect nonsolution [(c,T)(d,T)]

@@ -1,0 +1,9 @@
+# The random bit of Section 4.3: R(b) <- T-bar. Exactly two smooth
+# solutions — one output bit, either value; the empty trace owes output.
+alphabet b = {T, F}
+depth 3
+desc R(b) <- [T]
+expect solutions 2
+expect solution [(b,T)]
+expect solution [(b,F)]
+expect nonsolution []

@@ -1,0 +1,11 @@
+# Section 7's closing note, system D1: v <- w, u <- v.
+# The trace (w,0)(u,0)(v,0) is NOT a smooth solution here — u's output
+# needs a cause on v, which is still empty.
+alphabet u = {0}
+alphabet v = {0}
+alphabet w = {0}
+depth 3
+desc v <- w
+desc u <- v
+expect nonsolution [(w,0)(u,0)(v,0)]
+expect solution [(w,0)(v,0)(u,0)]

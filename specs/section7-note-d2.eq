@@ -1,0 +1,12 @@
+# Section 7's closing note, system D2: v <- w, u <- w — obtained from D1
+# by substituting v's definition into u's. The same trace (w,0)(u,0)(v,0)
+# IS a smooth solution here: substitution with the defining description
+# kept does not preserve smooth solutions (the paper's point).
+alphabet u = {0}
+alphabet v = {0}
+alphabet w = {0}
+depth 3
+desc v <- w
+desc u <- w
+expect solution [(w,0)(u,0)(v,0)]
+expect solution [(w,0)(v,0)(u,0)]
