@@ -1,0 +1,124 @@
+// Baseline regression gate for the instrumented tree search: every
+// shipped spec is compiled and enumerated, and the deterministic search
+// counters (nodes, roles, pruning, memo traffic — everything except
+// wall-clock) are compared against BENCH_solver.json. A drift means the
+// search explored a different tree or evaluated a different number of
+// tuples than it used to — exactly the regressions timing benchmarks are
+// too noisy to catch. Regenerate with:
+//
+//	SMOOTHPROC_UPDATE_BASELINE=1 go test -run TestSolverBaseline .
+package smoothproc_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"smoothproc/internal/eqlang"
+	"smoothproc/internal/solver"
+)
+
+const baselineFile = "BENCH_solver.json"
+
+// baselineEntry is the deterministic fingerprint of one spec's search.
+type baselineEntry struct {
+	Spec           string `json:"spec"`
+	Nodes          int    `json:"nodes"`
+	Solutions      int    `json:"solutions"`
+	Frontier       int    `json:"frontier"`
+	Dead           int    `json:"dead"`
+	Closed         int    `json:"closed"`
+	EdgesChecked   int    `json:"edges_checked"`
+	EdgesKept      int    `json:"edges_kept"`
+	SubtreesPruned int    `json:"subtrees_pruned"`
+	LimitChecks    int    `json:"limit_checks"`
+	CacheHits      int64  `json:"cache_hits"`
+	CacheMisses    int64  `json:"cache_misses"`
+}
+
+func fingerprint(spec string, res solver.Result) baselineEntry {
+	st := res.Stats
+	return baselineEntry{
+		Spec:           spec,
+		Nodes:          res.Nodes,
+		Solutions:      st.Solutions,
+		Frontier:       st.Frontier,
+		Dead:           st.Dead,
+		Closed:         st.Closed,
+		EdgesChecked:   st.EdgesChecked,
+		EdgesKept:      st.EdgesKept,
+		SubtreesPruned: st.SubtreesPruned,
+		LimitChecks:    st.LimitChecks,
+		CacheHits:      st.Eval.CacheHits(),
+		CacheMisses:    st.Eval.CacheMisses(),
+	}
+}
+
+func currentBaseline(t *testing.T) []baselineEntry {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join("specs", "*.eq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no spec files found")
+	}
+	sort.Strings(matches)
+	var out []baselineEntry
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := eqlang.CompileSource(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		res := solver.Enumerate(prog.Problem())
+		out = append(out, fingerprint(filepath.Base(path), res))
+	}
+	return out
+}
+
+func TestSolverBaseline(t *testing.T) {
+	got := currentBaseline(t)
+	if os.Getenv("SMOOTHPROC_UPDATE_BASELINE") != "" {
+		js, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(baselineFile, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline regenerated with %d entries", len(got))
+		return
+	}
+	js, err := os.ReadFile(baselineFile)
+	if err != nil {
+		t.Fatalf("%v (run with SMOOTHPROC_UPDATE_BASELINE=1 to create)", err)
+	}
+	var want []baselineEntry
+	if err := json.Unmarshal(js, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", baselineFile, err)
+	}
+	wantBySpec := map[string]baselineEntry{}
+	for _, e := range want {
+		wantBySpec[e.Spec] = e
+	}
+	for _, g := range got {
+		w, ok := wantBySpec[g.Spec]
+		if !ok {
+			t.Errorf("%s: not in baseline — regenerate it", g.Spec)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: search fingerprint drifted:\n got %+v\nwant %+v", g.Spec, g, w)
+		}
+		delete(wantBySpec, g.Spec)
+	}
+	for spec := range wantBySpec {
+		t.Errorf("%s: in baseline but spec file is gone — regenerate it", spec)
+	}
+}

@@ -81,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	maxEvents := fs.Int("max-events", 16, "event budget")
 	list := fs.Bool("list", false, "list available networks")
+	showStats := fs.Bool("stats", false, "print run statistics (actions, channels, backlog)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -139,6 +140,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout, "quiescent:  the trace is a smooth solution of the description")
 		}
+	}
+	if *showStats {
+		fmt.Fprintf(stdout, "\n%s", res.Stats.Report().Text())
 	}
 	return 0
 }

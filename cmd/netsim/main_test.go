@@ -92,3 +92,16 @@ func TestSeedsDiffer(t *testing.T) {
 		t.Errorf("all seeds produced the same trace: %v", traces)
 	}
 }
+
+func TestRunStatsFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-net", "fig4", "-seed", "2", "-stats"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"[run]", "scheduler steps", "[channels]", "sends on c", "[backlog]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}

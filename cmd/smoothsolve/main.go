@@ -38,6 +38,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	showFrontier := fs.Bool("frontier", false, "also print frontier nodes (paths toward ω solutions)")
 	showDead := fs.Bool("dead", false, "also print dead leaves (stuck non-solutions)")
 	workers := fs.Int("workers", 1, "parallel tree workers (1 = sequential search)")
+	showStats := fs.Bool("stats", false, "print search statistics (nodes, pruning, memo, timing)")
+	statsJSON := fs.Bool("stats-json", false, "print search statistics as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -102,6 +104,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "dead leaves: %d\n", len(res.DeadLeaves))
 		for _, s := range res.DeadLeaves {
 			fmt.Fprintf(stdout, "  %s\n", s)
+		}
+	}
+	// Stats print before expectation checking, so a failing (e.g.
+	// truncated) run still shows its diagnostics.
+	if *showStats || *statsJSON {
+		rep := res.Stats.Report()
+		if *statsJSON {
+			js, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(stderr, "smoothsolve: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s\n", js)
+		} else {
+			fmt.Fprintf(stdout, "\n%s", rep.Text())
 		}
 	}
 	if len(prog.Expects) > 0 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -127,5 +128,81 @@ func TestRunMaxNodes(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "truncated") {
 		t.Errorf("truncation not reported:\n%s", out.String())
+	}
+}
+
+// statsLine extracts the integer following a "name  value" stats line.
+func statsValue(t *testing.T, out, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, name) {
+			fields := strings.Fields(strings.TrimPrefix(trimmed, name))
+			if len(fields) > 0 {
+				return fields[0]
+			}
+		}
+	}
+	t.Fatalf("stats line %q missing:\n%s", name, out)
+	return ""
+}
+
+// TestRunStats: the PR's acceptance criterion — on the Brock-Ackermann
+// spec, -stats prints nonzero pruned-subtree and cache-hit counters.
+func TestRunStats(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-stats", "-"}, strings.NewReader(fig4Source), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, section := range []string{"[search]", "[pruning]", "[memo]", "[levels]", "[timing]"} {
+		if !strings.Contains(got, section) {
+			t.Errorf("missing %s section:\n%s", section, got)
+		}
+	}
+	if v := statsValue(t, got, "subtrees pruned"); v == "0" {
+		t.Error("subtrees pruned is zero on fig4 — pruning not observed")
+	}
+	if v := statsValue(t, got, "cache hits"); v == "0" {
+		t.Error("cache hits is zero on fig4 — memoization not observed")
+	}
+}
+
+// TestRunStatsJSON: -stats-json emits parseable JSON with the same
+// counters.
+func TestRunStatsJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-stats-json", "-"}, strings.NewReader(fig4Source), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	start := strings.Index(got, "{")
+	if start < 0 {
+		t.Fatalf("no JSON in output:\n%s", got)
+	}
+	var stats struct {
+		Sections []struct {
+			Name  string `json:"name"`
+			Items []struct {
+				Name  string `json:"name"`
+				Value int64  `json:"value"`
+			} `json:"items"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(got[start:]), &stats); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, got[start:])
+	}
+	found := false
+	for _, sec := range stats.Sections {
+		for _, it := range sec.Items {
+			if sec.Name == "pruning" && it.Name == "subtrees pruned" && it.Value > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("pruning counter missing or zero in JSON:\n%s", got[start:])
 	}
 }

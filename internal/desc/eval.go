@@ -1,0 +1,173 @@
+package desc
+
+import (
+	"sync"
+	"time"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/metrics"
+	"smoothproc/internal/trace"
+)
+
+// evalCacheLimit caps the number of memoized tuples per side. The tree
+// search visits every node (and candidate son) once per distinct trace,
+// so the cache grows with the explored tree; past the cap the evaluator
+// keeps serving hits from what it has and stops inserting, degrading to
+// direct evaluation rather than growing without bound.
+const evalCacheLimit = 1 << 18
+
+// EvalStats counts what a description's two sides cost through an
+// Evaluator: underlying TraceFn applications, memo hits, and the time
+// spent inside f and g. Safe for concurrent use; read it via Snapshot.
+type EvalStats struct {
+	FApplies metrics.Counter
+	GApplies metrics.Counter
+	FHits    metrics.Counter
+	GHits    metrics.Counter
+	FTime    metrics.Timer
+	GTime    metrics.Timer
+}
+
+// Snapshot reads the stats into a plain value.
+func (s *EvalStats) Snapshot() EvalSnapshot {
+	return EvalSnapshot{
+		FApplies: s.FApplies.Load(),
+		GApplies: s.GApplies.Load(),
+		FHits:    s.FHits.Load(),
+		GHits:    s.GHits.Load(),
+		FNanos:   s.FTime.TotalNanos(),
+		GNanos:   s.GTime.TotalNanos(),
+	}
+}
+
+// EvalSnapshot is a copyable point-in-time view of EvalStats.
+type EvalSnapshot struct {
+	// FApplies and GApplies count underlying applications of the two
+	// sides — with memoization on, these are the cache misses.
+	FApplies int64 `json:"f_applies"`
+	GApplies int64 `json:"g_applies"`
+	// FHits and GHits count lookups served from the memo.
+	FHits int64 `json:"f_hits"`
+	GHits int64 `json:"g_hits"`
+	// FNanos and GNanos are the wall-clock nanoseconds spent inside the
+	// underlying applications.
+	FNanos int64 `json:"f_nanos"`
+	GNanos int64 `json:"g_nanos"`
+}
+
+// CacheHits returns the total memo hits across both sides.
+func (s EvalSnapshot) CacheHits() int64 { return s.FHits + s.GHits }
+
+// CacheMisses returns the total underlying applications across both
+// sides (every miss is an application, and vice versa).
+func (s EvalSnapshot) CacheMisses() int64 { return s.FApplies + s.GApplies }
+
+// Evaluator applies a description's two sides with optional memoization
+// over trace keys, counting applications, hits and evaluation time. The
+// tree search shares one evaluator per search, so f and g are applied at
+// most once per distinct trace even when nodes share long prefixes or
+// several workers race over the same level (the memo is safe for
+// concurrent use).
+//
+// Memoization is transparent: TraceFns are pure functions of the trace
+// (OmegaConstFn depends only on the trace's length, which the key also
+// determines), so a cached tuple equals a fresh application.
+type Evaluator struct {
+	d       Description
+	memoize bool
+	stats   EvalStats
+
+	mu sync.RWMutex
+	f  map[string]fn.Tuple
+	g  map[string]fn.Tuple
+}
+
+// NewEvaluator builds an evaluator for d; memoize false disables the
+// cache (counters and timers still run), which is the ablation mode.
+func NewEvaluator(d Description, memoize bool) *Evaluator {
+	e := &Evaluator{d: d, memoize: memoize}
+	if memoize {
+		e.f = make(map[string]fn.Tuple)
+		e.g = make(map[string]fn.Tuple)
+	}
+	return e
+}
+
+// Description returns the description being evaluated.
+func (e *Evaluator) Description() Description { return e.d }
+
+// Stats returns the live stats; read them via Snapshot.
+func (e *Evaluator) Stats() *EvalStats { return &e.stats }
+
+// Snapshot reads the evaluator's stats into a plain value.
+func (e *Evaluator) Snapshot() EvalSnapshot { return e.stats.Snapshot() }
+
+// Key returns the evaluator's cache key for t: the bracketless event
+// rendering of trace.Trace.AppendKey. The Keyed lookup variants accept a
+// caller-maintained key so incremental trace construction (the solver's
+// tree search) pays one small concatenation per node instead of an
+// O(len) re-derivation per lookup.
+func Key(t trace.Trace) string { return string(t.AppendKey(nil)) }
+
+func (e *Evaluator) apply(t trace.Trace, key string, haveKey bool, cache map[string]fn.Tuple,
+	side fn.TraceFn, hits *metrics.Counter, applies *metrics.Counter, timer *metrics.Timer) fn.Tuple {
+	if e.memoize {
+		if !haveKey {
+			key = Key(t)
+		}
+		e.mu.RLock()
+		v, ok := cache[key]
+		e.mu.RUnlock()
+		if ok {
+			hits.Inc()
+			return v
+		}
+	}
+	applies.Inc()
+	start := time.Now()
+	v := side.Apply(t)
+	timer.ObserveSince(start)
+	if e.memoize {
+		e.mu.Lock()
+		if len(cache) < evalCacheLimit {
+			cache[key] = v
+		}
+		e.mu.Unlock()
+	}
+	return v
+}
+
+// F applies the description's left side to t.
+func (e *Evaluator) F(t trace.Trace) fn.Tuple {
+	return e.apply(t, "", false, e.f, e.d.F, &e.stats.FHits, &e.stats.FApplies, &e.stats.FTime)
+}
+
+// G applies the description's right side to t.
+func (e *Evaluator) G(t trace.Trace) fn.Tuple {
+	return e.apply(t, "", false, e.g, e.d.G, &e.stats.GHits, &e.stats.GApplies, &e.stats.GTime)
+}
+
+// FKeyed is F with a caller-supplied cache key (key must equal Key(t)).
+func (e *Evaluator) FKeyed(t trace.Trace, key string) fn.Tuple {
+	return e.apply(t, key, true, e.f, e.d.F, &e.stats.FHits, &e.stats.FApplies, &e.stats.FTime)
+}
+
+// GKeyed is G with a caller-supplied cache key (key must equal Key(t)).
+func (e *Evaluator) GKeyed(t trace.Trace, key string) fn.Tuple {
+	return e.apply(t, key, true, e.g, e.d.G, &e.stats.GHits, &e.stats.GApplies, &e.stats.GTime)
+}
+
+// EdgeOK is Description.EdgeOK through the memo: f(v) ⊑ g(u).
+func (e *Evaluator) EdgeOK(u, v trace.Trace) bool {
+	return e.F(v).Leq(e.G(u))
+}
+
+// LimitOK is Description.LimitOK through the memo: f(t) = g(t).
+func (e *Evaluator) LimitOK(t trace.Trace) bool {
+	return e.F(t).Equal(e.G(t))
+}
+
+// LimitOKKeyed is LimitOK with a caller-supplied cache key.
+func (e *Evaluator) LimitOKKeyed(t trace.Trace, key string) bool {
+	return e.FKeyed(t, key).Equal(e.GKeyed(t, key))
+}

@@ -1,0 +1,144 @@
+package desc
+
+import (
+	"sync"
+	"testing"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+func evalTestDesc() Description {
+	return Combine("dfm",
+		MustNew("even", fn.OnChan(fn.Even, "d"), fn.ChanFn("b")),
+		MustNew("odd", fn.OnChan(fn.Odd, "d"), fn.ChanFn("c")),
+	)
+}
+
+func evalTestTraces() []trace.Trace {
+	base := trace.Of(
+		trace.E("b", value.Int(0)), trace.E("d", value.Int(0)),
+		trace.E("c", value.Int(1)), trace.E("d", value.Int(1)),
+	)
+	return base.Prefixes()
+}
+
+// TestEvaluatorTransparent: memoized evaluation agrees with direct
+// application of both sides on every prefix, in any query order.
+func TestEvaluatorTransparent(t *testing.T) {
+	d := evalTestDesc()
+	e := NewEvaluator(d, true)
+	traces := evalTestTraces()
+	// Query twice, second pass entirely from cache.
+	for pass := 0; pass < 2; pass++ {
+		for _, tr := range traces {
+			if !e.F(tr).Equal(d.F.Apply(tr)) {
+				t.Errorf("pass %d: F(%s) mismatch", pass, tr)
+			}
+			if !e.G(tr).Equal(d.G.Apply(tr)) {
+				t.Errorf("pass %d: G(%s) mismatch", pass, tr)
+			}
+			if e.LimitOK(tr) != d.LimitOK(tr) {
+				t.Errorf("pass %d: LimitOK(%s) mismatch", pass, tr)
+			}
+		}
+	}
+	for _, tr := range traces[1:] {
+		u := tr.Take(tr.Len() - 1)
+		if e.EdgeOK(u, tr) != d.EdgeOK(u, tr) {
+			t.Errorf("EdgeOK(%s, %s) mismatch", u, tr)
+		}
+	}
+	s := e.Snapshot()
+	if s.FApplies != int64(len(traces)) || s.GApplies != int64(len(traces)) {
+		t.Errorf("applies = %d/%d, want %d each (one per distinct trace)",
+			s.FApplies, s.GApplies, len(traces))
+	}
+	if s.CacheHits() == 0 {
+		t.Error("no cache hits on repeated queries")
+	}
+	if s.FNanos <= 0 || s.GNanos <= 0 {
+		t.Errorf("timers not running: f=%dns g=%dns", s.FNanos, s.GNanos)
+	}
+}
+
+// TestEvaluatorUnmemoized: with the cache off every query applies the
+// underlying function and no hit is ever recorded.
+func TestEvaluatorUnmemoized(t *testing.T) {
+	d := evalTestDesc()
+	e := NewEvaluator(d, false)
+	tr := evalTestTraces()[2]
+	for i := 0; i < 3; i++ {
+		e.F(tr)
+		e.G(tr)
+	}
+	s := e.Snapshot()
+	if s.FApplies != 3 || s.GApplies != 3 {
+		t.Errorf("applies = %d/%d, want 3 each", s.FApplies, s.GApplies)
+	}
+	if s.CacheHits() != 0 {
+		t.Errorf("hits = %d, want 0", s.CacheHits())
+	}
+	if s.CacheMisses() != 6 {
+		t.Errorf("misses = %d, want 6", s.CacheMisses())
+	}
+}
+
+// TestEvaluatorConcurrent hammers one evaluator from several goroutines —
+// the EnumerateParallel sharing pattern — and checks the results stay
+// correct and the books balance.
+func TestEvaluatorConcurrent(t *testing.T) {
+	d := evalTestDesc()
+	e := NewEvaluator(d, true)
+	traces := evalTestTraces()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := traces[i%len(traces)]
+				if !e.F(tr).Equal(d.F.Apply(tr)) {
+					select {
+					case errs <- "F mismatch on " + tr.String():
+					default:
+					}
+				}
+				if !e.G(tr).Equal(d.G.Apply(tr)) {
+					select {
+					case errs <- "G mismatch on " + tr.String():
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	s := e.Snapshot()
+	total := s.CacheHits() + s.CacheMisses()
+	if total != 2*8*200 {
+		t.Errorf("hits+misses = %d, want %d", total, 2*8*200)
+	}
+}
+
+// TestEvaluatorOmegaConst: OmegaConstFn's approximation depends on the
+// trace length, which the memo key determines — caching stays exact.
+func TestEvaluatorOmegaConst(t *testing.T) {
+	d := MustNew("ticks", fn.ChanFn("b"), fn.OmegaConstFn("trues", seq.Of(value.T)))
+	e := NewEvaluator(d, true)
+	for n := 0; n <= 4; n++ {
+		tr := trace.CycleGen("t", trace.Of(trace.E("b", value.T))).Prefix(n)
+		for i := 0; i < 2; i++ {
+			if !e.G(tr).Equal(d.G.Apply(tr)) {
+				t.Errorf("G mismatch at depth %d", n)
+			}
+		}
+	}
+}

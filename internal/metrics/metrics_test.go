@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("Load() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Errorf("Load() = %d, want 8000", got)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(2 * time.Millisecond)
+	if tm.Count() != 2 {
+		t.Errorf("Count() = %d, want 2", tm.Count())
+	}
+	if got := tm.TotalNanos(); got != int64(5*time.Millisecond) {
+		t.Errorf("TotalNanos() = %d", got)
+	}
+	stop := tm.Start()
+	stop()
+	if tm.Count() != 3 {
+		t.Errorf("Count() after Start/stop = %d, want 3", tm.Count())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 40, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 8, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Errorf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 18 { // -5 clamps to 0
+		t.Errorf("Sum = %d, want 18", s.Sum)
+	}
+	if s.Max != 8 {
+		t.Errorf("Max = %d, want 8", s.Max)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+	if s.String() == "" || s.Mean() <= 0 {
+		t.Error("snapshot rendering/mean broken")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(int64(w*500 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4000 {
+		t.Errorf("Count = %d, want 4000", s.Count)
+	}
+	if s.Max != 3999 {
+		t.Errorf("Max = %d, want 3999", s.Max)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot: %+v", s)
+	}
+}

@@ -118,6 +118,9 @@ type Result struct {
 	Crashed []Crash
 	// Err reports a malformed network (e.g. two receivers on a channel).
 	Err error
+	// Stats instruments the run: fired-action kinds, enabled-set widths,
+	// per-channel sends and the backlog distribution seen at reads.
+	Stats RunStats
 }
 
 // Crash records one process panic.

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"smoothproc/internal/metrics"
 	"smoothproc/internal/trace"
 	"smoothproc/internal/value"
 )
@@ -16,10 +17,12 @@ import (
 // networks use — in Figure 3 the dfm output d is consumed by both P
 // and Q.
 type runner struct {
-	spec   Spec
-	procs  []*procState
-	logs   map[string][]value.Value
-	events trace.Trace
+	spec    Spec
+	procs   []*procState
+	logs    map[string][]value.Value
+	events  trace.Trace
+	stats   RunStats
+	backlog metrics.Histogram
 }
 
 type procState struct {
@@ -52,6 +55,7 @@ func Run(spec Spec, d Decider, limits Limits) Result {
 		spec: spec,
 		logs: map[string][]value.Value{},
 	}
+	r.stats.SendsPerChan = map[string]int{}
 	for _, p := range spec.Procs {
 		ps := &procState{
 			name:   p.Name,
@@ -100,6 +104,8 @@ func Run(spec Spec, d Decider, limits Limits) Result {
 			break
 		}
 		res.Decisions++
+		r.stats.EnabledSum += len(acts)
+		r.stats.EnabledMax = max(r.stats.EnabledMax, len(acts))
 		r.fire(acts[choice])
 		if len(r.events) >= limits.MaxEvents {
 			res.Reason = StopEventBudget
@@ -114,6 +120,9 @@ func Run(spec Spec, d Decider, limits Limits) Result {
 		}
 	}
 	res.Trace = r.events
+	r.stats.Steps = res.Decisions
+	r.stats.Backlog = r.backlog.Snapshot()
+	res.Stats = r.stats
 	return res
 }
 
@@ -211,18 +220,23 @@ func (r *runner) fire(a action) {
 	ps.pending = nil
 	switch req.kind {
 	case opSend:
+		r.stats.Sends++
 		r.emit(req.ch, req.val)
 		ps.resp <- response{ok: true}
 	case opRecv:
+		r.stats.Recvs++
 		v := r.read(ps, req.ch)
 		ps.resp <- response{ok: true, val: v}
 	case opRecvAny:
+		r.stats.Recvs++
 		ch := req.chans[a.opt]
 		v := r.read(ps, ch)
 		ps.resp <- response{ok: true, val: v, ch: ch}
 	case opChoose:
+		r.stats.Choices++
 		ps.resp <- response{ok: true, choice: a.opt}
 	case opSelect:
+		r.stats.Selects++
 		if a.opt < len(req.sends) {
 			alt := req.sends[a.opt]
 			r.emit(alt.Ch, alt.Val)
@@ -237,11 +251,15 @@ func (r *runner) fire(a action) {
 }
 
 func (r *runner) emit(ch string, v value.Value) {
+	r.stats.SendsPerChan[ch]++
 	r.logs[ch] = append(r.logs[ch], v)
 	r.events = r.events.Append(trace.E(ch, v))
 }
 
 func (r *runner) read(ps *procState, ch string) value.Value {
+	// The backlog at a read is the unread occupancy the consumer saw —
+	// always ≥ 1, since reads are granted only when data is available.
+	r.backlog.Observe(int64(len(r.logs[ch]) - ps.cursor[ch]))
 	v := r.logs[ch][ps.cursor[ch]]
 	ps.cursor[ch]++
 	return v

@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"sort"
+	"strconv"
+
+	"smoothproc/internal/metrics"
+	"smoothproc/internal/report"
+)
+
+// RunStats instruments one scheduler run: how many actions of each kind
+// fired, how wide the enabled set was at each decision point, where the
+// sends went, and how much unread data sat in a channel whenever a
+// process read from it. All fields are plain values — a Result (and its
+// stats) can be copied and compared freely.
+type RunStats struct {
+	// Steps counts fired scheduler actions; it always equals
+	// Result.Decisions and is repeated here so the stats are
+	// self-contained.
+	Steps int
+	// Sends, Recvs, Choices and Selects partition the fired actions by
+	// the kind of the request they granted. A Select that resolved to a
+	// send still counts as a Select here; its emission shows up in
+	// SendsPerChan and the trace.
+	Sends   int
+	Recvs   int
+	Choices int
+	Selects int
+	// EnabledSum and EnabledMax summarise the size of the enabled set
+	// over all decision points: their quotient is the mean branching the
+	// Decider faced, the max its widest choice.
+	EnabledSum int
+	EnabledMax int
+	// SendsPerChan counts emissions per channel (Select-sends included);
+	// the values sum to the trace length.
+	SendsPerChan map[string]int
+	// Backlog is the distribution of channel occupancy observed at reads:
+	// for each granted receive, the number of unread values in the channel
+	// just before the read (always ≥ 1). A large max means a producer ran
+	// far ahead of its consumer — unbounded buffering at work.
+	Backlog metrics.HistSnapshot
+}
+
+// Report renders the stats as ordered sections for text/JSON output.
+func (s RunStats) Report() report.Stats {
+	var out report.Stats
+
+	run := report.Section{Name: "run"}
+	run.AddInt("scheduler steps", s.Steps)
+	run.AddInt("sends fired", s.Sends)
+	run.AddInt("receives fired", s.Recvs)
+	run.AddInt("choices fired", s.Choices)
+	run.AddInt("selects fired", s.Selects)
+	run.AddInt("enabled sum", s.EnabledSum)
+	run.AddInt("enabled max", s.EnabledMax)
+	out.Sections = append(out.Sections, run)
+
+	if len(s.SendsPerChan) > 0 {
+		chans := make([]string, 0, len(s.SendsPerChan))
+		for c := range s.SendsPerChan {
+			chans = append(chans, c)
+		}
+		sort.Strings(chans)
+		sec := report.Section{Name: "channels"}
+		for _, c := range chans {
+			sec.AddInt("sends on "+c, s.SendsPerChan[c])
+		}
+		out.Sections = append(out.Sections, sec)
+	}
+
+	if s.Backlog.Count > 0 {
+		sec := report.Section{Name: "backlog"}
+		sec.Add("reads", s.Backlog.Count, "")
+		sec.Add("backlog sum", s.Backlog.Sum, "")
+		sec.Add("backlog max", s.Backlog.Max, "")
+		for _, b := range s.Backlog.Buckets {
+			sec.Add("reads with backlog ≤ "+strconv.FormatInt(b.Le, 10), b.N, "")
+		}
+		out.Sections = append(out.Sections, sec)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"testing"
+
+	"smoothproc/internal/value"
+)
+
+// TestRunStatsInvariants: on a deterministic copy run, the stats books
+// balance — steps partition into action kinds, per-channel sends sum to
+// the trace length, and every granted read observed a positive backlog.
+func TestRunStatsInvariants(t *testing.T) {
+	res := Run(copySpec(value.Ints(1, 2, 3)...), NewRandomDecider(7), Limits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := res.Stats
+	if st.Steps != res.Decisions {
+		t.Errorf("steps %d ≠ decisions %d", st.Steps, res.Decisions)
+	}
+	if got := st.Sends + st.Recvs + st.Choices + st.Selects; got != st.Steps {
+		t.Errorf("action kinds sum to %d, want %d", got, st.Steps)
+	}
+	// The copy network fires only sends and receives: 6 sends (3 in, 3
+	// out) and 3 receives.
+	if st.Sends != 6 || st.Recvs != 3 || st.Choices != 0 || st.Selects != 0 {
+		t.Errorf("kinds = %d/%d/%d/%d", st.Sends, st.Recvs, st.Choices, st.Selects)
+	}
+	var perChan int
+	for _, n := range st.SendsPerChan {
+		perChan += n
+	}
+	if perChan != res.Trace.Len() {
+		t.Errorf("per-channel sends %d ≠ trace length %d", perChan, res.Trace.Len())
+	}
+	if st.SendsPerChan["in"] != 3 || st.SendsPerChan["out"] != 3 {
+		t.Errorf("SendsPerChan = %v", st.SendsPerChan)
+	}
+	if st.Backlog.Count != int64(st.Recvs) {
+		t.Errorf("backlog observations %d ≠ receives %d", st.Backlog.Count, st.Recvs)
+	}
+	if st.Backlog.Sum < st.Backlog.Count || st.Backlog.Max < 1 {
+		t.Errorf("backlog sum %d max %d with %d reads",
+			st.Backlog.Sum, st.Backlog.Max, st.Backlog.Count)
+	}
+	if st.EnabledMax < 1 || st.EnabledSum < st.Steps {
+		t.Errorf("enabled sum %d max %d over %d steps", st.EnabledSum, st.EnabledMax, st.Steps)
+	}
+}
+
+// TestRunStatsDeterministicPerSeed: equal seeds give equal stats.
+func TestRunStatsDeterministicPerSeed(t *testing.T) {
+	spec := copySpec(value.Ints(4, 5, 6)...)
+	a := Run(spec, NewRandomDecider(11), Limits{})
+	b := Run(spec, NewRandomDecider(11), Limits{})
+	if a.Stats.Report().Text() != b.Stats.Report().Text() {
+		t.Error("same seed produced different stats")
+	}
+}
+
+// TestRunStatsBacklogSeesBuffering: a script that lets the feeder run
+// far ahead of the copier forces a backlog > 1 at some read.
+func TestRunStatsBacklogSeesBuffering(t *testing.T) {
+	spec := copySpec(value.Ints(1, 2, 3, 4)...)
+	// Always pick the first enabled action: the feeder (process 0) sends
+	// all four values before the copier ever reads.
+	res := Run(spec, NewScriptDecider(make([]int, 64)), Limits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.Backlog.Max < 2 {
+		t.Errorf("backlog max = %d; producer run-ahead not observed", res.Stats.Backlog.Max)
+	}
+}
+
+// TestRunStatsChoicesCounted: internal choices fire through Choose and
+// are counted as such.
+func TestRunStatsChoicesCounted(t *testing.T) {
+	spec := Spec{Name: "chooser", Procs: []Proc{{Name: "p", Body: func(c *Ctx) {
+		for i := 0; i < 3; i++ {
+			n, ok := c.Choose(2)
+			if !ok {
+				return
+			}
+			if !c.Send("out", value.Int(int64(n))) {
+				return
+			}
+		}
+	}}}}
+	res := Run(spec, NewRandomDecider(3), Limits{})
+	if res.Stats.Choices != 3 || res.Stats.Sends != 3 {
+		t.Errorf("choices %d sends %d", res.Stats.Choices, res.Stats.Sends)
+	}
+	if res.Stats.EnabledMax != 2 {
+		t.Errorf("enabled max %d, want 2 (the two Choose branches)", res.Stats.EnabledMax)
+	}
+}
+
+// TestRunStatsReport: the report exposes the documented names and the
+// deterministic view carries everything (run stats have no timers).
+func TestRunStatsReport(t *testing.T) {
+	res := Run(copySpec(value.Ints(1, 2)...), NewRandomDecider(5), Limits{})
+	rep := res.Stats.Report()
+	steps, ok := rep.Get("run", "scheduler steps")
+	if !ok || steps != int64(res.Decisions) {
+		t.Errorf("scheduler steps: %d ok=%v", steps, ok)
+	}
+	if _, ok := rep.Get("channels", "sends on out"); !ok {
+		t.Error("missing per-channel sends")
+	}
+	if reads, ok := rep.Get("backlog", "reads"); !ok || reads != res.Stats.Backlog.Count {
+		t.Errorf("backlog reads: %d ok=%v", reads, ok)
+	}
+	det := rep.Deterministic()
+	if det.Text() != rep.Text() {
+		t.Error("run stats should be fully deterministic")
+	}
+}

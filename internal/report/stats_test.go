@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureStats exercises every rendering feature: multiple sections,
+// plain counts, a unit-bearing (timing) item, and names needing
+// alignment.
+func fixtureStats() Stats {
+	search := Section{Name: "search"}
+	search.AddInt("nodes visited", 31)
+	search.AddInt("smooth solutions", 2)
+	pruning := Section{Name: "pruning"}
+	pruning.AddInt("edges checked", 120)
+	pruning.AddInt("subtrees pruned", 90)
+	timing := Section{Name: "timing"}
+	timing.Add("search elapsed", 123456, "ns")
+	return Stats{Sections: []Section{search, pruning, timing}}
+}
+
+// golden compares got against the named testdata file; set
+// SMOOTHPROC_UPDATE_GOLDEN=1 to regenerate.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("SMOOTHPROC_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with SMOOTHPROC_UPDATE_GOLDEN=1 to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestStatsTextGolden(t *testing.T) {
+	golden(t, "stats.txt.golden", []byte(fixtureStats().Text()))
+}
+
+func TestStatsJSONGolden(t *testing.T) {
+	js, err := fixtureStats().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "stats.json.golden", js)
+}
+
+func TestStatsJSONRoundTrips(t *testing.T) {
+	js, err := fixtureStats().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := back.Get("pruning", "subtrees pruned"); !ok || got != 90 {
+		t.Errorf("round-trip lost data: %d ok=%v", got, ok)
+	}
+}
+
+func TestDeterministicDropsTiming(t *testing.T) {
+	det := fixtureStats().Deterministic()
+	if len(det.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2 (timing dropped whole)", len(det.Sections))
+	}
+	if _, ok := det.Get("timing", "search elapsed"); ok {
+		t.Error("timing item survived")
+	}
+	if v, ok := det.Get("search", "nodes visited"); !ok || v != 31 {
+		t.Error("deterministic view lost counters")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	if _, ok := fixtureStats().Get("search", "no such"); ok {
+		t.Error("Get invented an item")
+	}
+	if _, ok := fixtureStats().Get("no such", "nodes visited"); ok {
+		t.Error("Get crossed sections")
+	}
+}

@@ -4,30 +4,46 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-
-	"smoothproc/internal/trace"
+	"time"
 )
 
 // EnumerateParallel is Enumerate with the tree expanded level by level
 // across a worker pool. Results are identical to Enumerate up to
 // ordering; this implementation sorts each level canonically, so the
 // output is deterministic (and equal to Enumerate's after sorting).
-// Workers ≤ 0 uses GOMAXPROCS. The node budget is enforced per level
-// boundary, so a parallel run may visit up to one level beyond the
-// budget before stopping — still reported via Truncated.
+// Workers ≤ 0 uses GOMAXPROCS. All workers share one memoized evaluator,
+// so shared prefixes are evaluated once across the whole pool.
+//
+// The node budget is enforced inside level expansion: when a level would
+// cross MaxNodes, only the first MaxNodes−visited nodes of the level (in
+// canonical order) are visited, so a truncated search visits exactly
+// MaxNodes nodes — never a whole level more.
 func EnumerateParallel(p Problem, workers int) Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	s := newSearch(p)
 	var res Result
-	level := []trace.Trace{trace.Empty}
+	st := &res.Stats
+	start := time.Now()
+	level := []node{root}
 	for len(level) > 0 {
-		// Classify and expand this level in parallel.
+		if p.MaxNodes > 0 && res.Nodes+len(level) > p.MaxNodes {
+			res.Truncated = true
+			level = level[:p.MaxNodes-res.Nodes]
+			if len(level) == 0 {
+				break
+			}
+		}
+		// Classify and expand this level in parallel. Each worker keeps
+		// its counters in its slice of outs; aggregation is sequential.
 		type nodeOut struct {
 			solution bool
 			frontier bool
 			dead     bool
-			sons     []trace.Trace
+			closed   bool
+			sons     []node
+			stats    SearchStats
 		}
 		outs := make([]nodeOut, len(level))
 		var wg sync.WaitGroup
@@ -44,48 +60,80 @@ func EnumerateParallel(p Problem, workers int) Result {
 				for i := lo; i < hi; i++ {
 					cur := level[i]
 					o := &outs[i]
-					o.solution = p.D.LimitOK(cur)
-					if !p.Prune && o.solution {
-						o.solution = p.D.IsSmoothFinite(cur) == nil
-					}
-					if cur.Len() >= p.MaxDepth {
-						if hasSon(p, cur) {
+					o.solution = s.classify(cur, &o.stats)
+					if cur.t.Len() >= p.MaxDepth {
+						if s.hasSon(cur, &o.stats) {
 							o.frontier = true
 						} else if !o.solution {
 							o.dead = true
+						} else {
+							o.closed = true
 						}
 						continue
 					}
-					o.sons = expand(p, cur)
-					if len(o.sons) == 0 && !o.solution {
-						o.dead = true
+					o.sons = s.expand(cur, &o.stats)
+					if len(o.sons) == 0 {
+						if o.solution {
+							o.closed = true
+						} else {
+							o.dead = true
+						}
 					}
 				}
 			}(lo, hi)
 		}
 		wg.Wait()
 
-		var next []trace.Trace
+		var next []node
 		for i, o := range outs {
+			cur := level[i]
 			res.Nodes++
-			res.Visited = append(res.Visited, level[i])
+			res.Visited = append(res.Visited, cur.t)
+			st.Visited++
+			lvl := st.level(cur.t.Len())
+			lvl.Nodes++
 			if o.solution {
-				res.Solutions = append(res.Solutions, level[i])
+				res.Solutions = append(res.Solutions, cur.t)
+				st.Solutions++
+				lvl.Solutions++
 			}
-			if o.frontier {
-				res.Frontier = append(res.Frontier, level[i])
+			switch {
+			case o.frontier:
+				res.Frontier = append(res.Frontier, cur.t)
+				st.Frontier++
+			case o.dead:
+				res.DeadLeaves = append(res.DeadLeaves, cur.t)
+				st.Dead++
+			case o.closed:
+				st.Closed++
+			default:
+				st.Interior++
 			}
-			if o.dead {
-				res.DeadLeaves = append(res.DeadLeaves, level[i])
-			}
+			st.merge(o.stats)
 			next = append(next, o.sons...)
 		}
-		if p.MaxNodes > 0 && res.Nodes+len(next) > p.MaxNodes {
-			res.Truncated = true
-			return res
+		if res.Truncated {
+			break
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i].Key() < next[j].Key() })
+		sort.Slice(next, func(i, j int) bool { return next[i].key < next[j].key })
 		level = next
 	}
+	st.Elapsed = time.Since(start)
+	st.Eval = s.e.Snapshot()
 	return res
+}
+
+// merge folds one node's edge/level counters into the aggregate. Node
+// roles and per-level node counts are accounted by the sequential
+// aggregation loop; workers only produce edge fates and per-level prunes.
+func (s *SearchStats) merge(o SearchStats) {
+	s.LimitChecks += o.LimitChecks
+	s.EdgesChecked += o.EdgesChecked
+	s.EdgesKept += o.EdgesKept
+	s.SubtreesPruned += o.SubtreesPruned
+	s.FrontierWitnesses += o.FrontierWitnesses
+	for _, l := range o.Levels {
+		dst := s.level(l.Depth)
+		dst.Pruned += l.Pruned
+	}
 }

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math/rand"
+	"time"
 
 	"smoothproc/internal/trace"
 )
@@ -34,6 +35,11 @@ type SampleResult struct {
 	Deepest trace.Trace
 	// Steps is the total number of edges taken.
 	Steps int
+	// Stats instruments the walks. Walks revisit shared prefixes
+	// constantly, so the memo hit rate here is the highest of the three
+	// search modes; node-role counters stay zero (walks classify no
+	// nodes), while edge and evaluation counters are live.
+	Stats SearchStats
 }
 
 // Sample explores the Section 3.3 tree by random walks instead of
@@ -45,27 +51,33 @@ type SampleResult struct {
 // but deliberately incomplete; use Enumerate when the bounds allow.
 func Sample(p Problem, opts SampleOpts) SampleResult {
 	opts = opts.withDefaults(p)
+	s := newSearch(p)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := SampleResult{Solutions: map[string]trace.Trace{}}
+	st := &res.Stats
+	start := time.Now()
 	for w := 0; w < opts.Walks; w++ {
-		cur := trace.Empty
+		cur := root
 		for depth := 0; ; depth++ {
-			if p.D.LimitOK(cur) {
-				res.Solutions[cur.Key()] = cur
+			st.LimitChecks++
+			if s.e.LimitOKKeyed(cur.t, cur.key) {
+				res.Solutions[cur.t.Key()] = cur.t
 			}
 			if depth >= opts.MaxDepth {
 				break
 			}
-			sons := expand(p, cur)
+			sons := s.expand(cur, st)
 			if len(sons) == 0 {
 				break
 			}
 			cur = sons[rng.Intn(len(sons))]
 			res.Steps++
-			if cur.Len() > res.Deepest.Len() {
-				res.Deepest = cur
+			if cur.t.Len() > res.Deepest.Len() {
+				res.Deepest = cur.t
 			}
 		}
 	}
+	st.Elapsed = time.Since(start)
+	st.Eval = s.e.Snapshot()
 	return res
 }

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
 	"smoothproc/internal/trace"
 	"smoothproc/internal/value"
 )
@@ -42,6 +44,11 @@ type Problem struct {
 	// prune. With pruning off, every one-step extension is a son and
 	// smoothness is re-checked from scratch on candidate solutions.
 	Prune bool
+	// Memoize caches f and g evaluations across the whole search (one
+	// desc.Evaluator per Enumerate/EnumerateParallel/Sample call), so
+	// shared trace prefixes are evaluated once. Transparent to results;
+	// false is the memoization ablation.
+	Memoize bool
 }
 
 // NewProblem builds a pruned problem with sane defaults.
@@ -51,7 +58,7 @@ func NewProblem(d desc.Description, alphabet map[string][]value.Value, maxDepth 
 		chans = append(chans, c)
 	}
 	sort.Strings(chans)
-	return Problem{D: d, Channels: chans, Alphabet: alphabet, MaxDepth: maxDepth, Prune: true}
+	return Problem{D: d, Channels: chans, Alphabet: alphabet, MaxDepth: maxDepth, Prune: true, Memoize: true}
 }
 
 // Result reports a bounded exploration of the smooth-solution tree.
@@ -76,76 +83,171 @@ type Result struct {
 	Nodes int
 	// Truncated reports that MaxNodes stopped the search early.
 	Truncated bool
+	// Stats instruments the search: node roles, per-level fan-out,
+	// pruning effectiveness and evaluation cost. See SearchStats.
+	Stats SearchStats
 }
 
 // ErrBudget is returned via Result.Truncated semantics; kept for callers
 // that prefer errors.
 var ErrBudget = errors.New("solver: node budget exhausted")
 
+// node pairs a tree node with its evaluator cache key (desc.Key of the
+// trace), maintained incrementally as the trace grows so a memo lookup
+// never re-derives an O(depth) key.
+type node struct {
+	t   trace.Trace
+	key string
+}
+
+// root is the tree's bottom element ⊥ with its (empty) key.
+var root = node{t: trace.Empty}
+
+// search carries the machinery shared by one tree exploration: the
+// problem, the memoized evaluator, and the precomputed key fragment of
+// every candidate event, so extending a node's key is a single small
+// string concatenation.
+type search struct {
+	p  Problem
+	e  *desc.Evaluator
+	ev map[string][]string
+}
+
+func newSearch(p Problem) *search {
+	s := &search{p: p, e: desc.NewEvaluator(p.D, p.Memoize), ev: make(map[string][]string, len(p.Channels))}
+	for _, c := range p.Channels {
+		ks := make([]string, len(p.Alphabet[c]))
+		for i, m := range p.Alphabet[c] {
+			ks[i] = string(trace.E(c, m).AppendKey(nil))
+		}
+		s.ev[c] = ks
+	}
+	return s
+}
+
 // Enumerate explores the Section 3.3 tree breadth-first to the problem's
-// bounds and classifies every visited node.
+// bounds and classifies every visited node. One memoized evaluator backs
+// the whole search (see Problem.Memoize), so f and g are applied at most
+// once per distinct trace; Result.Stats accounts for every node and edge.
 func Enumerate(p Problem) Result {
+	s := newSearch(p)
+	res := enumerate(s)
+	res.Stats.Eval = s.e.Snapshot()
+	return res
+}
+
+func enumerate(s *search) Result {
+	p := s.p
 	var res Result
-	type node struct{ t trace.Trace }
-	queue := []node{{trace.Empty}}
+	st := &res.Stats
+	start := time.Now()
+	queue := []node{root}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		res.Nodes++
 		res.Visited = append(res.Visited, cur.t)
+		st.Visited++
 		if p.MaxNodes > 0 && res.Nodes > p.MaxNodes {
 			res.Truncated = true
-			return res
+			st.Skipped++
+			break
 		}
-		isSolution := p.D.LimitOK(cur.t)
-		if p.Prune {
-			// With pruning, every node is reachable only through smooth
-			// edges, so the limit condition alone decides.
-		} else if isSolution {
-			// Without pruning, re-check the full smoothness condition.
-			isSolution = p.D.IsSmoothFinite(cur.t) == nil
-		}
+		lvl := st.level(cur.t.Len())
+		lvl.Nodes++
+		isSolution := s.classify(cur, st)
 		if isSolution {
 			res.Solutions = append(res.Solutions, cur.t)
+			st.Solutions++
+			lvl.Solutions++
 		}
 		if cur.t.Len() >= p.MaxDepth {
-			if hasSon(p, cur.t) {
+			if s.hasSon(cur, st) {
 				res.Frontier = append(res.Frontier, cur.t)
+				st.Frontier++
 			} else if !isSolution {
 				res.DeadLeaves = append(res.DeadLeaves, cur.t)
+				st.Dead++
+			} else {
+				st.Closed++
 			}
 			continue
 		}
-		sons := expand(p, cur.t)
-		if len(sons) == 0 && !isSolution {
+		sons := s.expand(cur, st)
+		switch {
+		case len(sons) > 0:
+			st.Interior++
+		case isSolution:
+			st.Closed++
+		default:
 			res.DeadLeaves = append(res.DeadLeaves, cur.t)
+			st.Dead++
 		}
-		for _, s := range sons {
-			queue = append(queue, node{s})
-		}
+		queue = append(queue, sons...)
 	}
+	st.Elapsed = time.Since(start)
 	return res
 }
 
-func expand(p Problem, u trace.Trace) []trace.Trace {
-	var sons []trace.Trace
-	for _, c := range p.Channels {
-		for _, m := range p.Alphabet[c] {
-			v := u.Append(trace.E(c, m))
-			if !p.Prune || p.D.EdgeOK(u, v) {
-				sons = append(sons, v)
+// classify decides the limit condition at a node, with the full
+// smoothness re-check the unpruned ablation requires.
+func (s *search) classify(n node, st *SearchStats) bool {
+	st.LimitChecks++
+	isSolution := s.e.LimitOKKeyed(n.t, n.key)
+	if s.p.Prune {
+		// With pruning, every node is reachable only through smooth
+		// edges, so the limit condition alone decides.
+		return isSolution
+	}
+	if isSolution {
+		// Without pruning, re-check the full smoothness condition.
+		isSolution = s.p.D.IsSmoothFinite(n.t) == nil
+	}
+	return isSolution
+}
+
+// expand generates the smooth sons of u. g(u) is evaluated once per node
+// — not once per candidate — and each rejected candidate is a whole
+// subtree of the unpruned tree cut before any of it is expanded.
+func (s *search) expand(u node, st *SearchStats) []node {
+	var sons []node
+	lvl := st.level(u.t.Len() + 1)
+	var gu fn.Tuple
+	if s.p.Prune {
+		gu = s.e.GKeyed(u.t, u.key)
+	}
+	for _, c := range s.p.Channels {
+		for i, m := range s.p.Alphabet[c] {
+			v := node{t: u.t.Append(trace.E(c, m)), key: u.key + s.ev[c][i]}
+			st.EdgesChecked++
+			if s.p.Prune && !s.e.FKeyed(v.t, v.key).Leq(gu) {
+				st.SubtreesPruned++
+				lvl.Pruned++
+				continue
 			}
+			st.EdgesKept++
+			sons = append(sons, v)
 		}
 	}
 	return sons
 }
 
-func hasSon(p Problem, u trace.Trace) bool {
-	for _, c := range p.Channels {
-		for _, m := range p.Alphabet[c] {
-			if p.D.EdgeOK(u, u.Append(trace.E(c, m))) {
+// hasSon reports whether a depth-bound node has a smooth son, stopping at
+// the first witness. Failed candidates are pruned subtrees like expand's;
+// the witness is counted separately since it is never enqueued.
+func (s *search) hasSon(u node, st *SearchStats) bool {
+	lvl := st.level(u.t.Len() + 1)
+	gu := s.e.GKeyed(u.t, u.key)
+	for _, c := range s.p.Channels {
+		for i, m := range s.p.Alphabet[c] {
+			v := node{t: u.t.Append(trace.E(c, m)), key: u.key + s.ev[c][i]}
+			st.EdgesChecked++
+			if s.e.FKeyed(v.t, v.key).Leq(gu) {
+				st.FrontierWitnesses++
 				return true
 			}
+			st.SubtreesPruned++
+			lvl.Pruned++
 		}
 	}
 	return false
@@ -197,8 +299,9 @@ func CheckInduction(p Problem, phi func(trace.Trace) bool) error {
 	if !phi(trace.Empty) {
 		return errors.New("solver: induction base φ(⊥) fails")
 	}
-	var queue []trace.Trace
-	queue = append(queue, trace.Empty)
+	s := newSearch(p)
+	var st SearchStats
+	queue := []node{root}
 	nodes := 0
 	for len(queue) > 0 {
 		u := queue[0]
@@ -207,11 +310,11 @@ func CheckInduction(p Problem, phi func(trace.Trace) bool) error {
 		if p.MaxNodes > 0 && nodes > p.MaxNodes {
 			return ErrBudget
 		}
-		if u.Len() >= p.MaxDepth {
+		if u.t.Len() >= p.MaxDepth {
 			continue
 		}
-		for _, v := range expand(p, u) {
-			if err := p.D.InductionPremise(phi, u, v); err != nil {
+		for _, v := range s.expand(u, &st) {
+			if err := p.D.InductionPremise(phi, u.t, v.t); err != nil {
 				return err
 			}
 			queue = append(queue, v)

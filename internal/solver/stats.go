@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"smoothproc/internal/desc"
+	"smoothproc/internal/report"
+)
+
+// SearchStats instruments one Section 3.3 tree search. Each visited node
+// is classified into exactly one role:
+//
+//   - Interior: below the depth bound with at least one smooth son —
+//     the node was expanded.
+//   - Frontier: at the depth bound with at least one smooth son — a
+//     path toward ω solutions (Result.Frontier).
+//   - Dead: no smooth son and the limit condition fails — a stuck
+//     history (Result.DeadLeaves).
+//   - Closed: no smooth son and the limit condition holds — a sonless
+//     smooth solution, the search's true leaves.
+//   - Skipped: visited when the node budget ran out, left unclassified.
+//
+// Solutions counts limit-condition holders and cuts across roles: a
+// solution may be Closed (no sons) or Interior/Frontier (the process can
+// quiesce here or go on — nondeterminism the paper's Section 3.1.1
+// examples rely on).
+//
+// Edge accounting: EdgesChecked counts candidate one-step extensions
+// examined; each is kept (EdgesKept — the son is enqueued), pruned
+// (SubtreesPruned — the f(v) ⊑ g(u) filter cut the entire subtree below
+// the candidate before it was ever expanded), or a frontier witness
+// (FrontierWitnesses — a smooth son of a depth-bound node, proving
+// frontier membership without being enqueued).
+type SearchStats struct {
+	Visited  int `json:"visited"`
+	Interior int `json:"interior"`
+	Frontier int `json:"frontier"`
+	Dead     int `json:"dead"`
+	Closed   int `json:"closed"`
+	Skipped  int `json:"skipped"`
+
+	Solutions   int `json:"solutions"`
+	LimitChecks int `json:"limit_checks"`
+
+	EdgesChecked      int `json:"edges_checked"`
+	EdgesKept         int `json:"edges_kept"`
+	SubtreesPruned    int `json:"subtrees_pruned"`
+	FrontierWitnesses int `json:"frontier_witnesses"`
+
+	// Levels holds per-depth stats, indexed by trace length.
+	Levels []LevelStats `json:"levels,omitempty"`
+
+	// Eval is the description evaluator's account: f/g applications,
+	// memo hits, and where evaluation time went.
+	Eval desc.EvalSnapshot `json:"eval"`
+
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// LevelStats is the per-depth view of the search: how wide the tree was
+// at each level and how much of it the smoothness filter cut.
+type LevelStats struct {
+	Depth     int `json:"depth"`
+	Nodes     int `json:"nodes"`
+	Solutions int `json:"solutions"`
+	// Pruned counts subtrees cut at this depth: candidates of length
+	// Depth rejected by the edge filter.
+	Pruned int `json:"pruned"`
+}
+
+// level returns the stats slot for the given depth, growing as needed.
+func (s *SearchStats) level(depth int) *LevelStats {
+	for len(s.Levels) <= depth {
+		s.Levels = append(s.Levels, LevelStats{Depth: len(s.Levels)})
+	}
+	return &s.Levels[depth]
+}
+
+// CheckInvariants verifies the books balance. Beyond arithmetic, these
+// encode the search's contract: every visited node has exactly one role,
+// every examined edge has exactly one fate, and (absent truncation)
+// every kept edge leads to exactly one visited node — the tree property.
+func (s SearchStats) CheckInvariants(truncated bool) error {
+	if got := s.Interior + s.Frontier + s.Dead + s.Closed + s.Skipped; got != s.Visited {
+		return fmt.Errorf("solver: stats: roles %d ≠ visited %d (interior %d + frontier %d + dead %d + closed %d + skipped %d)",
+			got, s.Visited, s.Interior, s.Frontier, s.Dead, s.Closed, s.Skipped)
+	}
+	if got := s.EdgesKept + s.SubtreesPruned + s.FrontierWitnesses; got != s.EdgesChecked {
+		return fmt.Errorf("solver: stats: edge fates %d ≠ edges checked %d", got, s.EdgesChecked)
+	}
+	if !truncated {
+		if s.Skipped != 0 {
+			return fmt.Errorf("solver: stats: %d skipped nodes without truncation", s.Skipped)
+		}
+		if s.Visited != s.EdgesKept+1 {
+			return fmt.Errorf("solver: stats: visited %d ≠ kept edges %d + root", s.Visited, s.EdgesKept)
+		}
+	}
+	var lvlNodes, lvlSols, lvlPruned int
+	for _, l := range s.Levels {
+		lvlNodes += l.Nodes
+		lvlSols += l.Solutions
+		lvlPruned += l.Pruned
+	}
+	if lvlNodes != s.Visited-s.Skipped {
+		return fmt.Errorf("solver: stats: level nodes %d ≠ classified nodes %d", lvlNodes, s.Visited-s.Skipped)
+	}
+	if lvlSols != s.Solutions {
+		return fmt.Errorf("solver: stats: level solutions %d ≠ solutions %d", lvlSols, s.Solutions)
+	}
+	if lvlPruned != s.SubtreesPruned {
+		return fmt.Errorf("solver: stats: level pruned %d ≠ pruned %d", lvlPruned, s.SubtreesPruned)
+	}
+	return nil
+}
+
+// Report renders the stats in the repository's stable stats format (see
+// package report). Deterministic counters come first; the timing section
+// is wall-clock and varies run to run.
+func (s SearchStats) Report() report.Stats {
+	search := report.Section{Name: "search"}
+	search.AddInt("nodes visited", s.Visited)
+	search.AddInt("interior nodes", s.Interior)
+	search.AddInt("frontier nodes", s.Frontier)
+	search.AddInt("dead leaves", s.Dead)
+	search.AddInt("closed solutions", s.Closed)
+	search.AddInt("skipped (budget)", s.Skipped)
+	search.AddInt("smooth solutions", s.Solutions)
+	search.AddInt("limit checks", s.LimitChecks)
+
+	pruning := report.Section{Name: "pruning"}
+	pruning.AddInt("edges checked", s.EdgesChecked)
+	pruning.AddInt("edges kept", s.EdgesKept)
+	pruning.AddInt("subtrees pruned", s.SubtreesPruned)
+	pruning.AddInt("frontier witnesses", s.FrontierWitnesses)
+
+	memo := report.Section{Name: "memo"}
+	memo.Add("cache hits", s.Eval.CacheHits(), "")
+	memo.Add("cache misses", s.Eval.CacheMisses(), "")
+	memo.Add("f applications", s.Eval.FApplies, "")
+	memo.Add("g applications", s.Eval.GApplies, "")
+
+	levels := report.Section{Name: "levels"}
+	for _, l := range s.Levels {
+		levels.AddInt(fmt.Sprintf("level %d nodes", l.Depth), l.Nodes)
+		levels.AddInt(fmt.Sprintf("level %d solutions", l.Depth), l.Solutions)
+		levels.AddInt(fmt.Sprintf("level %d pruned", l.Depth), l.Pruned)
+	}
+
+	timing := report.Section{Name: "timing"}
+	timing.Add("search elapsed", int64(s.Elapsed), "ns")
+	timing.Add("f evaluation", s.Eval.FNanos, "ns")
+	timing.Add("g evaluation", s.Eval.GNanos, "ns")
+
+	return report.Stats{Sections: []report.Section{search, pruning, memo, levels, timing}}
+}

@@ -12,7 +12,6 @@ package trace
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"smoothproc/internal/seq"
 	"smoothproc/internal/value"
@@ -181,16 +180,36 @@ func (t Trace) Channels() []string {
 	return out
 }
 
+// AppendKey appends the event rendering (c,m) to b and returns the
+// extended slice — one event's worth of Trace.AppendKey.
+func (e Event) AppendKey(b []byte) []byte {
+	b = append(b, '(')
+	b = append(b, e.Ch...)
+	b = append(b, ',')
+	b = e.Val.AppendTo(b)
+	return append(b, ')')
+}
+
+// AppendKey appends the bracketless event rendering of t — the body of
+// String between ⟨ and ⟩ — to b and returns the extended slice. Because
+// the rendering of an extension is a suffix extension of the original's,
+// callers that build traces incrementally (the solver) can maintain these
+// keys incrementally instead of re-deriving O(len) per lookup.
+func (t Trace) AppendKey(b []byte) []byte {
+	for _, e := range t {
+		b = e.AppendKey(b)
+	}
+	return b
+}
+
 // String renders the trace in the paper's notation, e.g.
 // ⟨(b,0)(c,1)(d,0)⟩; ⊥ renders as ⟨⟩.
 func (t Trace) String() string {
-	var b strings.Builder
-	b.WriteString("⟨")
-	for _, e := range t {
-		b.WriteString(e.String())
-	}
-	b.WriteString("⟩")
-	return b.String()
+	b := make([]byte, 0, 6+12*len(t))
+	b = append(b, "⟨"...)
+	b = t.AppendKey(b)
+	b = append(b, "⟩"...)
+	return string(b)
 }
 
 // Key returns a canonical string usable as a map key for deduplication.

@@ -224,6 +224,31 @@ func (v Value) String() string {
 	}
 }
 
+// AppendTo appends String's rendering of v to b and returns the extended
+// slice. Hot paths (trace keys in the solver's memoized evaluator) use
+// this to render values without intermediate string allocations.
+func (v Value) AppendTo(b []byte) []byte {
+	switch v.kind {
+	case KindInt:
+		return strconv.AppendInt(b, v.i, 10)
+	case KindBool:
+		if v.b {
+			return append(b, 'T')
+		}
+		return append(b, 'F')
+	case KindSym:
+		return append(b, v.s...)
+	case KindPair:
+		b = append(b, '(')
+		b = v.fst.AppendTo(b)
+		b = append(b, ',')
+		b = v.snd.AppendTo(b)
+		return append(b, ')')
+	default:
+		return append(b, "<invalid>"...)
+	}
+}
+
 // Parse reads a Value from its String form. Symbols must start with a
 // lowercase letter to avoid colliding with T and F.
 func Parse(s string) (Value, error) {
