@@ -4,13 +4,18 @@
 // wall-clock) are compared against BENCH_solver.json. A drift means the
 // search explored a different tree or evaluated a different number of
 // tuples than it used to — exactly the regressions timing benchmarks are
-// too noisy to catch. Regenerate with:
+// too noisy to catch. Regenerate deterministically with:
 //
-//	SMOOTHPROC_UPDATE_BASELINE=1 go test -run TestSolverBaseline .
+//	go test -run TestSolverBaseline -update .
+//
+// (or, equivalently, SMOOTHPROC_UPDATE_BASELINE=1 go test -run
+// TestSolverBaseline . — handy where flags can't be passed through).
 package smoothproc_test
 
 import (
+	"context"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"sort"
@@ -19,6 +24,11 @@ import (
 	"smoothproc/internal/eqlang"
 	"smoothproc/internal/solver"
 )
+
+// updateBaseline regenerates BENCH_solver.json instead of comparing
+// against it. The enumeration is deterministic, so two regenerations on
+// the same tree produce byte-identical files.
+var updateBaseline = flag.Bool("update", false, "rewrite BENCH_solver.json from the current search instead of checking it")
 
 const baselineFile = "BENCH_solver.json"
 
@@ -76,7 +86,7 @@ func currentBaseline(t *testing.T) []baselineEntry {
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
-		res := solver.Enumerate(prog.Problem())
+		res := solver.Enumerate(context.Background(), prog.Problem())
 		out = append(out, fingerprint(filepath.Base(path), res))
 	}
 	return out
@@ -84,7 +94,7 @@ func currentBaseline(t *testing.T) []baselineEntry {
 
 func TestSolverBaseline(t *testing.T) {
 	got := currentBaseline(t)
-	if os.Getenv("SMOOTHPROC_UPDATE_BASELINE") != "" {
+	if *updateBaseline || os.Getenv("SMOOTHPROC_UPDATE_BASELINE") != "" {
 		js, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)

@@ -9,6 +9,7 @@
 package smoothproc_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -73,7 +74,7 @@ func BenchmarkFig2DFM(b *testing.B) {
 			b.ReportAllocs()
 			var nodes int
 			for i := 0; i < b.N; i++ {
-				nodes = solver.Enumerate(p).Nodes
+				nodes = solver.Enumerate(context.Background(), p).Nodes
 			}
 			b.ReportMetric(float64(nodes), "treenodes")
 		})
@@ -130,7 +131,7 @@ func BenchmarkFig3Properties(b *testing.B) {
 	}, 6)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := solver.CheckInduction(p, phi); err != nil {
+		if err := solver.CheckInduction(context.Background(), p, phi); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +151,7 @@ func BenchmarkFig4BrockAckermann(b *testing.B) {
 	b.Run("solve", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if n := len(solver.Enumerate(p).Solutions); n != 1 {
+			if n := len(solver.Enumerate(context.Background(), p).Solutions); n != 1 {
 				b.Fatalf("%d solutions", n)
 			}
 		}
@@ -180,7 +181,7 @@ func BenchmarkChaos(b *testing.B) {
 			b.ReportAllocs()
 			var nodes int
 			for i := 0; i < b.N; i++ {
-				nodes = solver.Enumerate(p).Nodes
+				nodes = solver.Enumerate(context.Background(), p).Nodes
 			}
 			b.ReportMetric(float64(nodes), "treenodes")
 		})
@@ -196,7 +197,7 @@ func BenchmarkTicks(b *testing.B) {
 	b.Run("tree", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			solver.Enumerate(p)
+			solver.Enumerate(context.Background(), p)
 		}
 	})
 	b.Run("omega-certify", func(b *testing.B) {
@@ -522,7 +523,7 @@ func BenchmarkInduction(b *testing.B) {
 			}, depth)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := solver.CheckInduction(p, phi); err != nil {
+				if err := solver.CheckInduction(context.Background(), p, phi); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -541,7 +542,7 @@ func BenchmarkTreeSearch(b *testing.B) {
 			b.ReportAllocs()
 			var nodes int
 			for i := 0; i < b.N; i++ {
-				nodes = solver.Enumerate(pruned).Nodes
+				nodes = solver.Enumerate(context.Background(), pruned).Nodes
 			}
 			b.ReportMetric(float64(nodes), "treenodes")
 		})
@@ -549,7 +550,7 @@ func BenchmarkTreeSearch(b *testing.B) {
 			b.ReportAllocs()
 			var nodes int
 			for i := 0; i < b.N; i++ {
-				nodes = solver.Enumerate(unpruned).Nodes
+				nodes = solver.Enumerate(context.Background(), unpruned).Nodes
 			}
 			b.ReportMetric(float64(nodes), "treenodes")
 		})

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -82,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxEvents := fs.Int("max-events", 16, "event budget")
 	list := fs.Bool("list", false, "list available networks")
 	showStats := fs.Bool("stats", false, "print run statistics (actions, channels, backlog)")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound on the run (0 = none), e.g. 500ms or 10s")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -109,7 +111,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res := netsim.Run(net.spec, netsim.NewRandomDecider(*seed), netsim.Limits{MaxEvents: *maxEvents})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res := netsim.RunContext(ctx, net.spec, netsim.NewRandomDecider(*seed), netsim.Limits{MaxEvents: *maxEvents})
 	if res.Err != nil {
 		fmt.Fprintf(stderr, "netsim: %v\n", res.Err)
 		return 1

@@ -1,0 +1,422 @@
+// Command smoothctl is the client for smoothd. It uploads eqlang specs,
+// schedules solve jobs, polls their status, and load-tests a running
+// daemon.
+//
+// Usage:
+//
+//	smoothctl upload [-addr URL] file.eq
+//	smoothctl solve  [-addr URL] [-hash H | file.eq] [-depth N] [-workers N] [-timeout-ms N] [-async] [-no-cache]
+//	smoothctl status [-addr URL] job-id
+//	smoothctl bench  [-addr URL] [-concurrency N] [-requests N] [-o BENCH_service.json] file.eq
+//
+// The address may be a bare host:port or a full http:// URL.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smoothproc/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "upload":
+		return cmdUpload(rest, stdin, stdout, stderr)
+	case "solve":
+		return cmdSolve(rest, stdin, stdout, stderr)
+	case "status":
+		return cmdStatus(rest, stdout, stderr)
+	case "bench":
+		return cmdBench(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "smoothctl: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: smoothctl <command> [flags]
+
+commands:
+  upload  compile a spec on the server and print its hash
+  solve   run the smooth-solution search for a spec
+  status  show a job by id
+  bench   load-test the server and write BENCH_service.json`)
+}
+
+// client is a thin JSON-over-HTTP wrapper around one smoothd.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(addr string) *client {
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	return &client{base: strings.TrimRight(addr, "/"), http: &http.Client{}}
+}
+
+// call posts body (or GETs when body is nil) and decodes the response
+// into out. Non-2xx responses come back as errors carrying the server's
+// structured message.
+func (c *client) call(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		js, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(js)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var eb service.ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg := eb.Error
+			if eb.Line > 0 {
+				msg = fmt.Sprintf("%s\n  line %d: %s", msg, eb.Line, eb.Snippet)
+			}
+			return resp.StatusCode, fmt.Errorf("%s", msg)
+		}
+		return resp.StatusCode, fmt.Errorf("server returned %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func readSpec(path string, stdin io.Reader) (string, error) {
+	if path == "-" {
+		src, err := io.ReadAll(stdin)
+		return string(src), err
+	}
+	src, err := os.ReadFile(path)
+	return string(src), err
+}
+
+func cmdUpload(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := newFlagSet("upload", stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "smoothd address")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: smoothctl upload [-addr URL] file.eq  (use - for stdin)")
+		return 2
+	}
+	src, err := readSpec(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "smoothctl: %v\n", err)
+		return 1
+	}
+	var info service.SpecInfo
+	if _, err := newClient(*addr).call("POST", "/v1/specs", service.SpecRequest{Source: src}, &info); err != nil {
+		fmt.Fprintf(stderr, "smoothctl: upload: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hash: %s\n", info.Hash)
+	fmt.Fprintf(stdout, "depth: %d\n", info.Depth)
+	fmt.Fprintf(stdout, "channels: %s\n", strings.Join(info.Channels, " "))
+	for _, d := range info.Descriptions {
+		fmt.Fprintf(stdout, "desc: %s\n", d)
+	}
+	if info.Cached {
+		fmt.Fprintln(stdout, "(already compiled; served from spec cache)")
+	}
+	return 0
+}
+
+func cmdSolve(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := newFlagSet("solve", stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "smoothd address")
+	hash := fs.String("hash", "", "solve a previously uploaded spec by hash")
+	depth := fs.Int("depth", 0, "override the spec's probe depth")
+	maxNodes := fs.Int("max-nodes", 0, "bound on tree nodes explored")
+	workers := fs.Int("workers", 0, "parallel tree workers on the server")
+	timeoutMs := fs.Int("timeout-ms", 0, "per-job deadline in milliseconds")
+	async := fs.Bool("async", false, "submit without waiting; print the job id to poll")
+	noCache := fs.Bool("no-cache", false, "skip the server's result cache")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+
+	req := service.SolveRequest{
+		SpecHash:  *hash,
+		Depth:     *depth,
+		MaxNodes:  *maxNodes,
+		Workers:   *workers,
+		TimeoutMs: *timeoutMs,
+		Wait:      !*async,
+		NoCache:   *noCache,
+	}
+	switch {
+	case *hash == "" && fs.NArg() == 1:
+		src, err := readSpec(fs.Arg(0), stdin)
+		if err != nil {
+			fmt.Fprintf(stderr, "smoothctl: %v\n", err)
+			return 1
+		}
+		req.Source = src
+	case *hash != "" && fs.NArg() == 0:
+	default:
+		fmt.Fprintln(stderr, "usage: smoothctl solve [-addr URL] (-hash H | file.eq) [flags]")
+		return 2
+	}
+
+	var job service.JobView
+	if _, err := newClient(*addr).call("POST", "/v1/solve", req, &job); err != nil {
+		fmt.Fprintf(stderr, "smoothctl: solve: %v\n", err)
+		return 1
+	}
+	printJob(stdout, job)
+	if job.State == service.JobFailed {
+		return 1
+	}
+	return 0
+}
+
+func cmdStatus(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("status", stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "smoothd address")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: smoothctl status [-addr URL] job-id")
+		return 2
+	}
+	var job service.JobView
+	if _, err := newClient(*addr).call("GET", "/v1/jobs/"+fs.Arg(0), nil, &job); err != nil {
+		fmt.Fprintf(stderr, "smoothctl: status: %v\n", err)
+		return 1
+	}
+	printJob(stdout, job)
+	return 0
+}
+
+func printJob(w io.Writer, job service.JobView) {
+	if job.ID != "" {
+		fmt.Fprintf(w, "job: %s\n", job.ID)
+	}
+	fmt.Fprintf(w, "state: %s\n", job.State)
+	if job.Error != "" {
+		fmt.Fprintf(w, "error: %s\n", job.Error)
+	}
+	r := job.Result
+	if r == nil {
+		return
+	}
+	for _, sol := range r.Solutions {
+		fmt.Fprintf(w, "smooth solution: %s\n", sol)
+	}
+	fmt.Fprintf(w, "solutions: %d  frontier: %d  dead: %d  nodes: %d\n",
+		len(r.Solutions), r.Frontier, r.DeadLeaves, r.Nodes)
+	switch {
+	case r.Cached:
+		fmt.Fprintln(w, "(served from result cache; no search performed)")
+	case r.Canceled:
+		fmt.Fprintln(w, "(search cancelled by deadline; counts are a sound partial answer)")
+	case r.Truncated:
+		fmt.Fprintln(w, "(search truncated by node budget; counts are a sound partial answer)")
+	default:
+		fmt.Fprintf(w, "searched in %.1fms\n", r.ElapsedMs)
+	}
+}
+
+// BenchReport is the committed BENCH_service.json shape: one load-test
+// run of a smoothd instance.
+type BenchReport struct {
+	Spec        string  `json:"spec"`
+	SpecHash    string  `json:"spec_hash"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	RPS         float64 `json:"rps"`
+	LatencyMs   struct {
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+	NodesTotal int      `json:"nodes_total"`
+	Solutions  []string `json:"solutions"`
+}
+
+func cmdBench(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("bench", stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "smoothd address")
+	concurrency := fs.Int("concurrency", 8, "simultaneous solve requests")
+	requests := fs.Int("requests", 64, "total solve requests")
+	out := fs.String("o", "", "also write the report as JSON to this file")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: smoothctl bench [-addr URL] [-concurrency N] [-requests N] [-o out.json] file.eq")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "smoothctl: %v\n", err)
+		return 1
+	}
+
+	c := newClient(*addr)
+	var info service.SpecInfo
+	if _, err := c.call("POST", "/v1/specs", service.SpecRequest{Source: string(src)}, &info); err != nil {
+		fmt.Fprintf(stderr, "smoothctl: bench upload: %v\n", err)
+		return 1
+	}
+
+	// Every request bypasses the result cache so the bench measures real
+	// searches, not cache reads.
+	req := service.SolveRequest{SpecHash: info.Hash, Wait: true, NoCache: true}
+	type sample struct {
+		latency time.Duration
+		nodes   int
+		sols    []string
+		err     error
+	}
+	samples := make([]sample, *requests)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < max(*concurrency, 1); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t0 := time.Now()
+				var job service.JobView
+				_, err := c.call("POST", "/v1/solve", req, &job)
+				s := sample{latency: time.Since(t0), err: err}
+				if err == nil && job.Result != nil {
+					s.nodes = job.Result.Nodes
+					s.sols = job.Result.Solutions
+					if job.State != service.JobDone {
+						s.err = fmt.Errorf("job state %s", job.State)
+					}
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	t0 := time.Now()
+	for i := 0; i < *requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	rep := BenchReport{
+		Spec:        fs.Arg(0),
+		SpecHash:    info.Hash,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+	}
+	var lats []time.Duration
+	var sum time.Duration
+	for _, s := range samples {
+		if s.err != nil {
+			rep.Errors++
+			continue
+		}
+		lats = append(lats, s.latency)
+		sum += s.latency
+		rep.NodesTotal += s.nodes
+		if rep.Solutions == nil {
+			rep.Solutions = s.sols
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		rep.LatencyMs.Mean = ms(sum / time.Duration(len(lats)))
+		rep.LatencyMs.P50 = ms(percentile(lats, 50))
+		rep.LatencyMs.P90 = ms(percentile(lats, 90))
+		rep.LatencyMs.P99 = ms(percentile(lats, 99))
+		rep.LatencyMs.Max = ms(lats[len(lats)-1])
+		rep.RPS = float64(len(lats)) / elapsed.Seconds()
+	}
+
+	fmt.Fprintf(stdout, "bench: %d requests, concurrency %d, %d errors\n", rep.Requests, rep.Concurrency, rep.Errors)
+	fmt.Fprintf(stdout, "throughput: %.1f solves/s over %.1fms\n", rep.RPS, rep.ElapsedMs)
+	fmt.Fprintf(stdout, "latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		rep.LatencyMs.Mean, rep.LatencyMs.P50, rep.LatencyMs.P90, rep.LatencyMs.P99, rep.LatencyMs.Max)
+	fmt.Fprintf(stdout, "nodes searched: %d\n", rep.NodesTotal)
+
+	if *out != "" {
+		js, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "smoothctl: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(js, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "smoothctl: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if rep.Errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+// percentile picks the pth percentile of sorted latencies by the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	return sorted[min(max(rank, 1), len(sorted))-1]
+}
+
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet("smoothctl "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}

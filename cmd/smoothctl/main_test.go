@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"smoothproc/internal/service"
+)
+
+const fig4 = `alphabet b = {1}
+alphabet c = ints 0 .. 2
+depth 4
+desc even(c) <- [0, 2]
+desc odd(c)  <- b
+desc b <- fBA(c)
+`
+
+const fig4Solution = "⟨(c,0)(c,2)(b,1)(c,1)⟩"
+
+// testDaemon stands up a real service behind httptest and returns its
+// address in the bare host:port form smoothctl defaults expect.
+func testDaemon(t *testing.T) string {
+	t.Helper()
+	srv := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func writeSpec(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.eq")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCtl(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUploadThenSolveByHash(t *testing.T) {
+	addr := testDaemon(t)
+	spec := writeSpec(t, fig4)
+
+	code, out, errOut := runCtl(t, "", "upload", "-addr", addr, spec)
+	if code != 0 {
+		t.Fatalf("upload exit %d: %s", code, errOut)
+	}
+	var hash string
+	for _, line := range strings.Split(out, "\n") {
+		if h, ok := strings.CutPrefix(line, "hash: "); ok {
+			hash = h
+		}
+	}
+	if hash == "" {
+		t.Fatalf("upload printed no hash: %q", out)
+	}
+	if !strings.Contains(out, "depth: 4") {
+		t.Errorf("upload output missing depth: %q", out)
+	}
+
+	code, out, errOut = runCtl(t, "", "solve", "-addr", addr, "-hash", hash)
+	if code != 0 {
+		t.Fatalf("solve exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "smooth solution: "+fig4Solution) {
+		t.Errorf("solve output missing the Brock–Ackermann solution: %q", out)
+	}
+	if !strings.Contains(out, "state: done") {
+		t.Errorf("solve output missing state: %q", out)
+	}
+}
+
+func TestSolveFromStdinAndCachedRepeat(t *testing.T) {
+	addr := testDaemon(t)
+	code, out, errOut := runCtl(t, fig4, "solve", "-addr", addr, "-")
+	if code != 0 {
+		t.Fatalf("stdin solve exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "smooth solution: "+fig4Solution) {
+		t.Errorf("stdin solve output: %q", out)
+	}
+	// The repeat lands in the result cache and says so.
+	code, out, _ = runCtl(t, fig4, "solve", "-addr", addr, "-")
+	if code != 0 || !strings.Contains(out, "served from result cache") {
+		t.Errorf("repeat solve (exit %d) output: %q", code, out)
+	}
+}
+
+func TestSolveAsyncThenStatus(t *testing.T) {
+	addr := testDaemon(t)
+	spec := writeSpec(t, fig4)
+	code, out, errOut := runCtl(t, "", "solve", "-addr", addr, "-async", spec)
+	if code != 0 {
+		t.Fatalf("async solve exit %d: %s", code, errOut)
+	}
+	var id string
+	for _, line := range strings.Split(out, "\n") {
+		if j, ok := strings.CutPrefix(line, "job: "); ok {
+			id = j
+		}
+	}
+	if id == "" {
+		t.Fatalf("async solve printed no job id: %q", out)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, out, errOut = runCtl(t, "", "status", "-addr", addr, id)
+		if code != 0 {
+			t.Fatalf("status exit %d: %s", code, errOut)
+		}
+		if strings.Contains(out, "state: done") {
+			if !strings.Contains(out, "smooth solution: "+fig4Solution) {
+				t.Fatalf("done status missing solution: %q", out)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished; last status: %q", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestUploadCompileErrorShowsLine(t *testing.T) {
+	addr := testDaemon(t)
+	spec := writeSpec(t, "alphabet c = ints 0 .. 2\ndesc broken(c <- [0\n")
+	code, _, errOut := runCtl(t, "", "upload", "-addr", addr, spec)
+	if code != 1 {
+		t.Fatalf("bad spec upload exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "line 2") {
+		t.Errorf("compile error output lacks the line: %q", errOut)
+	}
+}
+
+func TestBenchWritesReport(t *testing.T) {
+	addr := testDaemon(t)
+	spec := writeSpec(t, fig4)
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	code, stdout, errOut := runCtl(t, "",
+		"bench", "-addr", addr, "-concurrency", "4", "-requests", "12", "-o", out, spec)
+	if code != 0 {
+		t.Fatalf("bench exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(stdout, "12 requests, concurrency 4, 0 errors") {
+		t.Errorf("bench summary: %q", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 12 || rep.Concurrency != 4 || rep.Errors != 0 {
+		t.Errorf("report counts: %+v", rep)
+	}
+	if rep.RPS <= 0 || rep.LatencyMs.P50 <= 0 || rep.LatencyMs.Max < rep.LatencyMs.P50 {
+		t.Errorf("report latency stats: %+v", rep.LatencyMs)
+	}
+	// no_cache forced every request to search for real.
+	if rep.NodesTotal == 0 || rep.NodesTotal%12 != 0 {
+		t.Errorf("nodes_total = %d, want 12 equal searches", rep.NodesTotal)
+	}
+	if len(rep.Solutions) != 1 || rep.Solutions[0] != fig4Solution {
+		t.Errorf("report solutions: %v", rep.Solutions)
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	if code, _, _ := runCtl(t, ""); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if code, _, errOut := runCtl(t, "", "frobnicate"); code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Errorf("unknown command exit = %d (%q), want 2", code, errOut)
+	}
+	if code, _, _ := runCtl(t, "", "solve"); code != 2 {
+		t.Errorf("solve without spec exit = %d, want 2", code)
+	}
+	if code, _, errOut := runCtl(t, "", "status", "-addr", "127.0.0.1:1", "job-1"); code != 1 || errOut == "" {
+		t.Errorf("unreachable server exit = %d (%q), want 1", code, errOut)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{{50, 5}, {90, 9}, {99, 10}, {100, 10}, {1, 1}}
+	for _, c := range cases {
+		if got := percentile(lats, c.p); got != c.want {
+			t.Errorf("percentile(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %d, want 0", got)
+	}
+}

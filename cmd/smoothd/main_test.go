@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port,
+// drives one solve through the live HTTP surface, then stops it via the
+// signal channel and expects a clean drain.
+func TestRunServesAndShutsDown(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan string, 1)
+	var stdout, stderr bytes.Buffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &stdout, &stderr, stop, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	spec := `alphabet b = {1}
+alphabet c = ints 0 .. 2
+depth 4
+desc even(c) <- [0, 2]
+desc odd(c)  <- b
+desc b <- fBA(c)
+`
+	body, _ := json.Marshal(map[string]any{"source": spec, "wait": true})
+	resp, err = http.Post("http://"+addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		State  string `json:"state"`
+		Result struct {
+			Solutions []string `json:"solutions"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.State != "done" || len(job.Result.Solutions) != 1 {
+		t.Fatalf("live solve: %+v", job)
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "listening on http://"+addr) {
+		t.Errorf("stdout missing listen line: %q", out)
+	}
+	if !strings.Contains(out, "drained cleanly") {
+		t.Errorf("stdout missing drain line: %q", out)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr, nil, nil); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"stray-arg"}, &stdout, &stderr, nil, nil); code != 2 {
+		t.Errorf("stray arg exit = %d, want 2", code)
+	}
+}
+
+func TestRunListenFailure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:1"}, &stdout, &stderr, nil, nil); code != 1 {
+		t.Errorf("bad addr exit = %d, want 1", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("listen failure printed nothing to stderr")
+	}
+}

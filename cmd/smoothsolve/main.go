@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 1, "parallel tree workers (1 = sequential search)")
 	showStats := fs.Bool("stats", false, "print search statistics (nodes, pruning, memo, timing)")
 	statsJSON := fs.Bool("stats-json", false, "print search statistics as JSON")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound on the search (0 = none), e.g. 500ms or 10s")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,13 +85,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "  %s\n", d)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var res solver.Result
 	if *workers > 1 {
-		res = solver.EnumerateParallel(problem, *workers)
+		res = solver.EnumerateParallel(ctx, problem, *workers)
 	} else {
-		res = solver.Enumerate(problem)
+		res = solver.Enumerate(ctx, problem)
 	}
-	fmt.Fprintf(stdout, "explored %d tree node(s)%s\n", res.Nodes, truncNote(res.Truncated))
+	fmt.Fprintf(stdout, "explored %d tree node(s)%s\n", res.Nodes, truncNote(res))
 	fmt.Fprintf(stdout, "smooth solutions: %d\n", len(res.Solutions))
 	for _, s := range res.Solutions {
 		fmt.Fprintf(stdout, "  %s\n", s)
@@ -131,8 +139,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func truncNote(truncated bool) string {
-	if truncated {
+func truncNote(res solver.Result) string {
+	switch {
+	case res.Canceled:
+		return " (stopped by -timeout)"
+	case res.Truncated:
 		return " (truncated by -max-nodes)"
 	}
 	return ""

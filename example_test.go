@@ -1,6 +1,7 @@
 package smoothproc_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,7 +38,7 @@ func ExampleEnumerate() {
 	d := smoothproc.MustNewDescription("rb",
 		smoothproc.OnChan(smoothproc.RMap, "b"),
 		smoothproc.ConstTraceFn(smoothproc.SeqOf(smoothproc.T)))
-	res := smoothproc.Enumerate(smoothproc.NewProblem(d, map[string][]smoothproc.Value{
+	res := smoothproc.Enumerate(context.Background(), smoothproc.NewProblem(d, map[string][]smoothproc.Value{
 		"b": {smoothproc.T, smoothproc.F},
 	}, 3))
 	keys := res.SolutionKeys()
@@ -85,7 +86,7 @@ expect solutions 2
 	if err != nil {
 		panic(err)
 	}
-	res := smoothproc.Enumerate(prog.Problem())
+	res := smoothproc.Enumerate(context.Background(), prog.Problem())
 	fmt.Println(len(res.Solutions), prog.CheckExpects(res) == nil)
 	// Output:
 	// 2 true

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"smoothproc"
@@ -61,7 +62,7 @@ func main() {
 		"b": smoothproc.Ints(1),
 		"c": smoothproc.Ints(0, 1, 2),
 	}, 4)
-	res := smoothproc.Enumerate(problem)
+	res := smoothproc.Enumerate(context.Background(), problem)
 	fmt.Printf("\ntree search over %d nodes found %d smooth solution(s):\n", res.Nodes, len(res.Solutions))
 	for _, s := range res.Solutions {
 		fmt.Printf("  %s\n", s)

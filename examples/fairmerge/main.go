@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,7 +33,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	res := smoothproc.Enumerate(prog.Problem())
+	res := smoothproc.Enumerate(context.Background(), prog.Problem())
 	fmt.Printf("smooth solutions of the eliminated system (%d):\n", len(res.Solutions))
 	outs := map[string]bool{}
 	for _, s := range res.Solutions {

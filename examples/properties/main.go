@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"smoothproc"
@@ -46,7 +47,7 @@ func main() {
 		}
 		return true
 	}
-	if err := smoothproc.CheckInduction(problem, safety); err != nil {
+	if err := smoothproc.CheckInduction(context.Background(), problem, safety); err != nil {
 		fmt.Println("safety: FAILED:", err)
 	} else {
 		fmt.Println("safety  (2n preceded by n): proved by smooth-solution induction over the depth-6 tree")
@@ -82,7 +83,7 @@ func main() {
 	progress := func(tr smoothproc.Trace) bool {
 		return tr.Channel("d").Contains(smoothproc.Int(1))
 	}
-	err := smoothproc.CheckInduction(problem, progress)
+	err := smoothproc.CheckInduction(context.Background(), problem, progress)
 	fmt.Printf("liveness via the rule: %v  (expected — the rule ignores the limit condition)\n", err != nil)
 
 	// ---- And the anomaly-shaped counterexample --------------------------

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"smoothproc"
@@ -33,7 +34,7 @@ func main() {
 		"c": smoothproc.Ints(1),
 		"d": smoothproc.Ints(0, 1),
 	}, 4)
-	result := smoothproc.Enumerate(problem)
+	result := smoothproc.Enumerate(context.Background(), problem)
 	fmt.Printf("smooth solutions (%d):\n", len(result.Solutions))
 	for _, s := range result.Solutions {
 		fmt.Printf("  %s\n", s)

@@ -7,6 +7,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,7 +68,7 @@ func (c Conformance) OperationalQuiescent() map[string]trace.Trace {
 // DenotationalSolutions returns the visible projections of the
 // description's finite smooth solutions, up to the caps.
 func (c Conformance) DenotationalSolutions() map[string]trace.Trace {
-	res := solver.Enumerate(c.Problem)
+	res := solver.Enumerate(context.Background(), c.Problem)
 	set := map[string]trace.Trace{}
 	for _, s := range res.Solutions {
 		set[s.Key()] = s
@@ -109,7 +110,7 @@ func (c Conformance) CheckQuiescent() error {
 // FairRandomSeq, the seeded Figure 1 loop).
 func (c Conformance) CheckHistories() error {
 	op := c.capped(netsim.Histories(c.Spec, c.MaxDecisions, c.Opts))
-	res := solver.Enumerate(c.Problem)
+	res := solver.Enumerate(context.Background(), c.Problem)
 	den := map[string]trace.Trace{}
 	for _, n := range res.Visited {
 		p := c.project(n)
@@ -196,7 +197,7 @@ func (c Conformance) CheckRefines() error {
 			return fmt.Errorf("check: %s: quiescent behaviour %s outside the specification", c.Name, tr)
 		}
 	}
-	res := solver.Enumerate(c.Problem)
+	res := solver.Enumerate(context.Background(), c.Problem)
 	nodes := map[string]bool{}
 	for _, n := range res.Visited {
 		p := c.project(n)

@@ -1,6 +1,7 @@
 package descgen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestLemma2OnRandomDescriptions(t *testing.T) {
 	for seed := int64(0); seed < sweepSeeds; seed++ {
 		g := Generate(seed, Config{})
 		g.Problem.MaxNodes = 20000
-		res := solver.Enumerate(g.Problem)
+		res := solver.Enumerate(context.Background(), g.Problem)
 		if res.Truncated {
 			continue // too wide for exhaustive treatment; other seeds cover
 		}
@@ -82,11 +83,11 @@ func TestParallelSolverOnRandomDescriptions(t *testing.T) {
 	for seed := int64(0); seed < sweepSeeds/2; seed++ {
 		g := Generate(seed, Config{Depth: 3})
 		g.Problem.MaxNodes = 20000
-		a := solver.Enumerate(g.Problem)
+		a := solver.Enumerate(context.Background(), g.Problem)
 		if a.Truncated {
 			continue
 		}
-		b := solver.EnumerateParallel(g.Problem, 4)
+		b := solver.EnumerateParallel(context.Background(), g.Problem, 4)
 		if strings.Join(a.SolutionKeys(), "|") != strings.Join(b.SolutionKeys(), "|") {
 			t.Errorf("seed %d (%s): parallel/sequential disagree", seed, g.Shape)
 		}
@@ -101,7 +102,7 @@ func TestParallelSolverOnRandomDescriptions(t *testing.T) {
 func TestSamplerSoundOnRandomDescriptions(t *testing.T) {
 	for seed := int64(0); seed < sweepSeeds; seed++ {
 		g := Generate(seed, Config{})
-		s := solver.Sample(g.Problem, solver.SampleOpts{Seed: seed, Walks: 8})
+		s := solver.Sample(context.Background(), g.Problem, solver.SampleOpts{Seed: seed, Walks: 8})
 		for _, tr := range s.Solutions {
 			if err := g.D.IsSmoothFinite(tr); err != nil {
 				t.Errorf("seed %d (%s): sampled non-solution %s: %v", seed, g.Shape, tr, err)

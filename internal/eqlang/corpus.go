@@ -1,0 +1,28 @@
+package eqlang
+
+import "strings"
+
+// Corpus is the seed corpus for the compiler pipeline: a mix of valid
+// programs, near-miss syntax errors, semantic errors and hostile input.
+// FuzzCompileSource seeds the fuzzer with it, and the service tests
+// replay it against POST /v1/specs — any input here must either compile
+// or produce a structured error, never a panic, on both paths.
+func Corpus() []string {
+	return []string{
+		"",
+		"# just a comment\n",
+		"alphabet d = ints -2 .. 7\ndesc even(d) <- [0] ; 2*d\n",
+		"alphabet b = {1}\nalphabet c = ints 0 .. 2\ndesc even(c) <- [0, 2]\ndesc odd(c) <- b\ndesc b <- fBA(c)\n",
+		"alphabet c = {T, F}\ndesc true(c) <- repeat [T]\n",
+		"alphabet b = {(0,1), (1,2)}\ndesc zero(b) <- tag0(b)\n",
+		"depth 4\nalphabet d = {0}\ndesc d <- and(d, d)\n",
+		"desc even(d <- [0\n",
+		"alphabet = {}\n",
+		"desc d <- 2*d + 1 ; [0]\n",
+		"desc 2*2*2 <- x\n",
+		"alphabet d = ints 0 .. 0\ndesc d <- -3*d - 4\n",
+		"\x00\xff",
+		strings.Repeat("(", 100),
+		strings.Repeat("desc d <- d\n", 50),
+	}
+}

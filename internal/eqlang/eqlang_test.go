@@ -1,6 +1,7 @@
 package eqlang
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -170,7 +171,7 @@ func TestCompileFig4UniqueSolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := solver.Enumerate(p.Problem())
+	res := solver.Enumerate(context.Background(), p.Problem())
 	if len(res.Solutions) != 1 {
 		t.Fatalf("solutions: %v", res.SolutionKeys())
 	}
@@ -184,7 +185,7 @@ func TestCompileDFM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := solver.Enumerate(p.Problem())
+	res := solver.Enumerate(context.Background(), p.Problem())
 	if len(res.Solutions) == 0 {
 		t.Fatal("no dfm solutions")
 	}
@@ -208,7 +209,7 @@ desc d <- and(b, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := solver.Enumerate(p.Problem())
+	res := solver.Enumerate(context.Background(), p.Problem())
 	// With no c input available beyond the alphabet... c is
 	// unconstrained by any description here, so solutions include traces
 	// supplying c and d. Just verify the Section 4.5 trace appears.
@@ -229,7 +230,7 @@ desc false(c) <- repeat [F]
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := solver.Enumerate(p.Problem())
+	res := solver.Enumerate(context.Background(), p.Problem())
 	if len(res.Solutions) != 0 {
 		t.Errorf("fair-random has finite solutions: %v", res.SolutionKeys())
 	}
@@ -293,7 +294,7 @@ func TestExpectStatements(t *testing.T) {
 	if len(p.Expects) != 3 {
 		t.Fatalf("expects = %d", len(p.Expects))
 	}
-	res := solver.Enumerate(p.Problem())
+	res := solver.Enumerate(context.Background(), p.Problem())
 	if err := p.CheckExpects(res); err != nil {
 		t.Errorf("expectations failed: %v", err)
 	}

@@ -1,34 +1,16 @@
 package eqlang
 
 import (
-	"strings"
 	"testing"
 )
 
 // FuzzCompileSource asserts that arbitrary input never panics the
 // lexer/parser/compiler pipeline and that accepted programs satisfy the
 // compiler's postconditions. Run with `go test -fuzz=FuzzCompileSource`
-// for continuous fuzzing; the seed corpus below runs on every plain
-// `go test`.
+// for continuous fuzzing; the seed corpus (shared with the service
+// tests via Corpus) runs on every plain `go test`.
 func FuzzCompileSource(f *testing.F) {
-	seeds := []string{
-		"",
-		"# just a comment\n",
-		"alphabet d = ints -2 .. 7\ndesc even(d) <- [0] ; 2*d\n",
-		"alphabet b = {1}\nalphabet c = ints 0 .. 2\ndesc even(c) <- [0, 2]\ndesc odd(c) <- b\ndesc b <- fBA(c)\n",
-		"alphabet c = {T, F}\ndesc true(c) <- repeat [T]\n",
-		"alphabet b = {(0,1), (1,2)}\ndesc zero(b) <- tag0(b)\n",
-		"depth 4\nalphabet d = {0}\ndesc d <- and(d, d)\n",
-		"desc even(d <- [0\n",
-		"alphabet = {}\n",
-		"desc d <- 2*d + 1 ; [0]\n",
-		"desc 2*2*2 <- x\n",
-		"alphabet d = ints 0 .. 0\ndesc d <- -3*d - 4\n",
-		"\x00\xff",
-		strings.Repeat("(", 100),
-		strings.Repeat("desc d <- d\n", 50),
-	}
-	for _, s := range seeds {
+	for _, s := range Corpus() {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {

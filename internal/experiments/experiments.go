@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -187,7 +188,7 @@ func e4() Experiment {
 			p := solver.NewProblem(procs.Fig3Equations(), map[string][]value.Value{
 				"d": value.IntRange(-2, 7),
 			}, 6)
-			if err := solver.CheckInduction(p, phi); err != nil {
+			if err := solver.CheckInduction(context.Background(), p, phi); err != nil {
 				return "", err
 			}
 			for _, g := range []trace.Gen{procs.Fig3X(), procs.Fig3Y()} {
@@ -249,7 +250,7 @@ func e6() Experiment {
 		Run: func() (string, error) {
 			e := procs.Chaos("chaos", "b", value.Ints(1, 2))
 			p := solver.NewProblem(e.Comp.D, map[string][]value.Value{"b": value.Ints(1, 2)}, 3)
-			res := solver.Enumerate(p)
+			res := solver.Enumerate(context.Background(), p)
 			want := 1 + 2 + 4 + 8
 			if len(res.Solutions) != want {
 				return "", fmt.Errorf("%d solutions, want the full tree %d", len(res.Solutions), want)
@@ -267,7 +268,7 @@ func e7() Experiment {
 		Run: func() (string, error) {
 			e := procs.Ticks("ticks", "b")
 			p := solver.NewProblem(e.Comp.D, map[string][]value.Value{"b": {value.T, value.F}}, 6)
-			res := solver.Enumerate(p)
+			res := solver.Enumerate(context.Background(), p)
 			if len(res.Solutions) != 0 || len(res.Frontier) != 1 || res.Nodes != 7 {
 				return "", fmt.Errorf("solutions=%d frontier=%d nodes=%d", len(res.Solutions), len(res.Frontier), res.Nodes)
 			}
@@ -429,7 +430,7 @@ func e12() Experiment {
 		Run: func() (string, error) {
 			e := procs.FairRandomSeq("frs", "c")
 			p := solver.NewProblem(e.Comp.D, map[string][]value.Value{"c": {value.T, value.F}}, 4)
-			res := solver.Enumerate(p)
+			res := solver.Enumerate(context.Background(), p)
 			if len(res.Solutions) != 0 || res.Nodes != 31 {
 				return "", fmt.Errorf("solutions=%d nodes=%d", len(res.Solutions), res.Nodes)
 			}
@@ -759,7 +760,7 @@ func e20() Experiment {
 				}
 				return true
 			}
-			if err := solver.CheckInduction(p, safety); err != nil {
+			if err := solver.CheckInduction(context.Background(), p, safety); err != nil {
 				return "", err
 			}
 			// Progress ("1 eventually appears") is true of every actual
@@ -769,7 +770,7 @@ func e20() Experiment {
 			progress := func(tr trace.Trace) bool {
 				return tr.Channel("d").Contains(value.Int(1))
 			}
-			if err := solver.CheckInduction(p, progress); err == nil {
+			if err := solver.CheckInduction(context.Background(), p, progress); err == nil {
 				return "", errors.New("rule proved a liveness property it should not")
 			}
 			return "safety discharged; progress correctly unprovable by the rule", nil
@@ -788,7 +789,7 @@ func e21() Experiment {
 			pruned.MaxDepth = 4
 			unpruned := pruned
 			unpruned.Prune = false
-			rp, ru := solver.Enumerate(pruned), solver.Enumerate(unpruned)
+			rp, ru := solver.Enumerate(context.Background(), pruned), solver.Enumerate(context.Background(), unpruned)
 			if strings.Join(rp.SolutionKeys(), "|") != strings.Join(ru.SolutionKeys(), "|") {
 				return "", errors.New("solution sets differ")
 			}

@@ -7,6 +7,7 @@
 package kahn
 
 import (
+	"context"
 	"fmt"
 
 	"smoothproc/internal/cpo"
@@ -155,7 +156,7 @@ func CheckTheorem4Trace(c string, h fn.SeqFn, alphabet []value.Value, maxSteps, 
 		return fmt.Errorf("kahn: lfp %s longer than probe depth %d", lfp, depth)
 	}
 	p := solver.NewProblem(IdentityDescription(c, h), map[string][]value.Value{c: alphabet}, depth)
-	res := solver.Enumerate(p)
+	res := solver.Enumerate(context.Background(), p)
 	if len(res.Solutions) != 1 {
 		return fmt.Errorf("kahn: Theorem 4 fails: %d smooth solutions of id ⟵ %s, want exactly 1 (keys %v)",
 			len(res.Solutions), h.Name, res.SolutionKeys())
@@ -217,7 +218,7 @@ func CheckTheorem4Multi(eq Equations, alphabet map[string][]value.Value, maxStep
 		return fmt.Errorf("kahn: %s did not converge in %d steps", eq.Name, maxSteps)
 	}
 	p := solver.NewProblem(MultiIdentityDescription(eq), alphabet, depth)
-	res := solver.Enumerate(p)
+	res := solver.Enumerate(context.Background(), p)
 	if len(res.Solutions) == 0 {
 		return fmt.Errorf("kahn: Theorem 4 (multi) fails: no smooth solution of id ⟵ %s found", eq.Name)
 	}

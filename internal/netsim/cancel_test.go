@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"smoothproc/internal/value"
+)
+
+// forever is a process that sends on ch until the scheduler aborts it —
+// a network that never quiesces, the case RunContext exists for.
+func forever(ch string) Spec {
+	return Spec{Name: "forever", Procs: []Proc{{Name: "tick", Body: func(c *Ctx) {
+		for c.Send(ch, value.Int(0)) {
+		}
+	}}}}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunContext(ctx, forever("b"), NewRandomDecider(1), Limits{})
+	if res.Reason != StopCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, StopCanceled)
+	}
+	if res.Decisions != 0 {
+		t.Errorf("cancelled run made %d decisions, want 0", res.Decisions)
+	}
+}
+
+func TestRunContextDeadlineStopsForeverNetwork(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	// Without the context this run would only stop at the decision budget;
+	// give it one large enough that the deadline must fire first.
+	res := RunContext(ctx, forever("b"), NewRandomDecider(1), Limits{MaxEvents: 1 << 30, MaxDecisions: 1 << 30})
+	if res.Reason != StopCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, StopCanceled)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("deadline run recorded no events before stopping")
+	}
+}
+
+func TestRunIsRunContextBackground(t *testing.T) {
+	res := Run(forever("b"), NewRandomDecider(1), Limits{MaxEvents: 4})
+	if res.Reason != StopEventBudget {
+		t.Fatalf("reason = %v, want %v", res.Reason, StopEventBudget)
+	}
+}

@@ -57,6 +57,9 @@ const (
 	StopDecisionBudget
 	// StopScript: a ScriptDecider ran out of script.
 	StopScript
+	// StopCanceled: the run's context was cancelled or its deadline
+	// expired between scheduler decisions (see RunContext).
+	StopCanceled
 )
 
 // String names the stop reason.
@@ -70,6 +73,8 @@ func (r StopReason) String() string {
 		return "decision-budget"
 	case StopScript:
 		return "script-exhausted"
+	case StopCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(r))
 	}

@@ -366,6 +366,7 @@ func TestStopReasonString(t *testing.T) {
 		StopEventBudget:    "event-budget",
 		StopDecisionBudget: "decision-budget",
 		StopScript:         "script-exhausted",
+		StopCanceled:       "canceled",
 		StopReason(99):     "StopReason(99)",
 	} {
 		if got := r.String(); got != want {

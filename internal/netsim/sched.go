@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 
 	"smoothproc/internal/metrics"
@@ -50,6 +51,15 @@ type action struct {
 // decider stops. It always joins every process goroutine before
 // returning.
 func Run(spec Spec, d Decider, limits Limits) Result {
+	return RunContext(context.Background(), spec, d, limits)
+}
+
+// RunContext is Run with a context checked before every scheduler
+// decision: cancellation or an expired deadline stops the run with
+// StopCanceled, the recorded prefix intact, and every process goroutine
+// joined — the bound Run itself cannot provide on networks that never
+// quiesce.
+func RunContext(ctx context.Context, spec Spec, d Decider, limits Limits) Result {
 	limits = limits.withDefaults()
 	r := &runner{
 		spec: spec,
@@ -90,6 +100,11 @@ func Run(spec Spec, d Decider, limits Limits) Result {
 		}
 		if len(acts) == 0 {
 			res.Reason = StopQuiescent
+			break
+		}
+		if ctx.Err() != nil {
+			res.Reason = StopCanceled
+			res.EnabledAtStop = len(acts)
 			break
 		}
 		if res.Decisions >= limits.MaxDecisions {

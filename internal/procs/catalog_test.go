@@ -1,6 +1,7 @@
 package procs_test
 
 import (
+	"context"
 	"testing"
 
 	"smoothproc/internal/check"
@@ -28,7 +29,7 @@ func TestChaosAcceptsEverything(t *testing.T) {
 		t.Error(err)
 	}
 	// Every trace over the alphabet is smooth — the Section 4.1 claim.
-	res := solver.Enumerate(c.Problem)
+	res := solver.Enumerate(context.Background(), c.Problem)
 	if len(res.Solutions) != 1+2+4 {
 		t.Errorf("CHAOS solutions to depth 2: %d, want 7", len(res.Solutions))
 	}
@@ -277,7 +278,7 @@ func TestFairRandomSeqOmega(t *testing.T) {
 	p := solver.NewProblem(e.Comp.D, map[string][]value.Value{
 		"c": {value.T, value.F},
 	}, 4)
-	res := solver.Enumerate(p)
+	res := solver.Enumerate(context.Background(), p)
 	if len(res.Solutions) != 0 {
 		t.Errorf("fair random has finite solutions: %v", res.SolutionKeys())
 	}

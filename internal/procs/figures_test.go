@@ -1,6 +1,7 @@
 package procs_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -255,7 +256,7 @@ func TestFig3Safety(t *testing.T) {
 	p := solver.NewProblem(procs.Fig3Equations(), map[string][]value.Value{
 		"d": value.IntRange(-2, 7),
 	}, 6)
-	if err := solver.CheckInduction(p, phi); err != nil {
+	if err := solver.CheckInduction(context.Background(), p, phi); err != nil {
 		t.Error(err)
 	}
 }
@@ -305,7 +306,7 @@ func TestFig4BrockAckermann(t *testing.T) {
 		"b": value.Ints(1),
 		"c": value.Ints(0, 1, 2),
 	}, 4)
-	res := solver.Enumerate(p)
+	res := solver.Enumerate(context.Background(), p)
 	if len(res.Solutions) != 1 {
 		t.Fatalf("full system has %d smooth solutions, want 1: %v", len(res.Solutions), res.SolutionKeys())
 	}

@@ -1,0 +1,134 @@
+// Package service is the smoothd subsystem: an HTTP+JSON front end that
+// serves the paper's Section 3.3 tree search as a request/response
+// workload. A request carries a description system (an eqlang spec); the
+// response is its set of smooth solutions within the requested bounds.
+//
+// The architecture follows the compile-once/run-many split: POST
+// /v1/specs compiles a spec into a reusable artifact cached by content
+// hash, POST /v1/solve schedules a bounded search over a compiled spec
+// on a worker pool with per-job deadlines, GET /v1/jobs/{id} reports
+// asynchronous progress, and GET /metrics exposes the server's counters
+// in the repository's stats format. See DESIGN.md for how requests,
+// jobs and caches map onto the paper's vocabulary.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"smoothproc/internal/report"
+)
+
+// SpecRequest is the body of POST /v1/specs.
+type SpecRequest struct {
+	// Source is the eqlang program text.
+	Source string `json:"source"`
+}
+
+// SpecInfo describes one compiled, cached spec.
+type SpecInfo struct {
+	// Hash is the content hash naming the compiled artifact; solve
+	// requests refer to it.
+	Hash string `json:"hash"`
+	// Channels and Depth are the solver branching data the spec compiled
+	// to; Descriptions render each equation.
+	Channels     []string `json:"channels"`
+	Depth        int      `json:"depth"`
+	Descriptions []string `json:"descriptions"`
+	// Cached reports that the spec was already compiled (the upload was
+	// served from the spec cache).
+	Cached bool `json:"cached"`
+}
+
+// SolveRequest is the body of POST /v1/solve. Exactly one of SpecHash
+// and Source must be set: a hash refers to a previously uploaded spec,
+// inline source is compiled (and cached) on the way in.
+type SolveRequest struct {
+	SpecHash string `json:"spec_hash,omitempty"`
+	Source   string `json:"source,omitempty"`
+
+	// Depth overrides the spec's probe depth (0 = use the spec's own),
+	// clamped to the server's MaxDepth.
+	Depth int `json:"depth,omitempty"`
+	// MaxNodes bounds tree nodes explored; 0 or anything above the
+	// server's MaxNodes cap is clamped to the cap.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// Workers selects the parallel search when > 1.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs bounds the search wall clock; 0 uses the server default.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Wait blocks the request until the job finishes instead of
+	// returning 202 with a job to poll.
+	Wait bool `json:"wait,omitempty"`
+	// NoCache skips the result-cache lookup (the result is still
+	// stored). Load generators use this to measure real searches.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// SolveParams are the normalized search knobs — the part of a solve
+// request that determines the answer. They form the result-cache key
+// together with the spec hash.
+type SolveParams struct {
+	Depth    int `json:"depth"`
+	MaxNodes int `json:"max_nodes"`
+	Workers  int `json:"workers"`
+}
+
+// resultKey names one (spec, params) search in the result cache. The
+// timeout is deliberately excluded: a completed search's answer does not
+// depend on the deadline it beat, and cancelled searches are never
+// cached.
+func resultKey(hash string, p SolveParams) string {
+	return fmt.Sprintf("%s|d%d|n%d|w%d", hash, p.Depth, p.MaxNodes, p.Workers)
+}
+
+// SolveResult is the wire form of one completed search.
+type SolveResult struct {
+	// Solutions are the smooth solutions in the paper's trace notation.
+	Solutions []string `json:"solutions"`
+	// Frontier and DeadLeaves count the other leaf classes.
+	Frontier   int `json:"frontier"`
+	DeadLeaves int `json:"dead_leaves"`
+	// Nodes is the number of tree nodes this search visited — 0 work is
+	// re-done for a cached answer, which tests verify through this field
+	// and the server's nodes_searched_total counter.
+	Nodes     int  `json:"nodes"`
+	Truncated bool `json:"truncated"`
+	Canceled  bool `json:"canceled"`
+	// Stats is the deterministic part of the search instrumentation
+	// (package report's stable format; timing sections are stripped).
+	Stats report.Stats `json:"stats"`
+	// ElapsedMs is the search wall clock in milliseconds.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Cached reports that this answer came from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// JobView is the wire form of a job: the response of POST /v1/solve and
+// GET /v1/jobs/{id}.
+type JobView struct {
+	ID       string      `json:"id"`
+	State    JobState    `json:"state"`
+	SpecHash string      `json:"spec_hash"`
+	Params   SolveParams `json:"params"`
+	// Error is set for failed jobs; Result for finished ones (a
+	// cancelled job keeps its partial result).
+	Error  string       `json:"error,omitempty"`
+	Result *SolveResult `json:"result,omitempty"`
+}
+
+// ErrorBody is the structured JSON shape of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// Line and Snippet locate eqlang compile errors in the submitted
+	// source.
+	Line    int    `json:"line,omitempty"`
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// specHash names a spec by the SHA-256 of its source text.
+func specHash(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}

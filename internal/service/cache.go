@@ -1,0 +1,86 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"smoothproc/internal/metrics"
+)
+
+// LRU is a fixed-capacity least-recently-used cache, safe for concurrent
+// use. The service keeps two: compiled specs keyed by content hash (the
+// compile-once/run-many split) and solve results keyed by
+// (spec-hash, solve-params) so repeat queries skip the tree search
+// entirely. Hit and miss counts feed the /metrics endpoint.
+type LRU[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front is most recently used
+	items map[K]*list.Element
+
+	hits   metrics.Counter
+	misses metrics.Counter
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU builds a cache holding at most capacity entries; capacity < 1
+// is treated as 1.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	c.misses.Inc()
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when the cache is full.
+func (c *LRU[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// Len returns the current number of entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hits returns the number of Get calls served from the cache.
+func (c *LRU[K, V]) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of Get calls that found nothing.
+func (c *LRU[K, V]) Misses() int64 { return c.misses.Load() }

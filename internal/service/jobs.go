@@ -1,0 +1,253 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"smoothproc/internal/metrics"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed | canceled. A job
+// cancelled while still queued (shutdown) goes straight to canceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull: the bounded queue is at capacity — shed load rather
+	// than buffer unboundedly.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShutdown: the scheduler no longer accepts work.
+	ErrShutdown = errors.New("service: scheduler shutting down")
+)
+
+// Job is one scheduled search. All mutable fields are guarded by the
+// scheduler's mutex; handlers read them through View.
+type Job struct {
+	id       string
+	specHash string
+	params   SolveParams
+	timeout  time.Duration
+	run      func(context.Context) (*SolveResult, error)
+
+	state  JobState
+	result *SolveResult
+	err    string
+	done   chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Scheduler runs jobs on a bounded worker pool. Each job gets its own
+// context derived from the scheduler's base context plus the job's
+// deadline, so one adversarial search can neither outlive its budget nor
+// survive shutdown. The queue is bounded: when it is full, Submit sheds
+// load with ErrQueueFull instead of buffering without limit.
+type Scheduler struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // insertion order, for bounded retention
+	nextID  int
+	queue   chan *Job
+	closed  bool
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	// Counters for /metrics.
+	submitted metrics.Counter
+	completed metrics.Counter
+	failed    metrics.Counter
+	canceled  metrics.Counter
+}
+
+// maxRetainedJobs bounds the finished-job history kept for GET
+// /v1/jobs/{id}; the oldest finished jobs are forgotten first.
+const maxRetainedJobs = 4096
+
+// NewScheduler starts workers goroutines draining a queue of at most
+// queueDepth waiting jobs.
+func NewScheduler(workers, queueDepth int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, queueDepth),
+		baseCtx: ctx,
+		stop:    cancel,
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a job. The run closure is executed on a worker with a
+// context that expires after timeout (if positive) and dies with the
+// scheduler.
+func (s *Scheduler) Submit(specHash string, params SolveParams, timeout time.Duration, run func(context.Context) (*SolveResult, error)) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShutdown
+	}
+	s.nextID++
+	j := &Job{
+		id:       fmt.Sprintf("job-%d", s.nextID),
+		specHash: specHash,
+		params:   params,
+		timeout:  timeout,
+		run:      run,
+		state:    JobQueued,
+		done:     make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.submitted.Inc()
+	return j, nil
+}
+
+// evictLocked forgets the oldest terminal jobs beyond the retention
+// bound. Live jobs are never evicted.
+func (s *Scheduler) evictLocked() {
+	for len(s.order) > maxRetainedJobs {
+		id := s.order[0]
+		if j := s.jobs[id]; j != nil && (j.state == JobQueued || j.state == JobRunning) {
+			return // oldest job still live; try again later
+		}
+		s.order = s.order[1:]
+		delete(s.jobs, id)
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		if j.state != JobQueued { // cancelled while waiting (shutdown)
+			s.mu.Unlock()
+			continue
+		}
+		j.state = JobRunning
+		timeout := j.timeout
+		s.mu.Unlock()
+
+		ctx := s.baseCtx
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		res, err := j.run(ctx)
+		cancel()
+
+		s.mu.Lock()
+		switch {
+		case err != nil:
+			j.state = JobFailed
+			j.err = err.Error()
+			s.failed.Inc()
+		case res != nil && res.Canceled:
+			// The deadline (or shutdown) stopped the search; keep the
+			// sound partial result but say so.
+			j.state = JobCanceled
+			j.result = res
+			s.canceled.Inc()
+		default:
+			j.state = JobDone
+			j.result = res
+			s.completed.Inc()
+		}
+		close(j.done)
+		s.mu.Unlock()
+	}
+}
+
+// Get returns the job by ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// View snapshots a job for the wire.
+func (s *Scheduler) View(j *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := JobView{
+		ID:       j.id,
+		State:    j.state,
+		SpecHash: j.specHash,
+		Params:   j.params,
+		Error:    j.err,
+	}
+	if j.result != nil {
+		r := *j.result
+		v.Result = &r
+	}
+	return v
+}
+
+// Counts returns the lifecycle counters (submitted, completed, failed,
+// canceled) for /metrics.
+func (s *Scheduler) Counts() (submitted, completed, failed, canceled int64) {
+	return s.submitted.Load(), s.completed.Load(), s.failed.Load(), s.canceled.Load()
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Shutdown stops intake and drains: queued and running jobs keep
+// running until done or until ctx expires, at which point the base
+// context is cancelled so in-flight searches stop at their next
+// cancellation check (returning their sound partial results) and the
+// drain completes. It returns ctx.Err() when the deadline forced the
+// drain, nil on a clean one.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel in-flight searches
+		<-drained
+		return ctx.Err()
+	}
+}

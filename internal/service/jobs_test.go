@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okResult() *SolveResult { return &SolveResult{Nodes: 1} }
+
+func TestSchedulerRunsJobs(t *testing.T) {
+	s := NewScheduler(4, 16)
+	defer s.Shutdown(context.Background())
+	var ran atomic.Int64
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+			ran.Add(1)
+			return okResult(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		<-j.Done()
+		if v := s.View(j); v.State != JobDone || v.Result == nil {
+			t.Errorf("job %s: state %s result %v", v.ID, v.State, v.Result)
+		}
+	}
+	if ran.Load() != 8 {
+		t.Errorf("ran %d jobs, want 8", ran.Load())
+	}
+	submitted, completed, _, _ := s.Counts()
+	if submitted != 8 || completed != 8 {
+		t.Errorf("counters submitted=%d completed=%d, want 8/8", submitted, completed)
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	s := NewScheduler(1, 1)
+	defer s.Shutdown(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	// Occupy the single worker...
+	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		close(started)
+		<-release
+		return okResult(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...fill the queue...
+	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		return okResult(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next submission must shed load.
+	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		return okResult(), nil
+	}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestSchedulerJobFailure(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Shutdown(context.Background())
+	j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if v := s.View(j); v.State != JobFailed || v.Error != "boom" {
+		t.Errorf("state=%s error=%q, want failed/boom", v.State, v.Error)
+	}
+	_, _, failed, _ := s.Counts()
+	if failed != 1 {
+		t.Errorf("failed counter = %d, want 1", failed)
+	}
+}
+
+func TestSchedulerJobDeadline(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Shutdown(context.Background())
+	j, err := s.Submit("h", SolveParams{}, 5*time.Millisecond, func(ctx context.Context) (*SolveResult, error) {
+		<-ctx.Done() // a well-behaved search notices the deadline...
+		return &SolveResult{Canceled: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if v := s.View(j); v.State != JobCanceled || v.Result == nil {
+		t.Errorf("state=%s result=%v, want canceled with partial result", v.State, v.Result)
+	}
+}
+
+func TestSchedulerShutdownDrains(t *testing.T) {
+	s := NewScheduler(1, 4)
+	var finished atomic.Bool
+	j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		time.Sleep(30 * time.Millisecond)
+		finished.Store(true)
+		return okResult(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	if !finished.Load() {
+		t.Error("shutdown returned before the in-flight job finished")
+	}
+	if v := s.View(j); v.State != JobDone {
+		t.Errorf("drained job state = %s, want done", v.State)
+	}
+	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		return okResult(), nil
+	}); !errors.Is(err, ErrShutdown) {
+		t.Errorf("post-shutdown Submit err = %v, want ErrShutdown", err)
+	}
+}
+
+func TestSchedulerForcedShutdownCancels(t *testing.T) {
+	s := NewScheduler(1, 4)
+	started := make(chan struct{})
+	j, err := s.Submit("h", SolveParams{}, 0, func(ctx context.Context) (*SolveResult, error) {
+		close(started)
+		<-ctx.Done() // runs until shutdown forces cancellation
+		return &SolveResult{Canceled: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want deadline exceeded", err)
+	}
+	if v := s.View(j); v.State != JobCanceled {
+		t.Errorf("forced job state = %s, want canceled", v.State)
+	}
+}
+
+func TestSchedulerShutdownIdempotent(t *testing.T) {
+	s := NewScheduler(1, 1)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"time"
+
+	"smoothproc/internal/eqlang"
+	"smoothproc/internal/metrics"
+	"smoothproc/internal/report"
+	"smoothproc/internal/solver"
+)
+
+// Config bounds the server. Every knob has a production-minded default:
+// bounded queue, bounded depth, bounded nodes, bounded wall clock — a
+// request can ask for less than the caps but never more.
+type Config struct {
+	// Workers is the solve worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting jobs; beyond it the server sheds load
+	// with 503 (default 64).
+	QueueDepth int
+	// SpecCacheSize and ResultCacheSize bound the two LRUs (defaults 128
+	// and 1024).
+	SpecCacheSize   int
+	ResultCacheSize int
+	// MaxDepth caps the probe depth a request may ask for (default 12).
+	MaxDepth int
+	// MaxNodes caps (and defaults) the per-search node budget (default
+	// 500000).
+	MaxNodes int
+	// DefaultTimeout and MaxTimeout bound each job's wall clock
+	// (defaults 30s and 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SpecCacheSize <= 0 {
+		c.SpecCacheSize = 128
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 1024
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 500000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server wires the caches, the scheduler and the HTTP surface together.
+type Server struct {
+	cfg     Config
+	sched   *Scheduler
+	specs   *LRU[string, *eqlang.Program]
+	results *LRU[string, SolveResult]
+	mux     *http.ServeMux
+
+	requests      metrics.Counter
+	compiles      metrics.Counter
+	compileErrors metrics.Counter
+	nodesSearched metrics.Counter
+	solutions     metrics.Counter
+	start         time.Time
+}
+
+// New builds a server and starts its worker pool. Callers own shutdown:
+// see Shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth),
+		specs:   NewLRU[string, *eqlang.Program](cfg.SpecCacheSize),
+		results: NewLRU[string, SolveResult](cfg.ResultCacheSize),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/specs", s.handleSpecs)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the scheduler (see Scheduler.Shutdown). The HTTP
+// listener is the caller's to stop first.
+func (s *Server) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }
+
+// maxBodyBytes bounds request bodies; specs are small programs, not
+// bulk uploads.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the connection is gone; there is no one
+	// left to tell.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := ErrorBody{Error: err.Error()}
+	var eqErr *eqlang.Error
+	if errors.As(err, &eqErr) {
+		body.Line = eqErr.Line
+	}
+	writeJSON(w, status, body)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// compile returns the cached program for source, compiling and caching
+// on a miss. A compile error is returned with the eqlang line attached;
+// the snippet is added by the handler that has the source.
+func (s *Server) compile(source string) (hash string, prog *eqlang.Program, cached bool, err error) {
+	hash = specHash(source)
+	if prog, ok := s.specs.Get(hash); ok {
+		return hash, prog, true, nil
+	}
+	s.compiles.Inc()
+	prog, err = eqlang.CompileSource(source)
+	if err != nil {
+		s.compileErrors.Inc()
+		return "", nil, false, err
+	}
+	s.specs.Put(hash, prog)
+	return hash, prog, false, nil
+}
+
+func specInfo(hash string, prog *eqlang.Program, cached bool) SpecInfo {
+	p := prog.Problem()
+	info := SpecInfo{
+		Hash:     hash,
+		Channels: p.Channels,
+		Depth:    prog.Depth,
+		Cached:   cached,
+	}
+	for _, d := range prog.System.Descs {
+		info.Descriptions = append(info.Descriptions, d.String())
+	}
+	return info
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req SpecRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: empty spec source"))
+		return
+	}
+	hash, prog, cached, err := s.compile(req.Source)
+	if err != nil {
+		body := ErrorBody{Error: err.Error()}
+		var eqErr *eqlang.Error
+		if errors.As(err, &eqErr) {
+			body.Line = eqErr.Line
+			body.Snippet = eqlang.FormatSnippet(req.Source, eqErr.Line)
+		}
+		writeJSON(w, http.StatusBadRequest, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, specInfo(hash, prog, cached))
+}
+
+// params normalizes a solve request against the server caps.
+func (s *Server) params(req SolveRequest, prog *eqlang.Program) SolveParams {
+	p := SolveParams{Depth: req.Depth, MaxNodes: req.MaxNodes, Workers: req.Workers}
+	if p.Depth <= 0 {
+		p.Depth = prog.Depth
+	}
+	p.Depth = min(p.Depth, s.cfg.MaxDepth)
+	if p.MaxNodes <= 0 || p.MaxNodes > s.cfg.MaxNodes {
+		p.MaxNodes = s.cfg.MaxNodes
+	}
+	p.Workers = max(p.Workers, 1)
+	p.Workers = min(p.Workers, 4*runtime.GOMAXPROCS(0))
+	return p
+}
+
+func (s *Server) timeout(req SolveRequest) time.Duration {
+	d := time.Duration(req.TimeoutMs) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	return min(d, s.cfg.MaxTimeout)
+}
+
+// solve runs one search — the unit of served work. It is the only place
+// the service touches the solver.
+func (s *Server) solve(ctx context.Context, prog *eqlang.Program, p SolveParams) *SolveResult {
+	problem := prog.Problem()
+	problem.MaxDepth = p.Depth
+	problem.MaxNodes = p.MaxNodes
+	start := time.Now()
+	var res solver.Result
+	if p.Workers > 1 {
+		res = solver.EnumerateParallel(ctx, problem, p.Workers)
+	} else {
+		res = solver.Enumerate(ctx, problem)
+	}
+	s.nodesSearched.Add(int64(res.Nodes))
+	s.solutions.Add(int64(len(res.Solutions)))
+	out := &SolveResult{
+		Solutions:  res.SolutionKeys(),
+		Frontier:   len(res.Frontier),
+		DeadLeaves: len(res.DeadLeaves),
+		Nodes:      res.Nodes,
+		Truncated:  res.Truncated,
+		Canceled:   res.Canceled,
+		Stats:      res.Stats.Report().Deterministic(),
+		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	return out
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req SolveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+
+	var hash string
+	var prog *eqlang.Program
+	switch {
+	case req.Source != "" && req.SpecHash != "":
+		writeError(w, http.StatusBadRequest, errors.New("service: give source or spec_hash, not both"))
+		return
+	case req.Source != "":
+		var err error
+		if hash, prog, _, err = s.compile(req.Source); err != nil {
+			body := ErrorBody{Error: err.Error()}
+			var eqErr *eqlang.Error
+			if errors.As(err, &eqErr) {
+				body.Line = eqErr.Line
+				body.Snippet = eqlang.FormatSnippet(req.Source, eqErr.Line)
+			}
+			writeJSON(w, http.StatusBadRequest, body)
+			return
+		}
+	case req.SpecHash != "":
+		var ok bool
+		if prog, ok = s.specs.Get(req.SpecHash); !ok {
+			writeError(w, http.StatusNotFound, errors.New("service: unknown spec hash (upload it via /v1/specs)"))
+			return
+		}
+		hash = req.SpecHash
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("service: need source or spec_hash"))
+		return
+	}
+
+	p := s.params(req, prog)
+	key := resultKey(hash, p)
+	if !req.NoCache {
+		if cached, ok := s.results.Get(key); ok {
+			cached.Cached = true
+			writeJSON(w, http.StatusOK, JobView{
+				State:    JobDone,
+				SpecHash: hash,
+				Params:   p,
+				Result:   &cached,
+			})
+			return
+		}
+	}
+
+	job, err := s.sched.Submit(hash, p, s.timeout(req), func(ctx context.Context) (*SolveResult, error) {
+		res := s.solve(ctx, prog, p)
+		if !res.Truncated && !res.Canceled {
+			s.results.Put(key, *res)
+		}
+		return res, nil
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	if req.Wait {
+		select {
+		case <-job.Done():
+			writeJSON(w, http.StatusOK, s.sched.View(job))
+		case <-r.Context().Done():
+			// The client went away; the job keeps running and stays
+			// pollable.
+			writeJSON(w, http.StatusAccepted, s.sched.View(job))
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.sched.View(job))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	job, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: unknown job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sched.View(job))
+}
+
+// Metrics snapshots the server counters in the repository's stable
+// stats format — the same shape the solver and netsim report, so the
+// tooling (and goldens) carry over.
+func (s *Server) Metrics() report.Stats {
+	server := report.Section{Name: "server"}
+	server.Add("requests total", s.requests.Load(), "")
+	server.Add("specs compiled", s.compiles.Load(), "")
+	server.Add("compile errors", s.compileErrors.Load(), "")
+	server.Add("uptime", int64(time.Since(s.start)), "ns")
+
+	cache := report.Section{Name: "cache"}
+	cache.Add("spec hits", s.specs.Hits(), "")
+	cache.Add("spec misses", s.specs.Misses(), "")
+	cache.AddInt("spec entries", s.specs.Len())
+	cache.Add("result hits", s.results.Hits(), "")
+	cache.Add("result misses", s.results.Misses(), "")
+	cache.AddInt("result entries", s.results.Len())
+
+	jobs := report.Section{Name: "jobs"}
+	submitted, completed, failed, canceled := s.sched.Counts()
+	jobs.Add("submitted", submitted, "")
+	jobs.Add("completed", completed, "")
+	jobs.Add("failed", failed, "")
+	jobs.Add("canceled", canceled, "")
+	jobs.AddInt("queued", s.sched.QueueDepth())
+
+	search := report.Section{Name: "search"}
+	search.Add("nodes searched total", s.nodesSearched.Load(), "")
+	search.Add("solutions found total", s.solutions.Load(), "")
+
+	return report.Stats{Sections: []report.Section{server, cache, jobs, search}}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

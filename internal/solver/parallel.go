@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -18,7 +19,11 @@ import (
 // cross MaxNodes, only the first MaxNodes−visited nodes of the level (in
 // canonical order) are visited, so a truncated search visits exactly
 // MaxNodes nodes — never a whole level more.
-func EnumerateParallel(p Problem, workers int) Result {
+//
+// Cancellation is checked at level boundaries — the coarsest granularity
+// that keeps results deterministic: a cancelled search stops before the
+// next level with Truncated and Canceled set, never mid-level.
+func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -28,6 +33,11 @@ func EnumerateParallel(p Problem, workers int) Result {
 	start := time.Now()
 	level := []node{root}
 	for len(level) > 0 {
+		if ctx.Err() != nil {
+			res.Truncated = true
+			res.Canceled = true
+			break
+		}
 		if p.MaxNodes > 0 && res.Nodes+len(level) > p.MaxNodes {
 			res.Truncated = true
 			level = level[:p.MaxNodes-res.Nodes]

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -22,8 +23,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 		p := p
 		for _, workers := range []int{1, 2, 8} {
 			t.Run(fmt.Sprintf("%s-w%d", name, workers), func(t *testing.T) {
-				seq := Enumerate(p)
-				par := EnumerateParallel(p, workers)
+				seq := Enumerate(context.Background(), p)
+				par := EnumerateParallel(context.Background(), p, workers)
 				if par.Nodes != seq.Nodes {
 					t.Errorf("nodes: parallel %d vs sequential %d", par.Nodes, seq.Nodes)
 				}
@@ -45,8 +46,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestParallelIsDeterministic(t *testing.T) {
 	p := dfmProblem(5)
-	a := EnumerateParallel(p, 4)
-	b := EnumerateParallel(p, 4)
+	a := EnumerateParallel(context.Background(), p, 4)
+	b := EnumerateParallel(context.Background(), p, 4)
 	if strings.Join(a.SolutionKeys(), "|") != strings.Join(b.SolutionKeys(), "|") {
 		t.Error("parallel runs disagree")
 	}
@@ -61,8 +62,8 @@ func TestParallelIsDeterministic(t *testing.T) {
 func TestParallelUnprunedAblation(t *testing.T) {
 	p := dfmProblem(4)
 	p.Prune = false
-	seq := Enumerate(p)
-	par := EnumerateParallel(p, 4)
+	seq := Enumerate(context.Background(), p)
+	par := EnumerateParallel(context.Background(), p, 4)
 	if strings.Join(seq.SolutionKeys(), "|") != strings.Join(par.SolutionKeys(), "|") {
 		t.Error("unpruned parallel disagrees with sequential")
 	}
@@ -71,7 +72,7 @@ func TestParallelUnprunedAblation(t *testing.T) {
 func TestParallelNodeBudget(t *testing.T) {
 	p := dfmProblem(6)
 	p.MaxNodes = 5
-	res := EnumerateParallel(p, 4)
+	res := EnumerateParallel(context.Background(), p, 4)
 	if !res.Truncated {
 		t.Error("budget not enforced")
 	}
@@ -83,14 +84,14 @@ func BenchmarkEnumerateParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				EnumerateParallel(p, workers)
+				EnumerateParallel(context.Background(), p, workers)
 			}
 		})
 	}
 	b.Run("sequential", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			Enumerate(p)
+			Enumerate(context.Background(), p)
 		}
 	})
 }

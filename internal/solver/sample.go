@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -40,6 +41,9 @@ type SampleResult struct {
 	// search modes; node-role counters stay zero (walks classify no
 	// nodes), while edge and evaluation counters are live.
 	Stats SearchStats
+	// Canceled reports that the context stopped the walks early; the
+	// solutions gathered so far are still sound.
+	Canceled bool
 }
 
 // Sample explores the Section 3.3 tree by random walks instead of
@@ -48,17 +52,24 @@ type SampleResult struct {
 // repeatedly picks a uniformly random smooth son, records every node
 // that satisfies the limit condition, and stops at a leaf or the depth
 // bound. Sampling is sound (everything returned is a smooth solution)
-// but deliberately incomplete; use Enumerate when the bounds allow.
-func Sample(p Problem, opts SampleOpts) SampleResult {
+// but deliberately incomplete; use Enumerate when the bounds allow. The
+// context is checked at every step of every walk; cancellation sets
+// Canceled and returns what the walks found so far.
+func Sample(ctx context.Context, p Problem, opts SampleOpts) SampleResult {
 	opts = opts.withDefaults(p)
 	s := newSearch(p)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := SampleResult{Solutions: map[string]trace.Trace{}}
 	st := &res.Stats
 	start := time.Now()
+walks:
 	for w := 0; w < opts.Walks; w++ {
 		cur := root
 		for depth := 0; ; depth++ {
+			if ctx.Err() != nil {
+				res.Canceled = true
+				break walks
+			}
 			st.LimitChecks++
 			if s.e.LimitOKKeyed(cur.t, cur.key) {
 				res.Solutions[cur.t.Key()] = cur.t

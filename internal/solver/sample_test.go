@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"testing"
 
 	"smoothproc/internal/desc"
@@ -11,7 +12,7 @@ import (
 
 func TestSampleFindsOnlySolutions(t *testing.T) {
 	p := dfmProblem(4)
-	s := Sample(p, SampleOpts{Seed: 1, Walks: 64})
+	s := Sample(context.Background(), p, SampleOpts{Seed: 1, Walks: 64})
 	if len(s.Solutions) == 0 {
 		t.Fatal("sampler found nothing")
 	}
@@ -21,7 +22,7 @@ func TestSampleFindsOnlySolutions(t *testing.T) {
 		}
 	}
 	// Soundness against the exhaustive set.
-	full := Enumerate(p)
+	full := Enumerate(context.Background(), p)
 	for k := range s.Solutions {
 		found := false
 		for _, sol := range full.Solutions {
@@ -38,8 +39,8 @@ func TestSampleFindsOnlySolutions(t *testing.T) {
 
 func TestSampleIsDeterministicPerSeed(t *testing.T) {
 	p := dfmProblem(4)
-	a := Sample(p, SampleOpts{Seed: 9})
-	b := Sample(p, SampleOpts{Seed: 9})
+	a := Sample(context.Background(), p, SampleOpts{Seed: 9})
+	b := Sample(context.Background(), p, SampleOpts{Seed: 9})
 	if len(a.Solutions) != len(b.Solutions) || a.Steps != b.Steps {
 		t.Error("same seed, different samples")
 	}
@@ -49,7 +50,7 @@ func TestSampleWalksDeepOnInfinitePaths(t *testing.T) {
 	// Ticks: the single infinite path; walks must follow it to the bound.
 	d := desc.MustNew("ticks", fn.ChanFn("b"), fn.OnChan(fn.PrependFn(value.T), "b"))
 	p := NewProblem(d, map[string][]value.Value{"b": {value.T, value.F}}, 64)
-	s := Sample(p, SampleOpts{Seed: 3, Walks: 2})
+	s := Sample(context.Background(), p, SampleOpts{Seed: 3, Walks: 2})
 	if s.Deepest.Len() != 64 {
 		t.Errorf("deepest = %d, want 64", s.Deepest.Len())
 	}
@@ -62,8 +63,8 @@ func TestSampleCoversMostOfSmallSpace(t *testing.T) {
 	// With enough walks on a small problem the sampler should see a
 	// large fraction of the solution set.
 	p := dfmProblem(4)
-	full := Enumerate(p)
-	s := Sample(p, SampleOpts{Seed: 5, Walks: 512})
+	full := Enumerate(context.Background(), p)
+	s := Sample(context.Background(), p, SampleOpts{Seed: 5, Walks: 512})
 	if len(s.Solutions)*2 < len(full.Solutions) {
 		t.Errorf("sampler hit %d of %d solutions", len(s.Solutions), len(full.Solutions))
 	}
@@ -72,7 +73,7 @@ func TestSampleCoversMostOfSmallSpace(t *testing.T) {
 func TestSampleRespectsDepthOverride(t *testing.T) {
 	d := desc.MustNew("const", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(7, 7, 7, 7)))
 	p := NewProblem(d, map[string][]value.Value{"b": value.Ints(7)}, 16)
-	s := Sample(p, SampleOpts{Seed: 1, Walks: 4, MaxDepth: 2})
+	s := Sample(context.Background(), p, SampleOpts{Seed: 1, Walks: 4, MaxDepth: 2})
 	if s.Deepest.Len() > 2 {
 		t.Errorf("walk exceeded depth override: %d", s.Deepest.Len())
 	}

@@ -12,6 +12,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -81,8 +82,12 @@ type Result struct {
 	Visited []trace.Trace
 	// Nodes is the number of tree nodes visited.
 	Nodes int
-	// Truncated reports that MaxNodes stopped the search early.
+	// Truncated reports that the search stopped early — either MaxNodes
+	// ran out or the context was cancelled (see Canceled).
 	Truncated bool
+	// Canceled reports that the context's cancellation or deadline — not
+	// the node budget — stopped the search. Canceled implies Truncated.
+	Canceled bool
 	// Stats instruments the search: node roles, per-level fan-out,
 	// pruning effectiveness and evaluation cost. See SearchStats.
 	Stats SearchStats
@@ -129,14 +134,19 @@ func newSearch(p Problem) *search {
 // bounds and classifies every visited node. One memoized evaluator backs
 // the whole search (see Problem.Memoize), so f and g are applied at most
 // once per distinct trace; Result.Stats accounts for every node and edge.
-func Enumerate(p Problem) Result {
+//
+// The context is checked once per visited node: cancellation or an
+// expired deadline stops the search with Truncated and Canceled set, so
+// adversarial problems (wide alphabets, deep probes) cannot run
+// unbounded when the caller holds a deadline.
+func Enumerate(ctx context.Context, p Problem) Result {
 	s := newSearch(p)
-	res := enumerate(s)
+	res := enumerate(ctx, s)
 	res.Stats.Eval = s.e.Snapshot()
 	return res
 }
 
-func enumerate(s *search) Result {
+func enumerate(ctx context.Context, s *search) Result {
 	p := s.p
 	var res Result
 	st := &res.Stats
@@ -148,6 +158,12 @@ func enumerate(s *search) Result {
 		res.Nodes++
 		res.Visited = append(res.Visited, cur.t)
 		st.Visited++
+		if ctx.Err() != nil {
+			res.Truncated = true
+			res.Canceled = true
+			st.Skipped++
+			break
+		}
 		if p.MaxNodes > 0 && res.Nodes > p.MaxNodes {
 			res.Truncated = true
 			st.Skipped++
@@ -295,7 +311,7 @@ func IsTreeNode(d desc.Description, t trace.Trace) bool {
 // the first failed premise; if the premises hold but some solution
 // violates φ, the returned error says so (and would indicate a bug, since
 // the rule is sound).
-func CheckInduction(p Problem, phi func(trace.Trace) bool) error {
+func CheckInduction(ctx context.Context, p Problem, phi func(trace.Trace) bool) error {
 	if !phi(trace.Empty) {
 		return errors.New("solver: induction base φ(⊥) fails")
 	}
@@ -307,6 +323,9 @@ func CheckInduction(p Problem, phi func(trace.Trace) bool) error {
 		u := queue[0]
 		queue = queue[1:]
 		nodes++
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("solver: induction check stopped: %w", err)
+		}
 		if p.MaxNodes > 0 && nodes > p.MaxNodes {
 			return ErrBudget
 		}
@@ -320,7 +339,7 @@ func CheckInduction(p Problem, phi func(trace.Trace) bool) error {
 			queue = append(queue, v)
 		}
 	}
-	for _, s := range Enumerate(p).Solutions {
+	for _, s := range Enumerate(ctx, p).Solutions {
 		if !phi(s) {
 			return fmt.Errorf("solver: induction rule unsound?! φ fails on smooth solution %s", s)
 		}

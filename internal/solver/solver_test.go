@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -30,7 +31,7 @@ func dfmProblem(depth int) Problem {
 }
 
 func TestEnumerateDFM(t *testing.T) {
-	res := Enumerate(dfmProblem(4))
+	res := Enumerate(context.Background(), dfmProblem(4))
 	// The complete merges: b, c and both d orders, in all interleavings
 	// consistent with causality. Exactly the traces with b=⟨0⟩, c=⟨1⟩,
 	// d a permutation of {0,1}, with each d-event after its input.
@@ -69,7 +70,7 @@ func TestEnumerateRandomBit(t *testing.T) {
 	// Section 4.3: R(b) ⟵ T̄. Smooth solutions: exactly (b,T) and (b,F).
 	d := desc.MustNew("rb", fn.OnChan(fn.RMap, "b"), fn.ConstTraceFn(seq.Of(value.T)))
 	p := NewProblem(d, map[string][]value.Value{"b": {value.T, value.F}}, 3)
-	res := Enumerate(p)
+	res := Enumerate(context.Background(), p)
 	if len(res.Solutions) != 2 {
 		t.Fatalf("random bit has %d solutions, want 2: %v", len(res.Solutions), res.SolutionKeys())
 	}
@@ -88,7 +89,7 @@ func TestEnumerateTicksFrontier(t *testing.T) {
 	// Section 4.2: b ⟵ T; b — no finite solutions; a single growing path.
 	d := desc.MustNew("ticks", fn.ChanFn("b"), fn.OnChan(fn.PrependFn(value.T), "b"))
 	p := NewProblem(d, map[string][]value.Value{"b": {value.T, value.F}}, 5)
-	res := Enumerate(p)
+	res := Enumerate(context.Background(), p)
 	if len(res.Solutions) != 0 {
 		t.Errorf("ticks has finite solutions: %v", res.SolutionKeys())
 	}
@@ -111,7 +112,7 @@ func TestDeadLeaves(t *testing.T) {
 	// a solution; 2 is outside the alphabet).
 	d := desc.MustNew("lead", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(0, 2)))
 	p := NewProblem(d, map[string][]value.Value{"b": value.Ints(0)}, 4)
-	res := Enumerate(p)
+	res := Enumerate(context.Background(), p)
 	if len(res.Solutions) != 0 {
 		t.Errorf("solutions: %v", res.SolutionKeys())
 	}
@@ -123,7 +124,7 @@ func TestDeadLeaves(t *testing.T) {
 func TestMaxNodesTruncates(t *testing.T) {
 	p := dfmProblem(6)
 	p.MaxNodes = 3
-	res := Enumerate(p)
+	res := Enumerate(context.Background(), p)
 	if !res.Truncated {
 		t.Error("expected truncation")
 	}
@@ -139,7 +140,7 @@ func TestPruningAblation(t *testing.T) {
 	pruned := dfmProblem(4)
 	unpruned := dfmProblem(4)
 	unpruned.Prune = false
-	rp, ru := Enumerate(pruned), Enumerate(unpruned)
+	rp, ru := Enumerate(context.Background(), pruned), Enumerate(context.Background(), unpruned)
 	pk, uk := rp.SolutionKeys(), ru.SolutionKeys()
 	if len(pk) != len(uk) {
 		t.Fatalf("pruned %d vs unpruned %d solutions", len(pk), len(uk))
@@ -173,16 +174,16 @@ func TestCheckInduction(t *testing.T) {
 	phi := func(tr trace.Trace) bool {
 		return tr.Channel("d").Len() <= tr.Channel("b").Len()+tr.Channel("c").Len()
 	}
-	if err := CheckInduction(p, phi); err != nil {
+	if err := CheckInduction(context.Background(), p, phi); err != nil {
 		t.Errorf("valid invariant rejected: %v", err)
 	}
 	// A property that fails at the base.
-	if err := CheckInduction(p, func(tr trace.Trace) bool { return tr.Len() > 0 }); err == nil {
+	if err := CheckInduction(context.Background(), p, func(tr trace.Trace) bool { return tr.Len() > 0 }); err == nil {
 		t.Error("false base accepted")
 	}
 	// A property broken by some edge.
 	broken := func(tr trace.Trace) bool { return tr.Channel("d").IsEmpty() }
-	if err := CheckInduction(p, broken); err == nil {
+	if err := CheckInduction(context.Background(), p, broken); err == nil {
 		t.Error("broken inductive step accepted")
 	}
 }
@@ -190,7 +191,7 @@ func TestCheckInduction(t *testing.T) {
 func TestCheckInductionBudget(t *testing.T) {
 	p := dfmProblem(6)
 	p.MaxNodes = 2
-	err := CheckInduction(p, func(trace.Trace) bool { return true })
+	err := CheckInduction(context.Background(), p, func(trace.Trace) bool { return true })
 	if !errors.Is(err, ErrBudget) {
 		t.Errorf("expected ErrBudget, got %v", err)
 	}
@@ -214,7 +215,7 @@ func TestNewProblemSortsChannels(t *testing.T) {
 func TestTheorem4Degeneration(t *testing.T) {
 	d := desc.MustNew("det", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(7, 8)))
 	p := NewProblem(d, map[string][]value.Value{"b": value.Ints(0, 7, 8, 9)}, 4)
-	res := Enumerate(p)
+	res := Enumerate(context.Background(), p)
 	if len(res.Solutions) != 1 {
 		t.Fatalf("%d solutions, want 1", len(res.Solutions))
 	}

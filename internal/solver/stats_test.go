@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,8 +34,8 @@ func TestSearchStatsInvariants(t *testing.T) {
 		p := p
 		t.Run(name, func(t *testing.T) {
 			for mode, res := range map[string]Result{
-				"enumerate": Enumerate(p),
-				"parallel":  EnumerateParallel(p, 4),
+				"enumerate": Enumerate(context.Background(), p),
+				"parallel":  EnumerateParallel(context.Background(), p, 4),
 			} {
 				st := res.Stats
 				if err := st.CheckInvariants(res.Truncated); err != nil {
@@ -61,7 +62,7 @@ func TestSearchStatsInvariants(t *testing.T) {
 // between the two search implementations.
 func TestStatsSequentialMatchesParallel(t *testing.T) {
 	p := dfmProblem(5)
-	a, b := Enumerate(p).Stats, EnumerateParallel(p, 4).Stats
+	a, b := Enumerate(context.Background(), p).Stats, EnumerateParallel(context.Background(), p, 4).Stats
 	type det struct {
 		visited, interior, frontier, dead, closed   int
 		solutions, checked, kept, pruned, witnesses int
@@ -78,7 +79,7 @@ func TestStatsSequentialMatchesParallel(t *testing.T) {
 // TestStatsPrunedNonzero: the merge problem prunes real subtrees and the
 // counter sees them — the measurable face of the Section 3.3 edge filter.
 func TestStatsPrunedNonzero(t *testing.T) {
-	res := Enumerate(dfmProblem(4))
+	res := Enumerate(context.Background(), dfmProblem(4))
 	if res.Stats.SubtreesPruned == 0 {
 		t.Error("no pruned subtrees on a branching problem")
 	}
@@ -101,7 +102,7 @@ func TestMemoizationTransparent(t *testing.T) {
 	on := dfmProblem(5)
 	off := dfmProblem(5)
 	off.Memoize = false
-	ron, roff := Enumerate(on), Enumerate(off)
+	ron, roff := Enumerate(context.Background(), on), Enumerate(context.Background(), off)
 	if ron.Nodes != roff.Nodes {
 		t.Errorf("nodes: memo %d vs direct %d", ron.Nodes, roff.Nodes)
 	}
@@ -133,7 +134,7 @@ func TestParallelBudgetExact(t *testing.T) {
 	for _, budget := range []int{1, 2, 5, 9} {
 		p := dfmProblem(6)
 		p.MaxNodes = budget
-		res := EnumerateParallel(p, 4)
+		res := EnumerateParallel(context.Background(), p, 4)
 		if !res.Truncated {
 			t.Errorf("budget %d: not truncated", budget)
 		}
@@ -153,9 +154,9 @@ func TestParallelBudgetExact(t *testing.T) {
 // are a prefix of the untruncated search's canonical level order.
 func TestParallelBudgetPrefix(t *testing.T) {
 	p := dfmProblem(4)
-	full := EnumerateParallel(p, 4)
+	full := EnumerateParallel(context.Background(), p, 4)
 	p.MaxNodes = 6
-	cut := EnumerateParallel(p, 4)
+	cut := EnumerateParallel(context.Background(), p, 4)
 	if cut.Nodes != 6 {
 		t.Fatalf("visited %d", cut.Nodes)
 	}
@@ -169,7 +170,7 @@ func TestParallelBudgetPrefix(t *testing.T) {
 // TestSampleStats: the walk sampler shares prefixes across walks, so the
 // memo hit rate is high and edge counters are live.
 func TestSampleStats(t *testing.T) {
-	res := Sample(dfmProblem(4), SampleOpts{Seed: 7, Walks: 16})
+	res := Sample(context.Background(), dfmProblem(4), SampleOpts{Seed: 7, Walks: 16})
 	if res.Stats.EdgesChecked == 0 {
 		t.Error("no edges checked")
 	}
@@ -184,7 +185,7 @@ func TestSampleStats(t *testing.T) {
 // TestStatsReportRendering: the report view exposes the acceptance
 // counters under their documented names.
 func TestStatsReportRendering(t *testing.T) {
-	res := Enumerate(dfmProblem(4))
+	res := Enumerate(context.Background(), dfmProblem(4))
 	rep := res.Stats.Report()
 	pruned, ok := rep.Get("pruning", "subtrees pruned")
 	if !ok || pruned != int64(res.Stats.SubtreesPruned) {
@@ -210,13 +211,13 @@ func BenchmarkMemoization(b *testing.B) {
 		b.Run(fmt.Sprintf("memo-depth-%d", depth), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				Enumerate(on)
+				Enumerate(context.Background(), on)
 			}
 		})
 		b.Run(fmt.Sprintf("direct-depth-%d", depth), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				Enumerate(off)
+				Enumerate(context.Background(), off)
 			}
 		})
 	}

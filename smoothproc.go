@@ -33,7 +33,7 @@
 //	problem := smoothproc.NewProblem(dfm, map[string][]smoothproc.Value{
 //		"b": smoothproc.Ints(0, 2), "c": smoothproc.Ints(1), "d": smoothproc.Ints(0, 1, 2),
 //	}, 6)
-//	result := smoothproc.Enumerate(problem)
+//	result := smoothproc.Enumerate(context.Background(), problem)
 //	// result.Solutions are exactly the quiescent traces of the process.
 package smoothproc
 
@@ -234,6 +234,7 @@ type (
 // Runtime entry points.
 var (
 	Run              = netsim.Run
+	RunContext       = netsim.RunContext
 	Realize          = netsim.Realize
 	QuiescentTraces  = netsim.QuiescentTraces
 	Histories        = netsim.Histories

@@ -1,6 +1,7 @@
 package smoothproc_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	problem := smoothproc.NewProblem(dfm, map[string][]smoothproc.Value{
 		"b": smoothproc.Ints(0), "c": smoothproc.Ints(1), "d": smoothproc.Ints(0, 1),
 	}, 4)
-	result := smoothproc.Enumerate(problem)
+	result := smoothproc.Enumerate(context.Background(), problem)
 	if len(result.Solutions) != 6 {
 		t.Fatalf("solutions = %d, want 6", len(result.Solutions))
 	}
@@ -86,7 +87,7 @@ desc R(b) <- [T]
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := smoothproc.Enumerate(prog.Problem())
+	res := smoothproc.Enumerate(context.Background(), prog.Problem())
 	if len(res.Solutions) != 2 {
 		t.Errorf("random bit via eqlang: %d solutions", len(res.Solutions))
 	}
