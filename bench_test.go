@@ -225,7 +225,7 @@ func BenchmarkRandomBit(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := c.CheckQuiescent(); err != nil {
+		if err := c.CheckQuiescent(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,7 +250,7 @@ func BenchmarkRandomBitSeq(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := c.CheckQuiescent(); err != nil {
+		if err := c.CheckQuiescent(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -279,7 +279,7 @@ func BenchmarkFig5Implication(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := c.CheckQuiescent(); err != nil {
+				if err := c.CheckQuiescent(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -308,7 +308,7 @@ func BenchmarkFig6Fork(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := c.CheckQuiescent(); err != nil {
+		if err := c.CheckQuiescent(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -412,7 +412,7 @@ func BenchmarkFig7FairMerge(b *testing.B) {
 		c := build()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := c.CheckQuiescent(); err != nil {
+			if err := c.CheckQuiescent(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -487,7 +487,7 @@ func BenchmarkThm4Kahn(b *testing.B) {
 	}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := kahn.CheckTheorem4Trace("x", grow, value.Ints(5, 6, 7, 9), 20, 5); err != nil {
+		if err := kahn.CheckTheorem4Trace(context.Background(), "x", grow, value.Ints(5, 6, 7, 9), 20, 5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -597,7 +597,7 @@ func BenchmarkRuntime(b *testing.B) {
 func BenchmarkReproSuite(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if failed := experiments.RunAll().Failed(); len(failed) != 0 {
+		if failed := experiments.RunAll(context.Background()).Failed(); len(failed) != 0 {
 			b.Fatalf("%d experiments failed", len(failed))
 		}
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,9 +31,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	ctx := context.Background()
 	var tab *report.Table
 	if *only == "" {
-		tab = experiments.RunAll()
+		tab = experiments.RunAll(ctx)
 	} else {
 		tab = &report.Table{}
 		found := false
@@ -41,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				continue
 			}
 			found = true
-			measured, err := e.Run()
+			measured, err := e.Run(ctx)
 			tab.AddResult(e.ID, e.Artefact, e.Claim, measured, err)
 		}
 		if !found {

@@ -5,6 +5,7 @@
 //
 //	smoothsolve [-depth N] [-max-nodes N] [-frontier] [-dead] file.eq
 //	smoothsolve -            # read from stdin
+//	smoothsolve vet [-json] file.eq...   # static analysis only (see cmd/specvet)
 //
 // Example input (the Brock-Ackermann system of Figure 4):
 //
@@ -25,6 +26,7 @@ import (
 
 	"smoothproc/internal/eqlang"
 	"smoothproc/internal/solver"
+	"smoothproc/internal/specvet"
 )
 
 func main() {
@@ -32,6 +34,9 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "vet" {
+		return specvet.RunCLI("smoothsolve vet", args[1:], stdin, stdout, stderr)
+	}
 	fs := flag.NewFlagSet("smoothsolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	depth := fs.Int("depth", 0, "override the file's probe depth")

@@ -1,0 +1,23 @@
+// Command specvet statically analyzes eqlang specs against the paper's
+// theorems: Theorem 1 independence (prefix-only smoothness), Theorems
+// 5/6 variable-elimination safety, declared-support soundness, and a
+// handful of likely-mistake lints (unused alphabets, duplicate left
+// sides, divergent equations). See package specvet for the rule set.
+//
+// Usage:
+//
+//	specvet [-json] file.eq...
+//	specvet -            # read one spec from stdin
+//
+// The exit status is 1 when any spec has error-severity findings.
+package main
+
+import (
+	"os"
+
+	"smoothproc/internal/specvet"
+)
+
+func main() {
+	os.Exit(specvet.RunCLI("specvet", os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 
 	"smoothproc"
@@ -38,7 +40,7 @@ func main() {
 	grow := smoothproc.SeqFn{Name: "grow", Apply: func(s smoothproc.Seq) smoothproc.Seq {
 		return smoothproc.SeqOfInts(5, 6, 7).Take(s.Len() + 1)
 	}}
-	if err := smoothproc.CheckTheorem4Trace("x", grow, smoothproc.Ints(5, 6, 7, 9), 20, 5); err != nil {
+	if err := smoothproc.CheckTheorem4Trace(context.Background(), "x", grow, smoothproc.Ints(5, 6, 7, 9), 20, 5); err != nil {
 		panic(err)
 	}
 	fmt.Println("\nTheorem 4: unique smooth solution of id ⟵ grow = Kleene lfp ⟨5 6 7⟩  ✓")

@@ -67,8 +67,8 @@ func (c Conformance) OperationalQuiescent() map[string]trace.Trace {
 
 // DenotationalSolutions returns the visible projections of the
 // description's finite smooth solutions, up to the caps.
-func (c Conformance) DenotationalSolutions() map[string]trace.Trace {
-	res := solver.Enumerate(context.Background(), c.Problem)
+func (c Conformance) DenotationalSolutions(ctx context.Context) map[string]trace.Trace {
+	res := solver.Enumerate(ctx, c.Problem)
 	set := map[string]trace.Trace{}
 	for _, s := range res.Solutions {
 		set[s.Key()] = s
@@ -79,9 +79,9 @@ func (c Conformance) DenotationalSolutions() map[string]trace.Trace {
 // CheckQuiescent verifies set equality of the two sides — the paper's
 // "the set of smooth solutions ... is the set of process traces", for
 // the finite traces within the caps.
-func (c Conformance) CheckQuiescent() error {
+func (c Conformance) CheckQuiescent(ctx context.Context) error {
 	op := c.OperationalQuiescent()
-	den := c.DenotationalSolutions()
+	den := c.DenotationalSolutions(ctx)
 	var missingDen, missingOp []string
 	for k := range op {
 		if _, ok := den[k]; !ok {
@@ -108,9 +108,9 @@ func (c Conformance) CheckQuiescent() error {
 // node's visible projection is operationally reachable. This is the
 // right comparison for processes with no finite quiescent trace (Ticks,
 // FairRandomSeq, the seeded Figure 1 loop).
-func (c Conformance) CheckHistories() error {
+func (c Conformance) CheckHistories(ctx context.Context) error {
 	op := c.capped(netsim.Histories(c.Spec, c.MaxDecisions, c.Opts))
-	res := solver.Enumerate(context.Background(), c.Problem)
+	res := solver.Enumerate(ctx, c.Problem)
 	den := map[string]trace.Trace{}
 	for _, n := range res.Visited {
 		p := c.project(n)
@@ -145,10 +145,10 @@ func (c Conformance) CheckHistories() error {
 // involved; without auxiliaries the direct smoothness check applies).
 // This is the cheap, high-volume direction of the conformance argument,
 // usable where exhaustive search is too wide.
-func RandomRunsAreSmooth(c Conformance, seeds []int64, limits netsim.Limits) error {
+func RandomRunsAreSmooth(ctx context.Context, c Conformance, seeds []int64, limits netsim.Limits) error {
 	denOnce := map[string]trace.Trace(nil)
 	for _, seed := range seeds {
-		run := netsim.Run(c.Spec, netsim.NewRandomDecider(seed), limits)
+		run := netsim.RunContext(ctx, c.Spec, netsim.NewRandomDecider(seed), limits)
 		if run.Err != nil {
 			return fmt.Errorf("check: %s: seed %d: %w", c.Name, seed, run.Err)
 		}
@@ -175,7 +175,7 @@ func RandomRunsAreSmooth(c Conformance, seeds []int64, limits netsim.Limits) err
 			continue
 		}
 		if denOnce == nil {
-			denOnce = c.DenotationalSolutions()
+			denOnce = c.DenotationalSolutions(ctx)
 		}
 		if _, ok := denOnce[p.Key()]; !ok {
 			return fmt.Errorf("check: %s: seed %d: quiescent run %s matches no projected smooth solution", c.Name, seed, p)
@@ -190,14 +190,14 @@ func RandomRunsAreSmooth(c Conformance, seeds []int64, limits netsim.Limits) err
 // description — quiescent traces must be smooth solutions and histories
 // must be tree nodes — but the converse is not required, so a
 // deterministic implementation may refine a nondeterministic spec.
-func (c Conformance) CheckRefines() error {
-	den := c.DenotationalSolutions()
+func (c Conformance) CheckRefines(ctx context.Context) error {
+	den := c.DenotationalSolutions(ctx)
 	for _, tr := range c.capped(netsim.QuiescentTraces(c.Spec, c.MaxDecisions, c.Opts)) {
 		if _, ok := den[tr.Key()]; !ok {
 			return fmt.Errorf("check: %s: quiescent behaviour %s outside the specification", c.Name, tr)
 		}
 	}
-	res := solver.Enumerate(context.Background(), c.Problem)
+	res := solver.Enumerate(ctx, c.Problem)
 	nodes := map[string]bool{}
 	for _, n := range res.Visited {
 		p := c.project(n)
@@ -216,8 +216,8 @@ func (c Conformance) CheckRefines() error {
 // SolutionsAreRealizable verifies the constructive direction one trace at
 // a time: every denotational solution (projected, capped) must be
 // realisable as a quiescent trace by some schedule.
-func SolutionsAreRealizable(c Conformance) error {
-	for _, target := range sortedTraces(c.DenotationalSolutions()) {
+func SolutionsAreRealizable(ctx context.Context, c Conformance) error {
+	for _, target := range sortedTraces(c.DenotationalSolutions(ctx)) {
 		r := netsim.Realize(c.Spec, target, c.Opts)
 		if !r.Found {
 			suffix := ""

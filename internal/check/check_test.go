@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,28 +48,28 @@ func copyConformance() Conformance {
 
 func TestCheckQuiescentAgrees(t *testing.T) {
 	c := copyConformance()
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestCheckHistoriesAgrees(t *testing.T) {
 	c := copyConformance()
-	if err := c.CheckHistories(); err != nil {
+	if err := c.CheckHistories(context.Background()); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRandomRunsAreSmooth(t *testing.T) {
 	c := copyConformance()
-	if err := RandomRunsAreSmooth(c, []int64{1, 2, 3}, netsim.Limits{}); err != nil {
+	if err := RandomRunsAreSmooth(context.Background(), c, []int64{1, 2, 3}, netsim.Limits{}); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestSolutionsAreRealizable(t *testing.T) {
 	c := copyConformance()
-	if err := SolutionsAreRealizable(c); err != nil {
+	if err := SolutionsAreRealizable(context.Background(), c); err != nil {
 		t.Error(err)
 	}
 }
@@ -82,7 +83,7 @@ func TestCheckQuiescentDetectsMismatch(t *testing.T) {
 		desc.MustNew("copy", fn.ChanFn("out"), fn.OnChan(fn.Double, "in")),
 	)
 	c.Problem.Alphabet["out"] = value.Ints(1, 2)
-	err := c.CheckQuiescent()
+	err := c.CheckQuiescent(context.Background())
 	if err == nil {
 		t.Fatal("mismatch not detected")
 	}
@@ -116,7 +117,7 @@ func TestRandomRunsDetectNonSmoothImplementation(t *testing.T) {
 		LenCap:       4,
 		MaxDecisions: 10,
 	}
-	if err := RandomRunsAreSmooth(c, []int64{1}, netsim.Limits{}); err == nil {
+	if err := RandomRunsAreSmooth(context.Background(), c, []int64{1}, netsim.Limits{}); err == nil {
 		t.Error("lying implementation not caught")
 	}
 }
@@ -161,10 +162,10 @@ func TestCheckRefines(t *testing.T) {
 		LenCap:       4,
 		MaxDecisions: 16,
 	}
-	if err := c.CheckRefines(); err != nil {
+	if err := c.CheckRefines(context.Background()); err != nil {
 		t.Errorf("biased merge should refine the dfm spec: %v", err)
 	}
-	if err := c.CheckQuiescent(); err == nil {
+	if err := c.CheckQuiescent(context.Background()); err == nil {
 		t.Error("biased merge should NOT exhaust the dfm spec (it drops merge orders)")
 	}
 
@@ -181,7 +182,7 @@ func TestCheckRefines(t *testing.T) {
 	c2.Problem.Alphabet = map[string][]value.Value{
 		"b": value.Ints(0), "c": value.Ints(1), "d": value.Ints(0, 1, 9),
 	}
-	if err := c2.CheckRefines(); err == nil {
+	if err := c2.CheckRefines(context.Background()); err == nil {
 		t.Error("lying implementation accepted as refinement")
 	}
 }
@@ -209,13 +210,13 @@ func TestConformanceWithAuxChannels(t *testing.T) {
 		LenCap:       3,
 		MaxDecisions: 8,
 	}
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
-	if err := RandomRunsAreSmooth(c, []int64{1, 2, 3, 4}, netsim.Limits{}); err != nil {
+	if err := RandomRunsAreSmooth(context.Background(), c, []int64{1, 2, 3, 4}, netsim.Limits{}); err != nil {
 		t.Error(err)
 	}
-	if err := SolutionsAreRealizable(c); err != nil {
+	if err := SolutionsAreRealizable(context.Background(), c); err != nil {
 		t.Error(err)
 	}
 }

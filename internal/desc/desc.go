@@ -112,6 +112,16 @@ func (d Description) Independent() bool {
 	return !d.F.Support.Intersects(d.G.Support)
 }
 
+// Thm1Eligible reports whether the solver may take the Theorem 1 fast
+// path on this description: the sides are independent AND the left
+// side's finite approximation is genuinely determined by its support
+// (not an ω-approximation, whose output grows with raw trace length —
+// for those, f(u·e) = f(u) fails on events outside supp f even though
+// the ω-limit is independent, so auto-admitting would be unsound).
+func (d Description) Thm1Eligible() bool {
+	return d.Independent() && !d.F.Omega
+}
+
 // IsSmoothFiniteThm1 checks smoothness using Theorem 1's simpler
 // characterisation, valid only for independent descriptions:
 //

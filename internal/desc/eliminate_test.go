@@ -1,6 +1,7 @@
 package desc
 
 import (
+	"strings"
 	"testing"
 
 	"smoothproc/internal/fn"
@@ -82,6 +83,79 @@ func TestEliminateConditionViolations(t *testing.T) {
 	// Index out of range.
 	if _, err := Eliminate(pipelineSystem(), 7, "b"); err == nil {
 		t.Error("bad index accepted")
+	}
+}
+
+// TestEliminateErrorMessages pins each refusal to its own side
+// condition: the error text must name the condition that failed, since
+// specvet forwards it verbatim in not-eliminable findings.
+func TestEliminateErrorMessages(t *testing.T) {
+	wantErr := func(t *testing.T, sys System, idx int, b, frag string) {
+		t.Helper()
+		_, err := Eliminate(sys, idx, b)
+		if err == nil {
+			t.Fatalf("Eliminate(%s, %d, %s) accepted", sys.Name, idx, b)
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+
+	// The named channel does not match the defining description.
+	wantErr(t, pipelineSystem(), 1, "zz", "must be exactly the channel function zz")
+
+	// Negative index.
+	wantErr(t, pipelineSystem(), -1, "b", "out of range")
+
+	// Defining description of width 2: pairing two descriptions gives a
+	// left side that is not a single channel history.
+	paired := System{Name: "wide", Descs: []Description{
+		Combine("pair",
+			MustNew("d1", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(1))),
+			MustNew("d2", fn.ChanFn("c"), fn.ConstTraceFn(seq.OfInts(2))),
+		),
+		MustNew("snk", fn.ChanFn("e"), fn.ChanFn("b")),
+	}}
+	wantErr(t, paired, 0, "b", "single-channel")
+
+	// Condition (1), h side: the error names h.
+	selfRef := System{Name: "self", Descs: []Description{
+		MustNew("loop", fn.ChanFn("b"), fn.OnChan(fn.PrependFn(value.Int(0)), "b")),
+		MustNew("snk", fn.ChanFn("e"), fn.ChanFn("b")),
+	}}
+	wantErr(t, selfRef, 0, "b", "condition (1)")
+
+	// Condition (3): the error names the offending left side.
+	fNotStrict := System{Name: "f⊥", Descs: []Description{
+		MustNew("def", fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(1))),
+		MustNew("other", fn.ConstTraceFn(seq.OfInts(5)), fn.ChanFn("b")),
+	}}
+	wantErr(t, fNotStrict, 0, "b", "condition (3)")
+}
+
+// TestTheoremCheckersPropagateElimErrors: the theorem checkers must
+// refuse — not misreport — when the elimination itself is ill-posed.
+func TestTheoremCheckersPropagateElimErrors(t *testing.T) {
+	sys := pipelineSystem()
+	good := trace.Of(
+		trace.E("a", value.Int(1)), trace.E("b", value.Int(2)), trace.E("e", value.Int(2)),
+	)
+	if err := CheckTheorem5(sys, 1, "zz", good); err == nil {
+		t.Error("CheckTheorem5 accepted an ill-posed elimination")
+	}
+	if _, err := Theorem6Witness(sys, 1, "zz", trace.Empty); err == nil {
+		t.Error("Theorem6Witness accepted an ill-posed elimination")
+	}
+
+	// Hypothesis failure: the trace is not a smooth solution of the
+	// original system, so Theorem 5 does not apply.
+	notSolution := trace.Of(trace.E("e", value.Int(9)))
+	err := CheckTheorem5(sys, 1, "b", notSolution)
+	if err == nil {
+		t.Fatal("CheckTheorem5 accepted a non-solution")
+	}
+	if !strings.Contains(err.Error(), "hypothesis") {
+		t.Errorf("error %q does not blame the hypothesis", err)
 	}
 }
 

@@ -64,7 +64,7 @@ func Compile(f *File) (*Program, error) {
 	}
 	for _, a := range f.Alphabets {
 		if _, dup := p.Alphabet[a.Channel]; dup {
-			return nil, errf(a.Line, "duplicate alphabet for channel %s", a.Channel)
+			return nil, errfc(a.Line, a.Col, "duplicate alphabet for channel %s", a.Channel)
 		}
 		p.Alphabet[a.Channel] = a.Values
 	}
@@ -79,23 +79,21 @@ func Compile(f *File) (*Program, error) {
 		}
 		dd, err := desc.New(d.Name, lhs, rhs)
 		if err != nil {
-			return nil, errf(d.Line, "%v", err)
+			return nil, errfc(d.Line, d.Col, "%v", err)
 		}
 		p.System.Descs = append(p.System.Descs, dd)
-	}
-	if len(p.System.Descs) == 0 {
-		return nil, errf(1, "no descriptions in file")
-	}
-	// Every channel mentioned in a description needs an alphabet before
-	// the solver can branch on it.
-	for _, d := range p.System.Descs {
-		for _, side := range []fn.TraceFn{d.F, d.G} {
+		// Every channel a description reads needs an alphabet before the
+		// solver can branch on it; report at the offending desc.
+		for _, side := range []fn.TraceFn{dd.F, dd.G} {
 			for _, ch := range side.Support.Names() {
 				if _, ok := p.Alphabet[ch]; !ok {
-					return nil, fmt.Errorf("eqlang: channel %s used in %s but has no alphabet statement", ch, d.Name)
+					return nil, errfc(d.Line, d.Col, "channel %s used in %s but has no alphabet statement", ch, d.Name)
 				}
 			}
 		}
+	}
+	if len(p.System.Descs) == 0 {
+		return nil, errfc(1, 1, "no descriptions in file")
 	}
 	return p, nil
 }
@@ -168,7 +166,7 @@ func compileExpr(e Expr) (fn.TraceFn, error) {
 	case *CallExpr:
 		if sf, ok := unaryBuiltins[n.Fn]; ok {
 			if len(n.Args) != 1 {
-				return fn.TraceFn{}, errf(n.Line, "%s takes 1 argument, got %d", n.Fn, len(n.Args))
+				return fn.TraceFn{}, errfc(n.Line, n.Col, "%s takes 1 argument, got %d", n.Fn, len(n.Args))
 			}
 			arg, err := compileExpr(n.Args[0])
 			if err != nil {
@@ -178,7 +176,7 @@ func compileExpr(e Expr) (fn.TraceFn, error) {
 		}
 		if bf, ok := binaryBuiltins[n.Fn]; ok {
 			if len(n.Args) != 2 {
-				return fn.TraceFn{}, errf(n.Line, "%s takes 2 arguments, got %d", n.Fn, len(n.Args))
+				return fn.TraceFn{}, errfc(n.Line, n.Col, "%s takes 2 arguments, got %d", n.Fn, len(n.Args))
 			}
 			a, err := compileExpr(n.Args[0])
 			if err != nil {
@@ -190,7 +188,7 @@ func compileExpr(e Expr) (fn.TraceFn, error) {
 			}
 			return fn.ApplyBi(bf, a, b), nil
 		}
-		return fn.TraceFn{}, errf(n.Line, "unknown function %q", n.Fn)
+		return fn.TraceFn{}, errfc(n.Line, n.Col, "unknown function %q", n.Fn)
 	default:
 		return fn.TraceFn{}, fmt.Errorf("eqlang: unhandled expression %T", e)
 	}

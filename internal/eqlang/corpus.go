@@ -1,14 +1,18 @@
 package eqlang
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 // Corpus is the seed corpus for the compiler pipeline: a mix of valid
 // programs, near-miss syntax errors, semantic errors and hostile input.
-// FuzzCompileSource seeds the fuzzer with it, and the service tests
-// replay it against POST /v1/specs — any input here must either compile
-// or produce a structured error, never a panic, on both paths.
+// FuzzCompileSource seeds the fuzzer with it, the service tests replay
+// it against POST /v1/specs, and specvet's TestVetCorpus replays it
+// through the analyzer — any input here must either compile or produce
+// a structured error, never a panic, on all three paths.
 func Corpus() []string {
-	return []string{
+	base := []string{
 		"",
 		"# just a comment\n",
 		"alphabet d = ints -2 .. 7\ndesc even(d) <- [0] ; 2*d\n",
@@ -25,4 +29,94 @@ func Corpus() []string {
 		strings.Repeat("(", 100),
 		strings.Repeat("desc d <- d\n", 50),
 	}
+	return append(base, vetCorpus()...)
+}
+
+// vetCorpus holds, for each specvet rule, one input that triggers it
+// and one hostile variant that stresses the same code path. The rules
+// support-mismatch and growth-bound guard the function library's
+// declared contracts rather than spec text, so no honest-library source
+// can trigger them; their entries stress the probe instead (multi-
+// channel alphabets, ω-constants, nested combinators).
+func vetCorpus() []string {
+	return []string{
+		// parse-error
+		"desc d <- <-\n",
+		"desc " + strings.Repeat("(", 500), // hostile: deep unclosed nesting
+
+		// compile-error
+		"alphabet c = ints 0 .. 1\ndesc c <- mystery(c)\n",
+		"alphabet d = {0}\ndesc d <- " + strings.Repeat("nosuch(", 80) + "d" + strings.Repeat(")", 80) + "\n",
+
+		// undefined-channel
+		"alphabet c = ints 0 .. 1\ndesc c <- even(d)\n",
+		strings.Repeat("desc qq <- and(zz, ww)\n", 60), // hostile: every ref undefined, repeated
+
+		// unused-alphabet
+		"alphabet c = ints 0 .. 1\nalphabet junk = ints 0 .. 9\ndesc c <- c\n",
+		manyUnusedAlphabets(40), // hostile: fan-out warning flood
+
+		// duplicate-desc
+		"alphabet c = ints 0 .. 1\ndesc c <- [0]\ndesc c <- [1]\n",
+		"alphabet d = {0}\n" + strings.Repeat("desc d <- d\n", 40), // hostile: 39 duplicates
+
+		// divergent-desc
+		"alphabet d = ints 0 .. 3\ndesc d <- 2*d + 1\n",
+		"alphabet d = ints 0 .. 1\ndesc d <- 999999937*d - 123456789\n", // hostile: huge coefficients
+
+		// thm1-independent
+		"alphabet a = ints 0 .. 1\nalphabet e = ints 0 .. 1\ndesc e <- a\n",
+		manyIndependentDescs(6), // hostile: many pairwise-disjoint supports
+
+		// eliminable
+		"alphabet b = {0}\nalphabet c = {0}\ndesc b <- [0]\ndesc c <- b\n",
+		chainDescs(10), // hostile: a 10-deep elimination chain
+
+		// not-eliminable
+		"alphabet b = {0}\nalphabet c = {0}\ndesc b <- [0]\ndesc even(b) <- c\n",
+		"alphabet d = ints -50 .. 50\nalphabet c = {0}\ndesc d <- and(d, d)\ndesc c <- and(c, c)\n", // hostile: wide alphabet, self-reads
+
+		// support-mismatch / growth-bound probe stress (see doc comment)
+		"alphabet b = {1}\nalphabet c = ints 0 .. 2\nalphabet d = ints 0 .. 2\ndesc even(c) <- [0] ; 2*d\ndesc odd(d) <- fBA(c)\ndesc b <- repeat [1]\n",
+		"alphabet c = {0, 1}\ndesc true(c) <- repeat [0, 1, 0, 1, 0, 1, 0, 1]\ndesc even(c) <- 3*c - 2 ; [0]\n",
+	}
+}
+
+// manyUnusedAlphabets builds a spec with n alphabets nothing reads plus
+// one used channel, so vetting emits n unused-alphabet warnings.
+func manyUnusedAlphabets(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "alphabet u%d = {%d}\n", i, i)
+	}
+	b.WriteString("alphabet c = {0}\ndesc c <- c\n")
+	return b.String()
+}
+
+// manyIndependentDescs builds n Kahn-buffer copies e_i <- a_i on
+// disjoint channel pairs: every description and the combined system are
+// Theorem-1 independent.
+func manyIndependentDescs(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "alphabet a%d = {0}\nalphabet e%d = {0}\n", i, i)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "desc e%d <- a%d\n", i, i)
+	}
+	return b.String()
+}
+
+// chainDescs builds c1 <- c0, c2 <- c1, …: each defining description is
+// eliminable in turn (Theorems 5/6).
+func chainDescs(n int) string {
+	var b strings.Builder
+	for i := 0; i <= n; i++ {
+		fmt.Fprintf(&b, "alphabet c%d = {0}\n", i)
+	}
+	b.WriteString("desc c0 <- [0]\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "desc c%d <- c%d\n", i, i-1)
+	}
+	return b.String()
 }

@@ -275,6 +275,41 @@ func asError(err error, target **Error) bool {
 	return ok
 }
 
+// TestErrorPositions pins the line:col carried by parse and compile
+// errors — every diagnostic must locate its offending token.
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{"lex garbage", "desc d <- ?\n", 1, 11},
+		{"parse bad token", "alphabet c = ints 0 .. 1\ndesc c <- <-\n", 2, 11},
+		{"unknown statement", "alphabet c = ints 0 .. 1\nbogus c\n", 2, 1},
+		{"unknown function", "alphabet c = ints 0 .. 1\ndesc c <- mystery(c)\n", 2, 11},
+		{"bad arity", "alphabet c = ints 0 .. 1\ndesc c <- even(c, c)\n", 2, 11},
+		{"missing alphabet", "alphabet c = ints 0 .. 1\ndesc c <- even(d)\n", 2, 1},
+		{"duplicate alphabet", "alphabet c = ints 0 .. 1\nalphabet c = ints 0 .. 1\ndesc c <- c\n", 2, 10},
+		{"empty repeat", "alphabet c = ints 0 .. 1\ndesc c <- repeat []\n", 2, 11},
+		{"empty range", "alphabet c = ints 5 .. 2\ndesc c <- c\n", 1, 24},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompileSource(tc.src)
+			if err == nil {
+				t.Fatalf("CompileSource(%q) succeeded, want error", tc.src)
+			}
+			var e *Error
+			if !asError(err, &e) {
+				t.Fatalf("error is not *Error: %T (%v)", err, err)
+			}
+			if e.Line != tc.line || e.Col != tc.col {
+				t.Errorf("position = %d:%d, want %d:%d (%v)", e.Line, e.Col, tc.line, tc.col, err)
+			}
+		})
+	}
+}
+
 func TestFormatSnippet(t *testing.T) {
 	src := "line one\nline two\n"
 	if got := FormatSnippet(src, 2); got != "line two" {

@@ -7,15 +7,21 @@ import (
 )
 
 // AST node kinds. The tree is deliberately small: everything the paper's
-// examples need and nothing more.
+// examples need and nothing more. Every node carries its 1-based source
+// position (Line, Col) for error messages and specvet diagnostics.
 
 // Expr is an expression node.
-type Expr interface{ exprNode() }
+type Expr interface {
+	exprNode()
+	// Pos returns the node's source position.
+	Pos() (line, col int)
+}
 
 // ChanExpr is a channel-history reference.
 type ChanExpr struct {
 	Name string
 	Line int
+	Col  int
 }
 
 // CallExpr applies a builtin to argument expressions.
@@ -23,18 +29,21 @@ type CallExpr struct {
 	Fn   string
 	Args []Expr
 	Line int
+	Col  int
 }
 
 // ConstExpr is a finite constant sequence literal.
 type ConstExpr struct {
 	Vals []value.Value
 	Line int
+	Col  int
 }
 
 // RepeatExpr is an ω-constant with the given period.
 type RepeatExpr struct {
 	Period []value.Value
 	Line   int
+	Col    int
 }
 
 // LinearExpr is a*inner + b applied pointwise.
@@ -42,6 +51,7 @@ type LinearExpr struct {
 	A, B  int64
 	Inner Expr
 	Line  int
+	Col   int
 }
 
 // ConcatExpr is lit ; rest (the paper's prefixing operator).
@@ -49,6 +59,7 @@ type ConcatExpr struct {
 	Prefix []value.Value
 	Rest   Expr
 	Line   int
+	Col    int
 }
 
 func (*ChanExpr) exprNode()   {}
@@ -58,11 +69,19 @@ func (*RepeatExpr) exprNode() {}
 func (*LinearExpr) exprNode() {}
 func (*ConcatExpr) exprNode() {}
 
+func (e *ChanExpr) Pos() (int, int)   { return e.Line, e.Col }
+func (e *CallExpr) Pos() (int, int)   { return e.Line, e.Col }
+func (e *ConstExpr) Pos() (int, int)  { return e.Line, e.Col }
+func (e *RepeatExpr) Pos() (int, int) { return e.Line, e.Col }
+func (e *LinearExpr) Pos() (int, int) { return e.Line, e.Col }
+func (e *ConcatExpr) Pos() (int, int) { return e.Line, e.Col }
+
 // DescStmt is one description: LHS <- RHS.
 type DescStmt struct {
 	Name     string
 	Lhs, Rhs Expr
 	Line     int
+	Col      int
 }
 
 // AlphabetStmt declares a channel's candidate alphabet for the solver.
@@ -70,6 +89,7 @@ type AlphabetStmt struct {
 	Channel string
 	Values  []value.Value
 	Line    int
+	Col     int
 }
 
 // ExpectKind discriminates expect statements.
@@ -94,6 +114,7 @@ type ExpectStmt struct {
 	N     int
 	Trace []TraceEvent
 	Line  int
+	Col   int
 }
 
 // TraceEvent is a parsed (channel, message) literal.
@@ -123,7 +144,7 @@ func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
 func (p *parser) expect(k tokenKind) (token, error) {
 	t := p.next()
 	if t.kind != k {
-		return t, errf(t.line, "expected %s, found %s %q", k, t.kind, t.text)
+		return t, errt(t, "expected %s, found %s %q", k, t.kind, t.text)
 	}
 	return t, nil
 }
@@ -154,7 +175,7 @@ func Parse(src string) (*File, error) {
 		}
 		switch kw.text {
 		case "desc":
-			stmt, err := p.parseDesc(descIdx)
+			stmt, err := p.parseDesc(descIdx, kw)
 			if err != nil {
 				return nil, err
 			}
@@ -173,17 +194,17 @@ func Parse(src string) (*File, error) {
 			}
 			d, err := strconv.Atoi(n.text)
 			if err != nil || d < 0 {
-				return nil, errf(n.line, "bad depth %q", n.text)
+				return nil, errt(n, "bad depth %q", n.text)
 			}
 			f.Depth = d
 		case "expect":
-			stmt, err := p.parseExpect(kw.line)
+			stmt, err := p.parseExpect(kw)
 			if err != nil {
 				return nil, err
 			}
 			f.Expects = append(f.Expects, stmt)
 		default:
-			return nil, errf(kw.line, "unknown statement %q (want desc, alphabet, or depth)", kw.text)
+			return nil, errt(kw, "unknown statement %q (want desc, alphabet, or depth)", kw.text)
 		}
 		if !p.at(tokEOF) {
 			if _, err := p.expect(tokNewline); err != nil {
@@ -193,8 +214,7 @@ func Parse(src string) (*File, error) {
 	}
 }
 
-func (p *parser) parseDesc(idx int) (DescStmt, error) {
-	line := p.peek().line
+func (p *parser) parseDesc(idx int, kw token) (DescStmt, error) {
 	lhs, err := p.parseExpr()
 	if err != nil {
 		return DescStmt{}, err
@@ -210,7 +230,8 @@ func (p *parser) parseDesc(idx int) (DescStmt, error) {
 		Name: "desc" + strconv.Itoa(idx+1),
 		Lhs:  lhs,
 		Rhs:  rhs,
-		Line: line,
+		Line: kw.line,
+		Col:  kw.col,
 	}, nil
 }
 
@@ -222,7 +243,7 @@ func (p *parser) parseAlphabet() (AlphabetStmt, error) {
 	if _, err := p.expect(tokEquals); err != nil {
 		return AlphabetStmt{}, err
 	}
-	stmt := AlphabetStmt{Channel: ch.text, Line: ch.line}
+	stmt := AlphabetStmt{Channel: ch.text, Line: ch.line, Col: ch.col}
 	switch {
 	case p.at(tokIdent) && p.peek().text == "ints":
 		p.next()
@@ -240,7 +261,7 @@ func (p *parser) parseAlphabet() (AlphabetStmt, error) {
 		loN, _ := strconv.ParseInt(lo.text, 10, 64)
 		hiN, _ := strconv.ParseInt(hi.text, 10, 64)
 		if hiN < loN {
-			return stmt, errf(hi.line, "empty range %d..%d", loN, hiN)
+			return stmt, errt(hi, "empty range %d..%d", loN, hiN)
 		}
 		stmt.Values = value.IntRange(loN, hiN)
 	case p.at(tokLBrace):
@@ -257,17 +278,17 @@ func (p *parser) parseAlphabet() (AlphabetStmt, error) {
 		}
 		p.next() // consume }
 		if len(stmt.Values) == 0 {
-			return stmt, errf(ch.line, "empty alphabet for %s", ch.text)
+			return stmt, errt(ch, "empty alphabet for %s", ch.text)
 		}
 	default:
 		t := p.peek()
-		return stmt, errf(t.line, "expected 'ints lo .. hi' or '{v, ...}', found %s", t.kind)
+		return stmt, errt(t, "expected 'ints lo .. hi' or '{v, ...}', found %s", t.kind)
 	}
 	return stmt, nil
 }
 
 // parseExpect parses the forms documented on ExpectKind.
-func (p *parser) parseExpect(line int) (ExpectStmt, error) {
+func (p *parser) parseExpect(expectKw token) (ExpectStmt, error) {
 	kw, err := p.expect(tokIdent)
 	if err != nil {
 		return ExpectStmt{}, err
@@ -280,9 +301,9 @@ func (p *parser) parseExpect(line int) (ExpectStmt, error) {
 		}
 		count, err := strconv.Atoi(n.text)
 		if err != nil || count < 0 {
-			return ExpectStmt{}, errf(n.line, "bad count %q", n.text)
+			return ExpectStmt{}, errt(n, "bad count %q", n.text)
 		}
-		return ExpectStmt{Kind: ExpectCount, N: count, Line: line}, nil
+		return ExpectStmt{Kind: ExpectCount, N: count, Line: expectKw.line, Col: expectKw.col}, nil
 	case "solution", "nonsolution":
 		events, err := p.parseTraceLiteral()
 		if err != nil {
@@ -292,9 +313,9 @@ func (p *parser) parseExpect(line int) (ExpectStmt, error) {
 		if kw.text == "nonsolution" {
 			kind = ExpectNotSolution
 		}
-		return ExpectStmt{Kind: kind, Trace: events, Line: line}, nil
+		return ExpectStmt{Kind: kind, Trace: events, Line: expectKw.line, Col: expectKw.col}, nil
 	default:
-		return ExpectStmt{}, errf(kw.line, "unknown expectation %q (want solutions, solution, or nonsolution)", kw.text)
+		return ExpectStmt{}, errt(kw, "unknown expectation %q (want solutions, solution, or nonsolution)", kw.text)
 	}
 }
 
@@ -337,7 +358,7 @@ func (p *parser) parseValue() (value.Value, error) {
 	case tokInt:
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return value.Value{}, errf(t.line, "bad integer %q", t.text)
+			return value.Value{}, errt(t, "bad integer %q", t.text)
 		}
 		return value.Int(n), nil
 	case tokIdent:
@@ -366,7 +387,7 @@ func (p *parser) parseValue() (value.Value, error) {
 		}
 		return value.Pair(a, b), nil
 	default:
-		return value.Value{}, errf(t.line, "expected a value, found %s %q", t.kind, t.text)
+		return value.Value{}, errt(t, "expected a value, found %s %q", t.kind, t.text)
 	}
 }
 
@@ -386,22 +407,22 @@ func (p *parser) parseExpr() (Expr, error) {
 	}
 	lit, ok := left.(*ConstExpr)
 	if !ok {
-		return nil, errf(semi.line, "left operand of ';' must be a constant literal (the paper's prefixing operator)")
+		return nil, errt(semi, "left operand of ';' must be a constant literal (the paper's prefixing operator)")
 	}
-	return &ConcatExpr{Prefix: lit.Vals, Rest: rest, Line: semi.line}, nil
+	return &ConcatExpr{Prefix: lit.Vals, Rest: rest, Line: semi.line, Col: semi.col}, nil
 }
 
 // parseFactor parses [INT '*'] primary ['+' INT | '-' INT].
 func (p *parser) parseFactor() (Expr, error) {
 	var a int64 = 1
-	line := p.peek().line
+	at := p.peek()
 	scaled := false
 	if p.at(tokInt) && p.toks[p.pos+1].kind == tokStar {
 		t := p.next()
 		p.next() // '*'
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, errf(t.line, "bad integer %q", t.text)
+			return nil, errt(t, "bad integer %q", t.text)
 		}
 		a = n
 		scaled = true
@@ -420,7 +441,7 @@ func (p *parser) parseFactor() (Expr, error) {
 		}
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, errf(t.line, "bad integer %q", t.text)
+			return nil, errt(t, "bad integer %q", t.text)
 		}
 		if op.kind == tokMinus {
 			n = -n
@@ -431,7 +452,7 @@ func (p *parser) parseFactor() (Expr, error) {
 	if !scaled && !shifted {
 		return inner, nil
 	}
-	return &LinearExpr{A: a, B: b, Inner: inner, Line: line}, nil
+	return &LinearExpr{A: a, B: b, Inner: inner, Line: at.line, Col: at.col}, nil
 }
 
 func (p *parser) parsePrimary() (Expr, error) {
@@ -444,9 +465,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 				return nil, err
 			}
 			if len(vals) == 0 {
-				return nil, errf(t.line, "repeat needs a nonempty period")
+				return nil, errt(t, "repeat needs a nonempty period")
 			}
-			return &RepeatExpr{Period: vals, Line: t.line}, nil
+			return &RepeatExpr{Period: vals, Line: t.line, Col: t.col}, nil
 		}
 		if p.at(tokLParen) {
 			p.next()
@@ -466,16 +487,16 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if _, err := p.expect(tokRParen); err != nil {
 				return nil, err
 			}
-			return &CallExpr{Fn: t.text, Args: args, Line: t.line}, nil
+			return &CallExpr{Fn: t.text, Args: args, Line: t.line, Col: t.col}, nil
 		}
-		return &ChanExpr{Name: t.text, Line: t.line}, nil
+		return &ChanExpr{Name: t.text, Line: t.line, Col: t.col}, nil
 	case tokLBrack:
 		p.pos-- // rewind: parseBracketList expects the '['
 		vals, err := p.parseBracketList()
 		if err != nil {
 			return nil, err
 		}
-		return &ConstExpr{Vals: vals, Line: t.line}, nil
+		return &ConstExpr{Vals: vals, Line: t.line, Col: t.col}, nil
 	case tokLParen:
 		e, err := p.parseExpr()
 		if err != nil {
@@ -486,7 +507,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		return e, nil
 	default:
-		return nil, errf(t.line, "expected an expression, found %s %q", t.kind, t.text)
+		return nil, errt(t, "expected an expression, found %s %q", t.kind, t.text)
 	}
 }
 

@@ -99,11 +99,13 @@ func (k tokenKind) String() string {
 	}
 }
 
-// token is one lexical unit with its source line for error messages.
+// token is one lexical unit with its source position (1-based line and
+// column) for error messages and analyzer diagnostics.
 type token struct {
 	kind tokenKind
 	text string
 	line int
+	col  int
 }
 
 // lex splits the source into tokens. Comments run from '#' to end of
@@ -111,8 +113,11 @@ type token struct {
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // byte offset of the current line's first character
 	i := 0
-	emit := func(k tokenKind, text string) { toks = append(toks, token{kind: k, text: text, line: line}) }
+	emit := func(k tokenKind, text string) {
+		toks = append(toks, token{kind: k, text: text, line: line, col: i - lineStart + 1})
+	}
 	for i < len(src) {
 		c := src[i]
 		switch {
@@ -120,6 +125,7 @@ func lex(src string) ([]token, error) {
 			emit(tokNewline, "\n")
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '#':
@@ -194,7 +200,7 @@ func lex(src string) ([]token, error) {
 			emit(tokIdent, src[i:j])
 			i = j
 		default:
-			return nil, fmt.Errorf("eqlang: line %d: unexpected character %q", line, string(c))
+			return nil, errfc(line, i-lineStart+1, "unexpected character %q", string(c))
 		}
 	}
 	emit(tokEOF, "")
@@ -209,19 +215,32 @@ func isIdentPart(r rune) bool {
 	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
-// Error is a source-located compilation error.
+// Error is a source-located compilation error. Line is 1-based; Col is
+// the 1-based column of the offending token, or 0 when only the line is
+// known (kept for errors synthesized without a token at hand).
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
-// Error implements error.
+// Error implements error. The "line %d" prefix is stable; the column is
+// appended when known, e.g. "eqlang: line 3:7: unknown function".
 func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("eqlang: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("eqlang: line %d: %s", e.Line, e.Msg)
 }
 
-func errf(line int, format string, args ...interface{}) *Error {
-	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+// errfc builds a positioned error.
+func errfc(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errt is errfc positioned at a token.
+func errt(t token, format string, args ...interface{}) *Error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // FormatSnippet returns the source line for diagnostics.

@@ -33,7 +33,9 @@ type Experiment struct {
 	Claim    string
 	// Run performs the measurement; it returns a summary of what was
 	// observed, or an error if the observation contradicts the claim.
-	Run func() (string, error)
+	// The context bounds every search and simulation the measurement
+	// performs.
+	Run func(ctx context.Context) (string, error)
 }
 
 // All returns every experiment in index order.
@@ -46,10 +48,10 @@ func All() []Experiment {
 }
 
 // RunAll executes every experiment into a report table.
-func RunAll() *report.Table {
+func RunAll(ctx context.Context) *report.Table {
 	var tab report.Table
 	for _, e := range All() {
-		measured, err := e.Run()
+		measured, err := e.Run(ctx)
 		tab.AddResult(e.ID, e.Artefact, e.Claim, measured, err)
 	}
 	return &tab
@@ -60,7 +62,7 @@ func e1() Experiment {
 		ID:       "E1",
 		Artefact: "Fig 1 / §2.1",
 		Claim:    "copy loop lfp is ε; seeded variant grows to 0^ω; operational runs agree",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			fix, err := kahn.TwoCopyEquations().Solve(10, 0)
 			if err != nil {
 				return "", err
@@ -124,18 +126,18 @@ func e2() Experiment {
 		ID:       "E2",
 		Artefact: "Fig 2 / §2.2",
 		Claim:    "dfm: smooth solutions = quiescent traces, both directions",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			c := fig2Conformance()
-			if err := c.CheckQuiescent(); err != nil {
+			if err := c.CheckQuiescent(ctx); err != nil {
 				return "", err
 			}
-			if err := c.CheckHistories(); err != nil {
+			if err := c.CheckHistories(ctx); err != nil {
 				return "", err
 			}
-			if err := check.SolutionsAreRealizable(c); err != nil {
+			if err := check.SolutionsAreRealizable(ctx, c); err != nil {
 				return "", err
 			}
-			n := len(c.DenotationalSolutions())
+			n := len(c.DenotationalSolutions(ctx))
 			return fmt.Sprintf("%d quiescent traces = %d smooth solutions; all realizable", n, n), nil
 		},
 	}
@@ -146,7 +148,7 @@ func e3() Experiment {
 		ID:       "E3",
 		Artefact: "Fig 3 / §2.3",
 		Claim:    "x, y are smooth solutions; z solves the equations but fails smoothness at −1",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			d := procs.Fig3Equations()
 			const depth = 30
 			for _, g := range []trace.Gen{procs.Fig3X(), procs.Fig3Y()} {
@@ -171,7 +173,7 @@ func e4() Experiment {
 		ID:       "E4",
 		Artefact: "§2.3 properties",
 		Claim:    "safety (2n preceded by n) by §8.4 induction; progress (every n appears) on x and y",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			phi := func(tr trace.Trace) bool {
 				d := tr.Channel("d")
 				for i := 0; i < d.Len(); i++ {
@@ -188,7 +190,7 @@ func e4() Experiment {
 			p := solver.NewProblem(procs.Fig3Equations(), map[string][]value.Value{
 				"d": value.IntRange(-2, 7),
 			}, 6)
-			if err := solver.CheckInduction(context.Background(), p, phi); err != nil {
+			if err := solver.CheckInduction(ctx, p, phi); err != nil {
 				return "", err
 			}
 			for _, g := range []trace.Gen{procs.Fig3X(), procs.Fig3Y()} {
@@ -209,7 +211,7 @@ func e5() Experiment {
 		ID:       "E5",
 		Artefact: "Fig 4 / §2.4",
 		Claim:    "Brock-Ackermann: two solutions {012, 021}; only 021 smooth; only 021 computed",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			d := procs.Fig4Equations()
 			solutions, smooth := 0, 0
 			perms := [][]int64{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
@@ -247,10 +249,10 @@ func e6() Experiment {
 		ID:       "E6",
 		Artefact: "§4.1 CHAOS",
 		Claim:    "K ⟵ K: every trace over b is a smooth solution",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.Chaos("chaos", "b", value.Ints(1, 2))
 			p := solver.NewProblem(e.Comp.D, map[string][]value.Value{"b": value.Ints(1, 2)}, 3)
-			res := solver.Enumerate(context.Background(), p)
+			res := solver.Enumerate(ctx, p)
 			want := 1 + 2 + 4 + 8
 			if len(res.Solutions) != want {
 				return "", fmt.Errorf("%d solutions, want the full tree %d", len(res.Solutions), want)
@@ -265,10 +267,10 @@ func e7() Experiment {
 		ID:       "E7",
 		Artefact: "§4.2 Ticks",
 		Claim:    "b ⟵ T;b: no finite solution; (b,T)^ω is the unique path",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.Ticks("ticks", "b")
 			p := solver.NewProblem(e.Comp.D, map[string][]value.Value{"b": {value.T, value.F}}, 6)
-			res := solver.Enumerate(context.Background(), p)
+			res := solver.Enumerate(ctx, p)
 			if len(res.Solutions) != 0 || len(res.Frontier) != 1 || res.Nodes != 7 {
 				return "", fmt.Errorf("solutions=%d frontier=%d nodes=%d", len(res.Solutions), len(res.Frontier), res.Nodes)
 			}
@@ -286,7 +288,7 @@ func e8() Experiment {
 		ID:       "E8",
 		Artefact: "§4.3 RandomBit",
 		Claim:    "R(b) ⟵ T̄: smooth solutions exactly {(b,T), (b,F)}; ε excluded",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.RandomBit("rb", "b")
 			c := check.Conformance{
 				Name: "rb",
@@ -297,11 +299,11 @@ func e8() Experiment {
 				LenCap:       3,
 				MaxDecisions: 6,
 			}
-			den := c.DenotationalSolutions()
+			den := c.DenotationalSolutions(ctx)
 			if len(den) != 2 {
 				return "", fmt.Errorf("%d solutions", len(den))
 			}
-			if err := c.CheckQuiescent(); err != nil {
+			if err := c.CheckQuiescent(ctx); err != nil {
 				return "", err
 			}
 			return "exactly (b,T) and (b,F); matches operational quiescent set", nil
@@ -314,7 +316,7 @@ func e9() Experiment {
 		ID:       "E9",
 		Artefact: "§4.4 RandomBitSeq",
 		Claim:    "R(b) ⟵ c: one arbitrary output bit per input tick",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.RandomBitSeq("rbs", "c", "b")
 			net := procs.WithFeeders("rbs", e, procs.ConstFeeder("env", "c", value.T, value.T))
 			d, err := net.Description()
@@ -330,7 +332,7 @@ func e9() Experiment {
 				LenCap:       6,
 				MaxDecisions: 16,
 			}
-			if err := c.CheckQuiescent(); err != nil {
+			if err := c.CheckQuiescent(ctx); err != nil {
 				return "", err
 			}
 			pairs := map[string]bool{}
@@ -352,7 +354,7 @@ func e10() Experiment {
 		ID:       "E10",
 		Artefact: "Fig 5 / §4.5",
 		Claim:    "implication via R(b) ⟵ T̄, d ⟵ b AND c; both reader exercises answered",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			for _, input := range []value.Value{value.T, value.F} {
 				e := procs.Implication("imp", "c", "d")
 				net := procs.WithFeeders("imp", e, procs.ConstFeeder("env", "c", input))
@@ -370,7 +372,7 @@ func e10() Experiment {
 					LenCap:       4,
 					MaxDecisions: 12,
 				}
-				if err := c.CheckQuiescent(); err != nil {
+				if err := c.CheckQuiescent(ctx); err != nil {
 					return "", err
 				}
 			}
@@ -396,7 +398,7 @@ func e11() Experiment {
 		ID:       "E11",
 		Artefact: "Fig 6 / §4.6",
 		Claim:    "fork: every input routed to exactly one of d, e via the oracle",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.Fork("fork", "c", "d", "e")
 			net := procs.WithFeeders("fork", e, procs.ConstFeeder("env", "c", value.Int(5)))
 			d, err := net.Description()
@@ -414,7 +416,7 @@ func e11() Experiment {
 				LenCap:       4,
 				MaxDecisions: 12,
 			}
-			if err := c.CheckQuiescent(); err != nil {
+			if err := c.CheckQuiescent(ctx); err != nil {
 				return "", err
 			}
 			return "both routes realizable; projections agree with smooth solutions", nil
@@ -427,10 +429,10 @@ func e12() Experiment {
 		ID:       "E12",
 		Artefact: "§4.7 FairRandomSeq",
 		Claim:    "TRUE(c) ⟵ trues, FALSE(c) ⟵ falses: no finite solution; fairness separates TF^ω from T^ω",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.FairRandomSeq("frs", "c")
 			p := solver.NewProblem(e.Comp.D, map[string][]value.Value{"c": {value.T, value.F}}, 4)
-			res := solver.Enumerate(context.Background(), p)
+			res := solver.Enumerate(ctx, p)
 			if len(res.Solutions) != 0 || res.Nodes != 31 {
 				return "", fmt.Errorf("solutions=%d nodes=%d", len(res.Solutions), res.Nodes)
 			}
@@ -452,7 +454,7 @@ func e13() Experiment {
 		ID:       "E13",
 		Artefact: "§4.8 FiniteTicks",
 		Claim:    "every (d,T)^i is a trace; (d,T)^ω is not — fairness via the auxiliary channel",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.FiniteTicks("ft", "d")
 			seen := map[int]bool{}
 			for _, tr := range netsim.QuiescentTraces(netsim.Spec{Name: "ft", Procs: []netsim.Proc{e.Proc}}, 7, netsim.RealizeOpts{}) {
@@ -492,7 +494,7 @@ func e14() Experiment {
 		ID:       "E14",
 		Artefact: "§4.9 RandomNumber",
 		Claim:    "outputs any single natural then halts; d ⟵ h(c) over a fair-random c",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.RandomNumber("rn", "d")
 			outs := map[int64]bool{}
 			for _, tr := range netsim.QuiescentTraces(netsim.Spec{Name: "rn", Procs: []netsim.Proc{e.Proc}}, 7, netsim.RealizeOpts{}) {
@@ -528,7 +530,7 @@ func e15() Experiment {
 		ID:       "E15",
 		Artefact: "Fig 7 / §4.10",
 		Claim:    "fair merge via tagging; eliminating c′, d′ preserves smooth solutions",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			// Conformance of the Figure 7 network.
 			net := procs.Fig7Network()
 			fc := procs.ConstFeeder("envC", "c", value.Int(10))
@@ -552,7 +554,7 @@ func e15() Experiment {
 				LenCap:       8,
 				MaxDecisions: 40,
 			}
-			if err := c.CheckQuiescent(); err != nil {
+			if err := c.CheckQuiescent(ctx); err != nil {
 				return "", err
 			}
 			// Elimination of the intermediate channels (Section 4.10 +
@@ -584,7 +586,7 @@ func e16() Experiment {
 		ID:       "E16",
 		Artefact: "Theorem 1",
 		Claim:    "Theorem 1 prefix condition ≡ full smoothness check on independent descriptions",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			d := desc.Combine("dfm",
 				desc.MustNew("even", fn.OnChan(fn.Even, "d"), fn.ChanFn("b")),
 				desc.MustNew("odd", fn.OnChan(fn.Odd, "d"), fn.ChanFn("c")),
@@ -624,7 +626,7 @@ func e17() Experiment {
 		ID:       "E17",
 		Artefact: "Theorem 2",
 		Claim:    "sublemma: network-smooth ⇔ all component projections smooth",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			net := procs.Fig3Network().Net
 			events := []trace.Event{
 				trace.E("b", value.Int(0)), trace.E("c", value.Int(1)),
@@ -660,7 +662,7 @@ func e18() Experiment {
 		ID:       "E18",
 		Artefact: "Theorem 4",
 		Claim:    "for continuous h, the unique smooth solution of id ⟵ h is Kleene's lfp",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			grow := fn.SeqFn{Name: "grow", Apply: func(s seq.Seq) seq.Seq {
 				return seq.OfInts(5, 6, 7).Take(s.Len() + 1)
 			}}
@@ -675,7 +677,7 @@ func e18() Experiment {
 				{fn.Even, value.Ints(0, 1, 2), 3},
 			}
 			for _, tc := range cases {
-				if err := kahn.CheckTheorem4Trace("x", tc.h, tc.alpha, 20, tc.depth); err != nil {
+				if err := kahn.CheckTheorem4Trace(ctx, "x", tc.h, tc.alpha, 20, tc.depth); err != nil {
 					return "", err
 				}
 			}
@@ -689,7 +691,7 @@ func e19() Experiment {
 		ID:       "E19",
 		Artefact: "Theorems 5, 6 / §7",
 		Claim:    "elimination preserves smooth solutions; f(⊥)=⊥ counterexample; non-equivalence note",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			// Pipeline elimination, both directions.
 			sys := desc.System{Name: "pipe", Descs: []desc.Description{
 				desc.MustNew("src", fn.ChanFn("a"), fn.ConstTraceFn(seq.OfInts(1))),
@@ -743,7 +745,7 @@ func e20() Experiment {
 		ID:       "E20",
 		Artefact: "§8.4 induction",
 		Claim:    "the rule proves safety but is too weak for progress (ignores the limit condition)",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			p := solver.NewProblem(procs.Fig3Equations(), map[string][]value.Value{
 				"d": value.IntRange(-2, 7),
 			}, 5)
@@ -760,7 +762,7 @@ func e20() Experiment {
 				}
 				return true
 			}
-			if err := solver.CheckInduction(context.Background(), p, safety); err != nil {
+			if err := solver.CheckInduction(ctx, p, safety); err != nil {
 				return "", err
 			}
 			// Progress ("1 eventually appears") is true of every actual
@@ -770,7 +772,7 @@ func e20() Experiment {
 			progress := func(tr trace.Trace) bool {
 				return tr.Channel("d").Contains(value.Int(1))
 			}
-			if err := solver.CheckInduction(context.Background(), p, progress); err == nil {
+			if err := solver.CheckInduction(ctx, p, progress); err == nil {
 				return "", errors.New("rule proved a liveness property it should not")
 			}
 			return "safety discharged; progress correctly unprovable by the rule", nil
@@ -783,13 +785,13 @@ func e21() Experiment {
 		ID:       "E21",
 		Artefact: "§3.3 tree",
 		Claim:    "pruned and unpruned searches agree; pruning shrinks the tree",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			c := fig2Conformance()
 			pruned := c.Problem
 			pruned.MaxDepth = 4
 			unpruned := pruned
 			unpruned.Prune = false
-			rp, ru := solver.Enumerate(context.Background(), pruned), solver.Enumerate(context.Background(), unpruned)
+			rp, ru := solver.Enumerate(ctx, pruned), solver.Enumerate(ctx, unpruned)
 			if strings.Join(rp.SolutionKeys(), "|") != strings.Join(ru.SolutionKeys(), "|") {
 				return "", errors.New("solution sets differ")
 			}
@@ -807,7 +809,7 @@ func e22() Experiment {
 		ID:       "E22",
 		Artefact: "extension: §2.4 context",
 		Claim:    "history-relation semantics admits exactly the anomaly more than the machine does",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			a := histrel.MergeWith(seq.OfInts(0, 2))
 			b := histrel.FromFunction(fn.FBA)
 			candidates := []seq.Seq{
@@ -833,7 +835,7 @@ func e23() Experiment {
 		ID:       "E23",
 		Artefact: "extension: §3.1.1 ex.2 / §8.2",
 		Claim:    "halt-or-tick needs an auxiliary channel; with one, conformance holds",
-		Run: func() (string, error) {
+		Run: func(ctx context.Context) (string, error) {
 			e := procs.MaybeTick("mt", "b")
 			c := check.Conformance{
 				Name: "maybetick",
@@ -846,10 +848,10 @@ func e23() Experiment {
 				LenCap:       3,
 				MaxDecisions: 6,
 			}
-			if err := c.CheckQuiescent(); err != nil {
+			if err := c.CheckQuiescent(ctx); err != nil {
 				return "", err
 			}
-			if n := len(c.DenotationalSolutions()); n != 2 {
+			if n := len(c.DenotationalSolutions(ctx)); n != 2 {
 				return "", fmt.Errorf("projected solutions: %d", n)
 			}
 			return "traces exactly {ε, (b,0)} via the auxiliary random bit; aux-free impossibility argued in the tests", nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 // TestAllExperimentsPass is the repository's reproduction gate: every
 // indexed artefact of the paper must measure as claimed.
 func TestAllExperimentsPass(t *testing.T) {
-	tab := RunAll()
+	tab := RunAll(context.Background())
 	for _, row := range tab.Rows() {
 		if !row.Pass {
 			t.Errorf("%s (%s): %s", row.ID, row.Artefact, row.Measured)

@@ -173,6 +173,7 @@ func SubstChan(g TraceFn, b string, h TraceFn) TraceFn {
 		Out:     g.Out,
 		Support: support,
 		Growth:  g.Growth + h.Growth,
+		Omega:   g.Omega || h.Omega,
 		Apply: func(t trace.Trace) Tuple {
 			rewritten := make(trace.Trace, 0, len(t))
 			for _, e := range t {

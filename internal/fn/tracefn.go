@@ -30,6 +30,15 @@ type TraceFn struct {
 	Support trace.ChanSet
 	Growth  int
 	Apply   func(trace.Trace) Tuple
+	// Omega marks finite ω-approximations (OmegaConstFn and anything
+	// built from one): their output grows with the raw input length, so
+	// Apply(t) = Apply(t.Project(Support)) holds only up to ⊑, not
+	// equality. Support still records the ω-limit's true (empty)
+	// dependency — the one Theorem 1 and Section 7 are about — but
+	// consumers that need the approximation itself to be determined by
+	// its support, such as the solver's Theorem 1 fast path, must check
+	// !Omega (see desc.Description.Thm1Eligible).
+	Omega bool
 }
 
 // ChanFn is the paper's convention of using a channel name as a function:
@@ -108,6 +117,7 @@ func OmegaConstFn(name string, period seq.Seq) TraceFn {
 		Out:     1,
 		Support: trace.ChanSet{}, // depends only on |t|, not content; see note below
 		Growth:  OmegaPad,
+		Omega:   true,
 		Apply: func(t trace.Trace) Tuple {
 			return Tuple{seq.Repeat(period, t.Len()+OmegaPad)}
 		},
@@ -118,7 +128,9 @@ func OmegaConstFn(name string, period seq.Seq) TraceFn {
 // input length but its ω-limit is a true constant; Support records the
 // limit's (empty) dependency, which is what Theorem 1 independence and
 // Section 7 elimination conditions are about. The approximation is still
-// monotone in the trace order, which is all the checkers rely on.
+// monotone in the trace order, which is all the checkers rely on. The
+// Omega flag records the discrepancy so consumers needing the
+// approximation itself to be support-determined can opt out.
 
 // ApplySeq post-composes a sequence function with a width-1 trace
 // function: t ↦ sf(inner(t)). This is how compound right-hand sides such
@@ -132,6 +144,7 @@ func ApplySeq(sf SeqFn, inner TraceFn) TraceFn {
 		Out:     1,
 		Support: inner.Support,
 		Growth:  sf.Growth + inner.Growth,
+		Omega:   inner.Omega,
 		Apply:   func(t trace.Trace) Tuple { return Tuple{sf.Apply(inner.Apply(t)[0])} },
 	}
 }
@@ -148,6 +161,7 @@ func ApplyBi(bi BiSeqFn, a, b TraceFn) TraceFn {
 		Out:     1,
 		Support: a.Support.Union(b.Support),
 		Growth:  bi.Growth + a.Growth + b.Growth,
+		Omega:   a.Omega || b.Omega,
 		Apply: func(t trace.Trace) Tuple {
 			return Tuple{bi.Apply(a.Apply(t)[0], b.Apply(t)[0])}
 		},
@@ -160,6 +174,7 @@ func Pair(fns ...TraceFn) TraceFn {
 	width := 0
 	support := trace.ChanSet{}
 	growth := 0
+	omega := false
 	name := ""
 	for i, f := range fns {
 		width += f.Out
@@ -167,6 +182,7 @@ func Pair(fns ...TraceFn) TraceFn {
 		if f.Growth > growth {
 			growth = f.Growth
 		}
+		omega = omega || f.Omega
 		if i > 0 {
 			name += ", "
 		}
@@ -178,6 +194,7 @@ func Pair(fns ...TraceFn) TraceFn {
 		Out:     width,
 		Support: support,
 		Growth:  growth,
+		Omega:   omega,
 		Apply: func(t trace.Trace) Tuple {
 			out := make(Tuple, 0, width)
 			for _, f := range local {
@@ -239,10 +256,19 @@ func CheckTraceFnMonotone(f TraceFn, samples []trace.Trace) error {
 }
 
 // CheckTraceFnSupport verifies the declared support: f(t) must equal
-// f(t.Project(Support)) on every sample.
+// f(t.Project(Support)) on every sample. For ω-approximations (Omega
+// set) the projection legitimately shortens the approximation, so only
+// compatibility f(t↾Support) ⊑ f(t) is required.
 func CheckTraceFnSupport(f TraceFn, samples []trace.Trace) error {
 	for _, t := range samples {
-		if !f.Apply(t).Equal(f.Apply(t.Project(f.Support))) {
+		whole, onSupport := f.Apply(t), f.Apply(t.Project(f.Support))
+		if f.Omega {
+			if !onSupport.Leq(whole) {
+				return fmt.Errorf("fn: %s (ω) output on support projection of %s is not an approximation of the full output", f.Name, t)
+			}
+			continue
+		}
+		if !whole.Equal(onSupport) {
 			return fmt.Errorf("fn: %s reads outside its declared support %v on %s", f.Name, f.Support.Names(), t)
 		}
 	}

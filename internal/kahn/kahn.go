@@ -138,7 +138,7 @@ func IdentityDescription(c string, h fn.SeqFn) desc.Description {
 // maxSteps: the Section 3.3 tree search over the given alphabet must find
 // exactly one smooth solution, and it must equal the Kleene least
 // fixpoint. depth must be at least the fixpoint's length.
-func CheckTheorem4Trace(c string, h fn.SeqFn, alphabet []value.Value, maxSteps, depth int) error {
+func CheckTheorem4Trace(ctx context.Context, c string, h fn.SeqFn, alphabet []value.Value, maxSteps, depth int) error {
 	eq := Equations{
 		Name:     "x=" + h.Name + "(x)",
 		Channels: []string{c},
@@ -156,7 +156,7 @@ func CheckTheorem4Trace(c string, h fn.SeqFn, alphabet []value.Value, maxSteps, 
 		return fmt.Errorf("kahn: lfp %s longer than probe depth %d", lfp, depth)
 	}
 	p := solver.NewProblem(IdentityDescription(c, h), map[string][]value.Value{c: alphabet}, depth)
-	res := solver.Enumerate(context.Background(), p)
+	res := solver.Enumerate(ctx, p)
 	if len(res.Solutions) != 1 {
 		return fmt.Errorf("kahn: Theorem 4 fails: %d smooth solutions of id ⟵ %s, want exactly 1 (keys %v)",
 			len(res.Solutions), h.Name, res.SolutionKeys())
@@ -209,7 +209,7 @@ func MultiIdentityDescription(eq Equations) desc.Description {
 // EVERY solution reads back as exactly the Kleene least-fixpoint
 // environment. (For single-channel systems the two statements coincide;
 // see CheckTheorem4Trace.)
-func CheckTheorem4Multi(eq Equations, alphabet map[string][]value.Value, maxSteps, depth int) error {
+func CheckTheorem4Multi(ctx context.Context, eq Equations, alphabet map[string][]value.Value, maxSteps, depth int) error {
 	fix, err := eq.Solve(maxSteps, 0)
 	if err != nil {
 		return err
@@ -218,7 +218,7 @@ func CheckTheorem4Multi(eq Equations, alphabet map[string][]value.Value, maxStep
 		return fmt.Errorf("kahn: %s did not converge in %d steps", eq.Name, maxSteps)
 	}
 	p := solver.NewProblem(MultiIdentityDescription(eq), alphabet, depth)
-	res := solver.Enumerate(context.Background(), p)
+	res := solver.Enumerate(ctx, p)
 	if len(res.Solutions) == 0 {
 		return fmt.Errorf("kahn: Theorem 4 (multi) fails: no smooth solution of id ⟵ %s found", eq.Name)
 	}

@@ -1,6 +1,7 @@
 package kahn
 
 import (
+	"context"
 	"testing"
 
 	"smoothproc/internal/cpo"
@@ -115,7 +116,7 @@ func TestTheorem4Battery(t *testing.T) {
 	for _, tc := range theorem4Cases() {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			if err := CheckTheorem4Trace("x", tc.h, tc.alphabet, 20, tc.depth); err != nil {
+			if err := CheckTheorem4Trace(context.Background(), "x", tc.h, tc.alphabet, 20, tc.depth); err != nil {
 				t.Error(err)
 			}
 		})
@@ -171,7 +172,7 @@ func TestTheorem4MultiOnPipeline(t *testing.T) {
 		"src": value.Ints(1, 2),
 		"dbl": value.Ints(2, 4),
 	}
-	if err := CheckTheorem4Multi(eq, alphabet, 10, 4); err != nil {
+	if err := CheckTheorem4Multi(context.Background(), eq, alphabet, 10, 4); err != nil {
 		t.Error(err)
 	}
 }
@@ -179,7 +180,7 @@ func TestTheorem4MultiOnPipeline(t *testing.T) {
 func TestTheorem4MultiOnFig1(t *testing.T) {
 	// Fig 1's copy loop: the lfp is the empty environment, and the only
 	// smooth solution is ⊥ even with nonempty alphabets on offer.
-	if err := CheckTheorem4Multi(TwoCopyEquations(), map[string][]value.Value{
+	if err := CheckTheorem4Multi(context.Background(), TwoCopyEquations(), map[string][]value.Value{
 		"b": value.Ints(0, 3),
 		"c": value.Ints(0, 3),
 	}, 10, 4); err != nil {
@@ -188,7 +189,7 @@ func TestTheorem4MultiOnFig1(t *testing.T) {
 }
 
 func TestTheorem4MultiRejectsDivergent(t *testing.T) {
-	if err := CheckTheorem4Multi(SeededCopyEquations(), map[string][]value.Value{
+	if err := CheckTheorem4Multi(context.Background(), SeededCopyEquations(), map[string][]value.Value{
 		"b": value.Ints(0), "c": value.Ints(0),
 	}, 10, 4); err == nil {
 		t.Error("0^ω system accepted by the finite bridge")
@@ -198,7 +199,7 @@ func TestTheorem4MultiRejectsDivergent(t *testing.T) {
 func TestCheckTheorem4TraceFailsOnDivergent(t *testing.T) {
 	// b ⟵ T;b has no finite lfp: the bridge must refuse.
 	prep := fn.PrependFn(value.Int(0))
-	if err := CheckTheorem4Trace("x", prep, value.Ints(0), 10, 5); err == nil {
+	if err := CheckTheorem4Trace(context.Background(), "x", prep, value.Ints(0), 10, 5); err == nil {
 		t.Error("divergent h accepted")
 	}
 }

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the context-threading convention the solver and
+// service layers established: library code under internal/ must accept
+// a context from its caller, never mint a detached root. A
+// context.Background() (or TODO()) deep in a library silently severs
+// the cancellation chain — the solver keeps searching after the HTTP
+// client has gone away, the simulator outlives its deadline. Entry
+// points (package main, tests) are exempt: roots belong where the
+// program starts, not where the work happens.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid context.Background()/context.TODO() in internal/ library code; contexts must be threaded from callers",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch fun.FullName() {
+			case "context.Background", "context.TODO":
+				pass.Reportf(call.Pos(),
+					"%s in library code severs the cancellation chain; thread a context from the caller (or annotate a deliberate root)",
+					fun.FullName())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package netgen
 
 import (
+	"context"
 	"testing"
 
 	"smoothproc/internal/netsim"
@@ -14,7 +15,7 @@ import (
 func TestGeneratedNetworksConform(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
 		g := Generate(seed, Config{})
-		if err := g.Conf.CheckQuiescent(); err != nil {
+		if err := g.Conf.CheckQuiescent(context.Background()); err != nil {
 			t.Errorf("seed %d (%s): %v", seed, g.Shape, err)
 		}
 	}
@@ -50,7 +51,7 @@ func TestGeneratedSolutionsRealizable(t *testing.T) {
 	}
 	for seed := int64(0); seed < 8; seed++ {
 		g := Generate(seed, Config{MaxFeedLen: 1, MaxStages: 1, NoFork: true})
-		for _, target := range g.Conf.DenotationalSolutions() {
+		for _, target := range g.Conf.DenotationalSolutions(context.Background()) {
 			r := netsim.Realize(g.Conf.Spec, target, g.Conf.Opts)
 			if !r.Found {
 				t.Errorf("seed %d (%s): solution %s not realizable (exhausted=%v)", seed, g.Shape, target, r.Exhausted)

@@ -51,7 +51,10 @@ type action struct {
 // decider stops. It always joins every process goroutine before
 // returning.
 func Run(spec Spec, d Decider, limits Limits) Result {
-	return RunContext(context.Background(), spec, d, limits)
+	// Convenience wrapper in the database/sql style: Run is the bounded
+	// entry point for callers with no cancellation needs; everything with
+	// a deadline goes through RunContext.
+	return RunContext(context.Background(), spec, d, limits) //smoothlint:allow ctxflow documented no-cancellation convenience wrapper
 }
 
 // RunContext is Run with a context checked before every scheduler

@@ -25,7 +25,7 @@ func TestChaosAcceptsEverything(t *testing.T) {
 		LenCap:       2,
 		MaxDecisions: 5,
 	}
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
 	// Every trace over the alphabet is smooth — the Section 4.1 claim.
@@ -50,14 +50,14 @@ func TestTicksHistories(t *testing.T) {
 		MaxDecisions: 4,
 		Opts:         netsim.RealizeOpts{Limits: netsim.Limits{MaxEvents: 4}},
 	}
-	if err := c.CheckHistories(); err != nil {
+	if err := c.CheckHistories(context.Background()); err != nil {
 		t.Error(err)
 	}
 	// No finite quiescent trace on either side.
 	if got := c.OperationalQuiescent(); len(got) != 0 {
 		t.Errorf("ticks quiesced operationally: %v", got)
 	}
-	if got := c.DenotationalSolutions(); len(got) != 0 {
+	if got := c.DenotationalSolutions(context.Background()); len(got) != 0 {
 		t.Errorf("ticks has finite smooth solutions: %v", got)
 	}
 }
@@ -99,14 +99,14 @@ func TestRandomBitConformance(t *testing.T) {
 		LenCap:       3,
 		MaxDecisions: 6,
 	}
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
-	den := c.DenotationalSolutions()
+	den := c.DenotationalSolutions(context.Background())
 	if len(den) != 2 {
 		t.Errorf("random bit solutions: %d, want 2 (T and F)", len(den))
 	}
-	if err := check.SolutionsAreRealizable(c); err != nil {
+	if err := check.SolutionsAreRealizable(context.Background(), c); err != nil {
 		t.Error(err)
 	}
 }
@@ -128,7 +128,7 @@ func TestRandomBitSeqConformance(t *testing.T) {
 		LenCap:       6,
 		MaxDecisions: 16,
 	}
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
 	// Four complete outcomes (two bits), times interleavings; check the
@@ -166,7 +166,7 @@ func TestImplicationConformance(t *testing.T) {
 			LenCap:       4,
 			MaxDecisions: 12,
 		}
-		if err := c.CheckQuiescent(); err != nil {
+		if err := c.CheckQuiescent(context.Background()); err != nil {
 			t.Error(err)
 		}
 		// Paper's trace table (Section 4.5): T input → both outputs
@@ -251,7 +251,7 @@ func TestForkConformance(t *testing.T) {
 		LenCap:       4,
 		MaxDecisions: 12,
 	}
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
 	// The item goes to exactly one of d, e.
@@ -296,7 +296,7 @@ func TestFairRandomSeqOmega(t *testing.T) {
 		MaxDecisions: 8,
 		Opts:         netsim.RealizeOpts{Limits: netsim.Limits{MaxEvents: 4}},
 	}
-	if err := c.CheckHistories(); err != nil {
+	if err := c.CheckHistories(context.Background()); err != nil {
 		t.Error(err)
 	}
 	// The alternating sequence is certified fair; the all-T sequence is

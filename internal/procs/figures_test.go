@@ -124,16 +124,16 @@ func fig2Conformance(t *testing.T) check.Conformance {
 // even(d) ⟵ b, odd(d) ⟵ c composed with the feeder descriptions.
 func TestFig2DFMConformance(t *testing.T) {
 	c := fig2Conformance(t)
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
-	if err := c.CheckHistories(); err != nil {
+	if err := c.CheckHistories(context.Background()); err != nil {
 		t.Error(err)
 	}
-	if err := check.SolutionsAreRealizable(c); err != nil {
+	if err := check.SolutionsAreRealizable(context.Background(), c); err != nil {
 		t.Error(err)
 	}
-	if err := check.RandomRunsAreSmooth(c, []int64{1, 2, 3, 4, 5, 6, 7, 8}, netsim.Limits{}); err != nil {
+	if err := check.RandomRunsAreSmooth(context.Background(), c, []int64{1, 2, 3, 4, 5, 6, 7, 8}, netsim.Limits{}); err != nil {
 		t.Error(err)
 	}
 }
@@ -378,7 +378,7 @@ func TestFig7FairMerge(t *testing.T) {
 		LenCap:       8,
 		MaxDecisions: 40,
 	}
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
 	// Both merge orders must appear among the outputs.

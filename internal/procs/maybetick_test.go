@@ -1,6 +1,7 @@
 package procs_test
 
 import (
+	"context"
 	"testing"
 
 	"smoothproc/internal/check"
@@ -30,10 +31,10 @@ func TestMaybeTickConformance(t *testing.T) {
 		LenCap:       3,
 		MaxDecisions: 6,
 	}
-	if err := c.CheckQuiescent(); err != nil {
+	if err := c.CheckQuiescent(context.Background()); err != nil {
 		t.Error(err)
 	}
-	den := c.DenotationalSolutions()
+	den := c.DenotationalSolutions(context.Background())
 	if len(den) != 2 {
 		t.Fatalf("projected solutions: %d, want 2 (ε and (b,0))", len(den))
 	}
@@ -43,7 +44,7 @@ func TestMaybeTickConformance(t *testing.T) {
 	if _, ok := den[trace.Of(trace.E("b", value.Int(0))).Key()]; !ok {
 		t.Error("(b,0) missing")
 	}
-	if err := check.SolutionsAreRealizable(c); err != nil {
+	if err := check.SolutionsAreRealizable(context.Background(), c); err != nil {
 		t.Error(err)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"smoothproc/internal/report"
+	"smoothproc/internal/specvet"
 )
 
 // SpecRequest is the body of POST /v1/specs.
@@ -39,6 +40,40 @@ type SpecInfo struct {
 	// Cached reports that the spec was already compiled (the upload was
 	// served from the spec cache).
 	Cached bool `json:"cached"`
+	// Findings are the static-analysis results for the spec (package
+	// specvet): warnings and theorem classifications. Error-severity
+	// findings never appear here — those reject the upload with 400 and
+	// ride in ErrorBody.Findings instead.
+	Findings []specvet.Diagnostic `json:"findings,omitempty"`
+}
+
+// VetError is the rejection of a spec that parses or compiles with
+// error-severity static-analysis findings (undefined channels, support
+// or growth violations, …). The findings travel to the client in
+// ErrorBody.Findings.
+type VetError struct {
+	Findings []specvet.Diagnostic
+}
+
+// Error implements error with the first error-severity finding, which
+// Vet guarantees exists.
+func (e *VetError) Error() string {
+	for _, d := range e.Findings {
+		if d.Severity == specvet.SevError {
+			return fmt.Sprintf("service: spec rejected by static analysis: %s", d.Message)
+		}
+	}
+	return "service: spec rejected by static analysis"
+}
+
+// Line returns the first error finding's source line (0 if none).
+func (e *VetError) Line() int {
+	for _, d := range e.Findings {
+		if d.Severity == specvet.SevError {
+			return d.Line
+		}
+	}
+	return 0
 }
 
 // SolveRequest is the body of POST /v1/solve. Exactly one of SpecHash
@@ -125,6 +160,9 @@ type ErrorBody struct {
 	// source.
 	Line    int    `json:"line,omitempty"`
 	Snippet string `json:"snippet,omitempty"`
+	// Findings carries the full static-analysis report when the spec was
+	// rejected by specvet (see VetError).
+	Findings []specvet.Diagnostic `json:"findings,omitempty"`
 }
 
 // specHash names a spec by the SHA-256 of its source text.

@@ -86,7 +86,10 @@ func NewScheduler(workers, queueDepth int) *Scheduler {
 	if queueDepth < 1 {
 		queueDepth = 1
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The scheduler's base context is a deliberate root: jobs outlive the
+	// requests that submit them (a client may disconnect and poll later),
+	// so their lifetime hangs off the scheduler, cancelled by Shutdown.
+	ctx, cancel := context.WithCancel(context.Background()) //smoothlint:allow ctxflow job lifetime is scheduler-scoped, not request-scoped
 	s := &Scheduler{
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, queueDepth),

@@ -12,6 +12,7 @@ import (
 	"smoothproc/internal/metrics"
 	"smoothproc/internal/report"
 	"smoothproc/internal/solver"
+	"smoothproc/internal/specvet"
 )
 
 // Config bounds the server. Every knob has a production-minded default:
@@ -66,11 +67,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// compiledSpec is the spec cache's value: the compiled program together
+// with its static-analysis findings, so re-uploads report the same
+// classification without re-vetting.
+type compiledSpec struct {
+	prog     *eqlang.Program
+	findings []specvet.Diagnostic
+}
+
 // Server wires the caches, the scheduler and the HTTP surface together.
 type Server struct {
 	cfg     Config
 	sched   *Scheduler
-	specs   *LRU[string, *eqlang.Program]
+	specs   *LRU[string, compiledSpec]
 	results *LRU[string, SolveResult]
 	mux     *http.ServeMux
 
@@ -89,7 +98,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth),
-		specs:   NewLRU[string, *eqlang.Program](cfg.SpecCacheSize),
+		specs:   NewLRU[string, compiledSpec](cfg.SpecCacheSize),
 		results: NewLRU[string, SolveResult](cfg.ResultCacheSize),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
@@ -143,33 +152,38 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// compile returns the cached program for source, compiling and caching
-// on a miss. A compile error is returned with the eqlang line attached;
-// the snippet is added by the handler that has the source.
-func (s *Server) compile(source string) (hash string, prog *eqlang.Program, cached bool, err error) {
+// compile returns the cached spec for source, vetting, compiling and
+// caching on a miss. Compilation runs through the static analyzer: a
+// spec with error-severity findings (parse/compile failures, support or
+// growth violations, undefined channels) is rejected with a *VetError
+// carrying the full findings; warnings and theorem classifications are
+// cached alongside the program and reported non-fatally.
+func (s *Server) compile(source string) (hash string, spec compiledSpec, cached bool, err error) {
 	hash = specHash(source)
-	if prog, ok := s.specs.Get(hash); ok {
-		return hash, prog, true, nil
+	if spec, ok := s.specs.Get(hash); ok {
+		return hash, spec, true, nil
 	}
 	s.compiles.Inc()
-	prog, err = eqlang.CompileSource(source)
-	if err != nil {
+	vr := specvet.Vet(source)
+	if vr.HasErrors() {
 		s.compileErrors.Inc()
-		return "", nil, false, err
+		return "", compiledSpec{}, false, &VetError{Findings: vr.Findings}
 	}
-	s.specs.Put(hash, prog)
-	return hash, prog, false, nil
+	spec = compiledSpec{prog: vr.Program, findings: vr.Findings}
+	s.specs.Put(hash, spec)
+	return hash, spec, false, nil
 }
 
-func specInfo(hash string, prog *eqlang.Program, cached bool) SpecInfo {
-	p := prog.Problem()
+func specInfo(hash string, spec compiledSpec, cached bool) SpecInfo {
+	p := spec.prog.Problem()
 	info := SpecInfo{
 		Hash:     hash,
 		Channels: p.Channels,
-		Depth:    prog.Depth,
+		Depth:    spec.prog.Depth,
 		Cached:   cached,
+		Findings: spec.findings,
 	}
-	for _, d := range prog.System.Descs {
+	for _, d := range spec.prog.System.Descs {
 		info.Descriptions = append(info.Descriptions, d.String())
 	}
 	return info
@@ -185,18 +199,33 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("service: empty spec source"))
 		return
 	}
-	hash, prog, cached, err := s.compile(req.Source)
+	hash, spec, cached, err := s.compile(req.Source)
 	if err != nil {
-		body := ErrorBody{Error: err.Error()}
-		var eqErr *eqlang.Error
-		if errors.As(err, &eqErr) {
-			body.Line = eqErr.Line
-			body.Snippet = eqlang.FormatSnippet(req.Source, eqErr.Line)
-		}
-		writeJSON(w, http.StatusBadRequest, body)
+		writeJSON(w, http.StatusBadRequest, compileErrorBody(err, req.Source))
 		return
 	}
-	writeJSON(w, http.StatusOK, specInfo(hash, prog, cached))
+	writeJSON(w, http.StatusOK, specInfo(hash, spec, cached))
+}
+
+// compileErrorBody builds the 400 body for a rejected spec, locating
+// the first error in the submitted source. Vet rejections carry the
+// full findings list; plain eqlang errors carry line and snippet only.
+func compileErrorBody(err error, source string) ErrorBody {
+	body := ErrorBody{Error: err.Error()}
+	var ve *VetError
+	var eqErr *eqlang.Error
+	switch {
+	case errors.As(err, &ve):
+		body.Findings = ve.Findings
+		if line := ve.Line(); line > 0 {
+			body.Line = line
+			body.Snippet = eqlang.FormatSnippet(source, line)
+		}
+	case errors.As(err, &eqErr):
+		body.Line = eqErr.Line
+		body.Snippet = eqlang.FormatSnippet(source, eqErr.Line)
+	}
+	return body
 }
 
 // params normalizes a solve request against the server caps.
@@ -265,22 +294,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	case req.Source != "":
 		var err error
-		if hash, prog, _, err = s.compile(req.Source); err != nil {
-			body := ErrorBody{Error: err.Error()}
-			var eqErr *eqlang.Error
-			if errors.As(err, &eqErr) {
-				body.Line = eqErr.Line
-				body.Snippet = eqlang.FormatSnippet(req.Source, eqErr.Line)
-			}
-			writeJSON(w, http.StatusBadRequest, body)
+		var spec compiledSpec
+		if hash, spec, _, err = s.compile(req.Source); err != nil {
+			writeJSON(w, http.StatusBadRequest, compileErrorBody(err, req.Source))
 			return
 		}
+		prog = spec.prog
 	case req.SpecHash != "":
-		var ok bool
-		if prog, ok = s.specs.Get(req.SpecHash); !ok {
+		spec, ok := s.specs.Get(req.SpecHash)
+		if !ok {
 			writeError(w, http.StatusNotFound, errors.New("service: unknown spec hash (upload it via /v1/specs)"))
 			return
 		}
+		prog = spec.prog
 		hash = req.SpecHash
 	default:
 		writeError(w, http.StatusBadRequest, errors.New("service: need source or spec_hash"))

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"smoothproc/internal/eqlang"
+	"smoothproc/internal/specvet"
 )
 
 // fig4 is the Brock–Ackermann system of Figure 4 — the service's
@@ -247,6 +248,68 @@ func TestMalformedSpecsReturnStructured4xx(t *testing.T) {
 			t.Errorf("status = %d, want 404", code)
 		}
 	})
+}
+
+// TestSpecFindingsReported: uploading a clean spec returns its
+// static-analysis findings — theorem classifications and warnings —
+// non-fatally, and a cache-hit re-upload serves the same report.
+func TestSpecFindingsReported(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/specs", SpecRequest{Source: fig4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	info := decode[SpecInfo](t, body)
+	thm1 := false
+	for _, d := range info.Findings {
+		if d.Severity == specvet.SevError {
+			t.Errorf("accepted spec carries an error finding: %+v", d)
+		}
+		if d.Rule == "thm1-independent" {
+			thm1 = true
+		}
+	}
+	if !thm1 {
+		t.Errorf("fig4 findings missing thm1-independent classification: %+v", info.Findings)
+	}
+
+	_, body = postJSON(t, ts.URL+"/v1/specs", SpecRequest{Source: fig4})
+	again := decode[SpecInfo](t, body)
+	if !again.Cached || len(again.Findings) != len(info.Findings) {
+		t.Errorf("cached re-upload: cached=%v findings=%d, want same %d findings from cache",
+			again.Cached, len(again.Findings), len(info.Findings))
+	}
+}
+
+// TestSpecVetErrorsReject: a spec with error-severity findings is
+// refused with 400 and the full findings list, positioned at the
+// offending use.
+func TestSpecVetErrorsReject(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "alphabet c = ints 0 .. 1\ndesc c <- even(d)\n" // d has no alphabet
+	resp, body := postJSON(t, ts.URL+"/v1/specs", SpecRequest{Source: src})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	eb := decode[ErrorBody](t, body)
+	if eb.Error == "" || eb.Line != 2 || eb.Snippet == "" {
+		t.Errorf("error body = %+v, want message, line 2 and snippet", eb)
+	}
+	found := false
+	for _, d := range eb.Findings {
+		if d.Rule == "undefined-channel" && d.Severity == specvet.SevError {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("findings missing undefined-channel error: %+v", eb.Findings)
+	}
+
+	// The rejected spec must not be solvable either.
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Source: src, Wait: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("solve of vet-rejected spec: status %d, want 400", resp.StatusCode)
+	}
 }
 
 // TestFuzzCorpusThroughService replays the eqlang fuzz seed corpus

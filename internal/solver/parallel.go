@@ -30,6 +30,7 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 	s := newSearch(p)
 	var res Result
 	st := &res.Stats
+	st.Thm1FastPath = s.thm1
 	start := time.Now()
 	level := []node{root}
 	for len(level) > 0 {
@@ -142,6 +143,7 @@ func (s *SearchStats) merge(o SearchStats) {
 	s.EdgesKept += o.EdgesKept
 	s.SubtreesPruned += o.SubtreesPruned
 	s.FrontierWitnesses += o.FrontierWitnesses
+	s.Thm1AutoEdges += o.Thm1AutoEdges
 	for _, l := range o.Levels {
 		dst := s.level(l.Depth)
 		dst.Pruned += l.Pruned

@@ -50,6 +50,18 @@ type Problem struct {
 	// shared trace prefixes are evaluated once. Transparent to results;
 	// false is the memoization ablation.
 	Memoize bool
+	// Thm1 enables the Theorem 1 fast path for independent descriptions
+	// (supp(f) ∩ supp(g) = ∅, the theorem's hypothesis). For a candidate
+	// edge u → u·e with e outside supp(f), f(u·e) = f(u) ⊑ g(u) already
+	// holds — every admitted node satisfies f ⊑ g by induction along its
+	// admitting edge and monotonicity of g — so the son is admitted with
+	// zero evaluations. The admitted tree is identical; only the work
+	// changes. NewProblem sets this from desc.Description.Thm1Eligible
+	// (independent sides, and a left side whose finite approximation is
+	// support-determined); the search additionally verifies the
+	// induction base f(⊥) ⊑ g(⊥) before trusting the shortcut (see
+	// newSearch).
+	Thm1 bool
 }
 
 // NewProblem builds a pruned problem with sane defaults.
@@ -59,7 +71,7 @@ func NewProblem(d desc.Description, alphabet map[string][]value.Value, maxDepth 
 		chans = append(chans, c)
 	}
 	sort.Strings(chans)
-	return Problem{D: d, Channels: chans, Alphabet: alphabet, MaxDepth: maxDepth, Prune: true, Memoize: true}
+	return Problem{D: d, Channels: chans, Alphabet: alphabet, MaxDepth: maxDepth, Prune: true, Memoize: true, Thm1: d.Thm1Eligible()}
 }
 
 // Result reports a bounded exploration of the smooth-solution tree.
@@ -116,6 +128,12 @@ type search struct {
 	p  Problem
 	e  *desc.Evaluator
 	ev map[string][]string
+	// thm1 is true when the Theorem 1 fast path is active: the problem
+	// requested it (independent supports) and the induction base
+	// f(⊥) ⊑ g(⊥) holds. Candidates on channels outside fsupp are then
+	// admitted without evaluation (see Problem.Thm1).
+	thm1  bool
+	fsupp trace.ChanSet
 }
 
 func newSearch(p Problem) *search {
@@ -126,6 +144,15 @@ func newSearch(p Problem) *search {
 			ks[i] = string(trace.E(c, m).AppendKey(nil))
 		}
 		s.ev[c] = ks
+	}
+	if p.Thm1 && p.Prune && !p.D.F.Omega {
+		// Induction base for the fast path's invariant. If it fails, the
+		// root has no sons at all (f(⊥) ⊑ f(v) ⊑ g(⊥) for any admitted
+		// v), so falling back to the full edge check costs nothing. The
+		// F.Omega re-check guards callers that set Thm1 by hand on an
+		// ω-approximation left side, for which auto-admit is unsound.
+		s.thm1 = s.e.FKeyed(trace.Empty, "").Leq(s.e.GKeyed(trace.Empty, ""))
+		s.fsupp = p.D.F.Support
 	}
 	return s
 }
@@ -150,6 +177,7 @@ func enumerate(ctx context.Context, s *search) Result {
 	p := s.p
 	var res Result
 	st := &res.Stats
+	st.Thm1FastPath = s.thm1
 	start := time.Now()
 	queue := []node{root}
 	for len(queue) > 0 {
@@ -222,24 +250,37 @@ func (s *search) classify(n node, st *SearchStats) bool {
 	return isSolution
 }
 
-// expand generates the smooth sons of u. g(u) is evaluated once per node
-// — not once per candidate — and each rejected candidate is a whole
-// subtree of the unpruned tree cut before any of it is expanded.
+// expand generates the smooth sons of u. g(u) is evaluated at most once
+// per node — not once per candidate, and not at all when the Theorem 1
+// fast path admits every candidate — and each rejected candidate is a
+// whole subtree of the unpruned tree cut before any of it is expanded.
 func (s *search) expand(u node, st *SearchStats) []node {
 	var sons []node
 	lvl := st.level(u.t.Len() + 1)
 	var gu fn.Tuple
-	if s.p.Prune {
-		gu = s.e.GKeyed(u.t, u.key)
-	}
+	guReady := false
 	for _, c := range s.p.Channels {
+		// Fast path (Theorem 1): c outside supp(f) means f(u·e) = f(u),
+		// and f(u) ⊑ g(u) holds at every admitted node, so the edge
+		// condition f(v) ⊑ g(u) is guaranteed — admit without evaluating.
+		auto := s.thm1 && !s.fsupp.Has(c)
 		for i, m := range s.p.Alphabet[c] {
 			v := node{t: u.t.Append(trace.E(c, m)), key: u.key + s.ev[c][i]}
 			st.EdgesChecked++
-			if s.p.Prune && !s.e.FKeyed(v.t, v.key).Leq(gu) {
-				st.SubtreesPruned++
-				lvl.Pruned++
-				continue
+			if s.p.Prune {
+				if auto {
+					st.Thm1AutoEdges++
+				} else {
+					if !guReady {
+						gu = s.e.GKeyed(u.t, u.key)
+						guReady = true
+					}
+					if !s.e.FKeyed(v.t, v.key).Leq(gu) {
+						st.SubtreesPruned++
+						lvl.Pruned++
+						continue
+					}
+				}
 			}
 			st.EdgesKept++
 			sons = append(sons, v)
@@ -250,14 +291,26 @@ func (s *search) expand(u node, st *SearchStats) []node {
 
 // hasSon reports whether a depth-bound node has a smooth son, stopping at
 // the first witness. Failed candidates are pruned subtrees like expand's;
-// the witness is counted separately since it is never enqueued.
+// the witness is counted separately since it is never enqueued. A
+// Theorem-1 auto-admitted candidate is an immediate witness.
 func (s *search) hasSon(u node, st *SearchStats) bool {
 	lvl := st.level(u.t.Len() + 1)
-	gu := s.e.GKeyed(u.t, u.key)
+	var gu fn.Tuple
+	guReady := false
 	for _, c := range s.p.Channels {
+		auto := s.thm1 && !s.fsupp.Has(c)
 		for i, m := range s.p.Alphabet[c] {
 			v := node{t: u.t.Append(trace.E(c, m)), key: u.key + s.ev[c][i]}
 			st.EdgesChecked++
+			if auto {
+				st.Thm1AutoEdges++
+				st.FrontierWitnesses++
+				return true
+			}
+			if !guReady {
+				gu = s.e.GKeyed(u.t, u.key)
+				guReady = true
+			}
 			if s.e.FKeyed(v.t, v.key).Leq(gu) {
 				st.FrontierWitnesses++
 				return true

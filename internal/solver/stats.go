@@ -48,6 +48,16 @@ type SearchStats struct {
 	SubtreesPruned    int `json:"subtrees_pruned"`
 	FrontierWitnesses int `json:"frontier_witnesses"`
 
+	// Thm1FastPath records that the search ran with the Theorem 1 fast
+	// path active: the description's supports are independent and the
+	// induction base f(⊥) ⊑ g(⊥) held (see Problem.Thm1).
+	Thm1FastPath bool `json:"thm1_fast_path,omitempty"`
+	// Thm1AutoEdges counts candidates the fast path admitted without any
+	// evaluation; each is also counted in EdgesChecked and in EdgesKept
+	// (or FrontierWitnesses at the depth bound), so the edge-fate books
+	// balance with or without the shortcut.
+	Thm1AutoEdges int `json:"thm1_auto_edges,omitempty"`
+
 	// Levels holds per-depth stats, indexed by trace length.
 	Levels []LevelStats `json:"levels,omitempty"`
 
@@ -135,6 +145,7 @@ func (s SearchStats) Report() report.Stats {
 	pruning.AddInt("edges kept", s.EdgesKept)
 	pruning.AddInt("subtrees pruned", s.SubtreesPruned)
 	pruning.AddInt("frontier witnesses", s.FrontierWitnesses)
+	pruning.AddInt("thm1 auto edges", s.Thm1AutoEdges)
 
 	memo := report.Section{Name: "memo"}
 	memo.Add("cache hits", s.Eval.CacheHits(), "")

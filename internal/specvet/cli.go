@@ -1,0 +1,70 @@
+package specvet
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileReport pairs a file name with its findings — the JSON output
+// shape of cmd/specvet and `smoothsolve vet`.
+type FileReport struct {
+	File     string       `json:"file"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// RunCLI implements the vet command line shared by cmd/specvet and
+// `smoothsolve vet`: analyze each named spec (or stdin as "-") and
+// render the findings as text or JSON. The exit status is 1 when any
+// file has error findings, 2 on usage errors, 0 otherwise.
+func RunCLI(prog string, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintf(stderr, "usage: %s [-json] file.eq...  (use - for stdin)\n", prog)
+		return 2
+	}
+
+	failed := false
+	var reports []FileReport
+	for _, path := range fs.Args() {
+		var src []byte
+		var err error
+		if path == "-" {
+			src, err = io.ReadAll(stdin)
+		} else {
+			src, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 1
+		}
+		r := Vet(string(src))
+		if r.HasErrors() {
+			failed = true
+		}
+		if *asJSON {
+			reports = append(reports, FileReport{File: path, Findings: r.Findings})
+			continue
+		}
+		fmt.Fprint(stdout, r.Text(path))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 1
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package specvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCLIText(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "kahn-buffer.eq")
+	var out, errOut bytes.Buffer
+	if code := RunCLI("specvet", []string{spec}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "thm1-independent") {
+		t.Errorf("output lacks the independence classification:\n%s", out.String())
+	}
+}
+
+func TestRunCLIJSON(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "kahn-buffer.eq")
+	var out bytes.Buffer
+	if code := RunCLI("specvet", []string{"-json", spec}, nil, &out, &out); code != 0 {
+		t.Fatalf("exit = %d: %s", code, out.String())
+	}
+	var reports []FileReport
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || len(reports[0].Findings) == 0 {
+		t.Errorf("unexpected reports: %+v", reports)
+	}
+}
+
+func TestRunCLIErrors(t *testing.T) {
+	in := strings.NewReader("desc d <- ?\n")
+	var out, errOut bytes.Buffer
+	if code := RunCLI("specvet", []string{"-"}, in, &out, &errOut); code != 1 {
+		t.Errorf("error findings should exit 1, got %d", code)
+	}
+	if !strings.Contains(out.String(), "parse-error") {
+		t.Errorf("output lacks the parse error:\n%s", out.String())
+	}
+	if code := RunCLI("specvet", nil, nil, &out, &errOut); code != 2 {
+		t.Errorf("no-args should exit 2, got %d", code)
+	}
+	if code := RunCLI("specvet", []string{"no-such-file.eq"}, nil, &out, &errOut); code != 1 {
+		t.Errorf("unreadable file should exit 1, got %d", code)
+	}
+}

@@ -1,0 +1,101 @@
+package specvet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// specReport is the JSON golden entry for one spec file — the same
+// shape cmd/specvet -json emits.
+type specReport struct {
+	File     string       `json:"file"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// vetAllSpecs runs the analyzer over every file in specs/.
+func vetAllSpecs(t *testing.T) []specReport {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.eq"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no specs found: %v", err)
+	}
+	sort.Strings(files)
+	var reports []specReport
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Vet(string(src))
+		if r.HasErrors() {
+			t.Errorf("%s: shipped spec has vet errors: %v", f, r.Findings)
+		}
+		if r.Program == nil {
+			t.Errorf("%s: shipped spec failed to compile", f)
+		}
+		reports = append(reports, specReport{File: filepath.Base(f), Findings: r.Findings})
+	}
+	return reports
+}
+
+// TestSpecsGolden pins the analyzer's classification of every shipped
+// spec. Regenerate with SMOOTHPROC_UPDATE_GOLDEN=1.
+func TestSpecsGolden(t *testing.T) {
+	reports := vetAllSpecs(t)
+
+	var text strings.Builder
+	for _, rep := range reports {
+		r := Result{Findings: rep.Findings}
+		text.WriteString(r.Text(rep.File))
+	}
+	jsonBytes, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes = append(jsonBytes, '\n')
+
+	for _, g := range []struct {
+		path string
+		got  string
+	}{
+		{filepath.Join("testdata", "specs_vet.txt"), text.String()},
+		{filepath.Join("testdata", "specs_vet.json"), string(jsonBytes)},
+	} {
+		if os.Getenv("SMOOTHPROC_UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(g.path, []byte(g.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(g.path)
+		if err != nil {
+			t.Fatalf("missing golden %s (set SMOOTHPROC_UPDATE_GOLDEN=1 to create): %v", g.path, err)
+		}
+		if string(want) != g.got {
+			t.Errorf("%s drifted:\n--- want ---\n%s\n--- got ---\n%s", g.path, want, g.got)
+		}
+	}
+}
+
+// TestSpecsClassified asserts the acceptance-level facts the goldens
+// encode: every spec is classified, and at least one is flagged
+// Theorem-1 independent at the system level (kahn-buffer.eq, whose
+// solve takes the fast path — asserted in the solver and root tests).
+func TestSpecsClassified(t *testing.T) {
+	reports := vetAllSpecs(t)
+	indep := map[string]bool{}
+	for _, rep := range reports {
+		for _, d := range rep.Findings {
+			if d.Rule == "thm1-independent" {
+				indep[rep.File] = true
+			}
+		}
+	}
+	if !indep["kahn-buffer.eq"] {
+		t.Errorf("kahn-buffer.eq not flagged thm1-independent; flagged: %v", indep)
+	}
+}

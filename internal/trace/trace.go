@@ -339,7 +339,7 @@ func CycleGen(name string, period Trace) Gen {
 		}
 		out := make(Trace, n)
 		for i := 0; i < n; i++ {
-			out[i] = period[i%len(period)]
+			out[i] = period[i%len(period)] //smoothlint:allow tracealias filling a freshly made buffer
 		}
 		return out
 	}}
@@ -353,7 +353,7 @@ func FuncGen(name string, at func(i int) Event) Gen {
 		}
 		out := make(Trace, n)
 		for i := 0; i < n; i++ {
-			out[i] = at(i)
+			out[i] = at(i) //smoothlint:allow tracealias filling a freshly made buffer
 		}
 		return out
 	}}

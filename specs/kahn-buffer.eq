@@ -1,0 +1,16 @@
+# An unbounded buffer in Kahn's equational reading: the output channel e
+# repeats the input channel a, so the smooth solutions are exactly the
+# traces in which the buffer has emitted a prefix of what arrived.
+#
+# supp(f) = {e} and supp(g) = {a} are disjoint, so Theorem 1 applies:
+# the solver's prefix-only fast path auto-admits every input event
+# (channel a) without evaluating either side.
+alphabet a = {0, 1}
+alphabet e = {0, 1}
+depth 4
+desc e <- a
+expect solutions 11
+expect solution [(a,0)(e,0)]
+expect solution [(a,1)(e,1)(a,0)(e,0)]
+expect nonsolution [(e,0)]
+expect nonsolution [(a,0)(e,1)]
