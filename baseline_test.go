@@ -32,6 +32,42 @@ var updateBaseline = flag.Bool("update", false, "rewrite BENCH_solver.json from 
 
 const baselineFile = "BENCH_solver.json"
 
+// baselineData is the on-disk shape of BENCH_solver.json: the
+// deterministic search fingerprints plus the perf baselines the
+// allocation-regression gate (perf_gate_test.go) compares against.
+type baselineData struct {
+	Search []baselineEntry `json:"search"`
+	Perf   []perfEntry     `json:"perf,omitempty"`
+}
+
+// loadBaselineData reads BENCH_solver.json; missing file yields a zero
+// value (the update paths start from it).
+func loadBaselineData() (baselineData, error) {
+	var d baselineData
+	js, err := os.ReadFile(baselineFile)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return d, nil
+		}
+		return d, err
+	}
+	if err := json.Unmarshal(js, &d); err == nil {
+		return d, nil
+	}
+	// Legacy layout: a flat array of search fingerprints.
+	err = json.Unmarshal(js, &d.Search)
+	return d, err
+}
+
+// saveBaselineData writes BENCH_solver.json deterministically.
+func saveBaselineData(d baselineData) error {
+	js, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(baselineFile, append(js, '\n'), 0o644)
+}
+
 // baselineEntry is the deterministic fingerprint of one spec's search.
 type baselineEntry struct {
 	Spec           string `json:"spec"`
@@ -95,23 +131,24 @@ func currentBaseline(t *testing.T) []baselineEntry {
 func TestSolverBaseline(t *testing.T) {
 	got := currentBaseline(t)
 	if *updateBaseline || os.Getenv("SMOOTHPROC_UPDATE_BASELINE") != "" {
-		js, err := json.MarshalIndent(got, "", "  ")
+		d, err := loadBaselineData()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(baselineFile, append(js, '\n'), 0o644); err != nil {
+		d.Search = got
+		if err := saveBaselineData(d); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("baseline regenerated with %d entries", len(got))
 		return
 	}
-	js, err := os.ReadFile(baselineFile)
+	d, err := loadBaselineData()
 	if err != nil {
-		t.Fatalf("%v (run with SMOOTHPROC_UPDATE_BASELINE=1 to create)", err)
-	}
-	var want []baselineEntry
-	if err := json.Unmarshal(js, &want); err != nil {
 		t.Fatalf("corrupt %s: %v", baselineFile, err)
+	}
+	want := d.Search
+	if len(want) == 0 {
+		t.Fatalf("%s has no search section (run with SMOOTHPROC_UPDATE_BASELINE=1 to create)", baselineFile)
 	}
 	wantBySpec := map[string]baselineEntry{}
 	for _, e := range want {

@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	defaultTimeout := fs.Duration("default-timeout", 0, "per-job deadline when the request sets none (0 = default 30s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on requested per-job deadlines (0 = default 2m)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight searches before cancelling them")
+	noVisited := fs.Bool("no-visited", false, "do not retain visited-node lists in searches (lower memory; results are unchanged)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		MaxNodes:        *maxNodes,
 		DefaultTimeout:  *defaultTimeout,
 		MaxTimeout:      *maxTimeout,
+		NoVisited:       *noVisited,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -47,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	showStats := fs.Bool("stats", false, "print search statistics (nodes, pruning, memo, timing)")
 	statsJSON := fs.Bool("stats-json", false, "print search statistics as JSON")
 	timeout := fs.Duration("timeout", 0, "wall-clock bound on the search (0 = none), e.g. 500ms or 10s")
+	noVisited := fs.Bool("no-visited", false, "do not retain the list of visited nodes (lower memory on large searches)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +84,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		problem.MaxDepth = *depth
 	}
 	problem.MaxNodes = *maxNodes
+	problem.CollectVisited = !*noVisited
 
 	fmt.Fprintf(stdout, "system: %d description(s), channels %v, depth %d\n",
 		len(prog.System.Descs), problem.Channels, problem.MaxDepth)

@@ -71,7 +71,7 @@ func main() {
 	quiescent := smoothproc.QuiescentTraces(spec, 20, smoothproc.RealizeOpts{})
 	match := len(quiescent) == len(result.Solutions)
 	for _, s := range result.Solutions {
-		if _, ok := quiescent[s.Key()]; !ok {
+		if _, ok := quiescent[s.String()]; !ok {
 			match = false
 		}
 	}

@@ -53,7 +53,7 @@ func (c Conformance) capped(set map[string]trace.Trace) map[string]trace.Trace {
 	for _, t := range set {
 		p := c.project(t)
 		if p.Len() <= c.LenCap {
-			out[p.Key()] = p
+			out[p.String()] = p
 		}
 	}
 	return out
@@ -71,7 +71,7 @@ func (c Conformance) DenotationalSolutions(ctx context.Context) map[string]trace
 	res := solver.Enumerate(ctx, c.Problem)
 	set := map[string]trace.Trace{}
 	for _, s := range res.Solutions {
-		set[s.Key()] = s
+		set[s.String()] = s
 	}
 	return c.capped(set)
 }
@@ -115,7 +115,7 @@ func (c Conformance) CheckHistories(ctx context.Context) error {
 	for _, n := range res.Visited {
 		p := c.project(n)
 		if p.Len() <= c.LenCap {
-			den[p.Key()] = p
+			den[p.String()] = p
 		}
 	}
 	var missingDen, missingOp []string
@@ -177,7 +177,7 @@ func RandomRunsAreSmooth(ctx context.Context, c Conformance, seeds []int64, limi
 		if denOnce == nil {
 			denOnce = c.DenotationalSolutions(ctx)
 		}
-		if _, ok := denOnce[p.Key()]; !ok {
+		if _, ok := denOnce[p.String()]; !ok {
 			return fmt.Errorf("check: %s: seed %d: quiescent run %s matches no projected smooth solution", c.Name, seed, p)
 		}
 	}
@@ -193,7 +193,7 @@ func RandomRunsAreSmooth(ctx context.Context, c Conformance, seeds []int64, limi
 func (c Conformance) CheckRefines(ctx context.Context) error {
 	den := c.DenotationalSolutions(ctx)
 	for _, tr := range c.capped(netsim.QuiescentTraces(c.Spec, c.MaxDecisions, c.Opts)) {
-		if _, ok := den[tr.Key()]; !ok {
+		if _, ok := den[tr.String()]; !ok {
 			return fmt.Errorf("check: %s: quiescent behaviour %s outside the specification", c.Name, tr)
 		}
 	}
@@ -202,11 +202,11 @@ func (c Conformance) CheckRefines(ctx context.Context) error {
 	for _, n := range res.Visited {
 		p := c.project(n)
 		if p.Len() <= c.LenCap {
-			nodes[p.Key()] = true
+			nodes[p.String()] = true
 		}
 	}
 	for _, h := range c.capped(netsim.Histories(c.Spec, c.MaxDecisions, c.Opts)) {
-		if !nodes[h.Key()] {
+		if !nodes[h.String()] {
 			return fmt.Errorf("check: %s: history %s outside the specification's tree", c.Name, h)
 		}
 	}

@@ -127,15 +127,15 @@ func Theorem6Witness(orig System, idx int, b string, s trace.Trace) (trace.Trace
 	defining := orig.Descs[idx]
 	elim, err := Eliminate(orig, idx, b)
 	if err != nil {
-		return nil, err
+		return trace.Empty, err
 	}
-	for _, e := range s {
+	for _, e := range s.Events() {
 		if e.Ch == b {
-			return nil, fmt.Errorf("desc: Theorem 6 input mentions eliminated channel %s", b)
+			return trace.Empty, fmt.Errorf("desc: Theorem 6 input mentions eliminated channel %s", b)
 		}
 	}
 	if err := elim.Combined().IsSmoothFinite(s); err != nil {
-		return nil, fmt.Errorf("desc: Theorem 6 hypothesis fails: %w", err)
+		return trace.Empty, fmt.Errorf("desc: Theorem 6 hypothesis fails: %w", err)
 	}
 	h := defining.G
 	t := trace.Empty
@@ -152,7 +152,7 @@ func Theorem6Witness(orig System, idx int, b string, s trace.Trace) (trace.Trace
 		}
 	}
 	if err := orig.Combined().IsSmoothFinite(t); err != nil {
-		return nil, fmt.Errorf("desc: Theorem 6 construction yielded a non-smooth trace %s: %w", t, err)
+		return trace.Empty, fmt.Errorf("desc: Theorem 6 construction yielded a non-smooth trace %s: %w", t, err)
 	}
 	return t, nil
 }

@@ -62,24 +62,78 @@ func (s EvalSnapshot) CacheHits() int64 { return s.FHits + s.GHits }
 // sides (every miss is an application, and vice versa).
 func (s EvalSnapshot) CacheMisses() int64 { return s.FApplies + s.GApplies }
 
+// memoEntry is one cached application: the trace it was computed for and
+// the resulting tuple. Entries in the same bucket share a (hash, length)
+// Key; the trace is kept so lookups can confirm real equality.
+type memoEntry struct {
+	t trace.Trace
+	v fn.Tuple
+}
+
+// memoSide is one side's memo, keyed by the O(1) trace.Key. The primary
+// map holds one entry per key — the overwhelmingly common case — and
+// overflow (allocated lazily) holds the extras that appear only on a
+// 64-bit hash collision between distinct traces. Every lookup confirms
+// Trace.Equal before trusting a hit, so collisions cost a miss, never a
+// wrong answer (the equality fallback). Retained traces are persistent
+// spines that share prefixes across entries, so the memo's footprint is
+// O(distinct traces), not O(Σ len).
+type memoSide struct {
+	primary  map[trace.Key]memoEntry
+	overflow map[trace.Key][]memoEntry
+	entries  int
+}
+
+func (m *memoSide) lookup(t trace.Trace, k trace.Key) (fn.Tuple, bool) {
+	e, ok := m.primary[k]
+	if !ok {
+		return nil, false
+	}
+	if e.t.Equal(t) {
+		return e.v, true
+	}
+	for _, o := range m.overflow[k] {
+		if o.t.Equal(t) {
+			return o.v, true
+		}
+	}
+	return nil, false
+}
+
+func (m *memoSide) insert(t trace.Trace, k trace.Key, v fn.Tuple) {
+	if m.entries >= evalCacheLimit {
+		return
+	}
+	if _, taken := m.primary[k]; !taken {
+		m.primary[k] = memoEntry{t: t, v: v}
+	} else {
+		if m.overflow == nil {
+			m.overflow = make(map[trace.Key][]memoEntry)
+		}
+		m.overflow[k] = append(m.overflow[k], memoEntry{t: t, v: v})
+	}
+	m.entries++
+}
+
 // Evaluator applies a description's two sides with optional memoization
-// over trace keys, counting applications, hits and evaluation time. The
-// tree search shares one evaluator per search, so f and g are applied at
-// most once per distinct trace even when nodes share long prefixes or
-// several workers race over the same level (the memo is safe for
-// concurrent use).
+// over (hash, length) trace keys, counting applications, hits and
+// evaluation time. The tree search shares one evaluator per search, so f
+// and g are applied at most once per distinct trace even when nodes
+// share long prefixes or several workers race over the same level (the
+// memo is safe for concurrent use).
 //
 // Memoization is transparent: TraceFns are pure functions of the trace
 // (OmegaConstFn depends only on the trace's length, which the key also
-// determines), so a cached tuple equals a fresh application.
+// determines), a cached tuple equals a fresh application, and hash
+// collisions are disarmed by the equality fallback in memoSide.
 type Evaluator struct {
 	d       Description
 	memoize bool
 	stats   EvalStats
 
 	mu sync.RWMutex
-	f  map[string]fn.Tuple
-	g  map[string]fn.Tuple
+	f  memoSide
+	g  memoSide
 }
 
 // NewEvaluator builds an evaluator for d; memoize false disables the
@@ -87,8 +141,8 @@ type Evaluator struct {
 func NewEvaluator(d Description, memoize bool) *Evaluator {
 	e := &Evaluator{d: d, memoize: memoize}
 	if memoize {
-		e.f = make(map[string]fn.Tuple)
-		e.g = make(map[string]fn.Tuple)
+		e.f.primary = make(map[trace.Key]memoEntry)
+		e.g.primary = make(map[trace.Key]memoEntry)
 	}
 	return e
 }
@@ -102,21 +156,13 @@ func (e *Evaluator) Stats() *EvalStats { return &e.stats }
 // Snapshot reads the evaluator's stats into a plain value.
 func (e *Evaluator) Snapshot() EvalSnapshot { return e.stats.Snapshot() }
 
-// Key returns the evaluator's cache key for t: the bracketless event
-// rendering of trace.Trace.AppendKey. The Keyed lookup variants accept a
-// caller-maintained key so incremental trace construction (the solver's
-// tree search) pays one small concatenation per node instead of an
-// O(len) re-derivation per lookup.
-func Key(t trace.Trace) string { return string(t.AppendKey(nil)) }
-
-func (e *Evaluator) apply(t trace.Trace, key string, haveKey bool, cache map[string]fn.Tuple,
+func (e *Evaluator) apply(t trace.Trace, cache *memoSide,
 	side fn.TraceFn, hits *metrics.Counter, applies *metrics.Counter, timer *metrics.Timer) fn.Tuple {
+	var key trace.Key
 	if e.memoize {
-		if !haveKey {
-			key = Key(t)
-		}
+		key = t.Key()
 		e.mu.RLock()
-		v, ok := cache[key]
+		v, ok := cache.lookup(t, key)
 		e.mu.RUnlock()
 		if ok {
 			hits.Inc()
@@ -129,8 +175,8 @@ func (e *Evaluator) apply(t trace.Trace, key string, haveKey bool, cache map[str
 	timer.ObserveSince(start)
 	if e.memoize {
 		e.mu.Lock()
-		if len(cache) < evalCacheLimit {
-			cache[key] = v
+		if _, ok := cache.lookup(t, key); !ok {
+			cache.insert(t, key, v)
 		}
 		e.mu.Unlock()
 	}
@@ -139,22 +185,12 @@ func (e *Evaluator) apply(t trace.Trace, key string, haveKey bool, cache map[str
 
 // F applies the description's left side to t.
 func (e *Evaluator) F(t trace.Trace) fn.Tuple {
-	return e.apply(t, "", false, e.f, e.d.F, &e.stats.FHits, &e.stats.FApplies, &e.stats.FTime)
+	return e.apply(t, &e.f, e.d.F, &e.stats.FHits, &e.stats.FApplies, &e.stats.FTime)
 }
 
 // G applies the description's right side to t.
 func (e *Evaluator) G(t trace.Trace) fn.Tuple {
-	return e.apply(t, "", false, e.g, e.d.G, &e.stats.GHits, &e.stats.GApplies, &e.stats.GTime)
-}
-
-// FKeyed is F with a caller-supplied cache key (key must equal Key(t)).
-func (e *Evaluator) FKeyed(t trace.Trace, key string) fn.Tuple {
-	return e.apply(t, key, true, e.f, e.d.F, &e.stats.FHits, &e.stats.FApplies, &e.stats.FTime)
-}
-
-// GKeyed is G with a caller-supplied cache key (key must equal Key(t)).
-func (e *Evaluator) GKeyed(t trace.Trace, key string) fn.Tuple {
-	return e.apply(t, key, true, e.g, e.d.G, &e.stats.GHits, &e.stats.GApplies, &e.stats.GTime)
+	return e.apply(t, &e.g, e.d.G, &e.stats.GHits, &e.stats.GApplies, &e.stats.GTime)
 }
 
 // EdgeOK is Description.EdgeOK through the memo: f(v) ⊑ g(u).
@@ -165,9 +201,4 @@ func (e *Evaluator) EdgeOK(u, v trace.Trace) bool {
 // LimitOK is Description.LimitOK through the memo: f(t) = g(t).
 func (e *Evaluator) LimitOK(t trace.Trace) bool {
 	return e.F(t).Equal(e.G(t))
-}
-
-// LimitOKKeyed is LimitOK with a caller-supplied cache key.
-func (e *Evaluator) LimitOKKeyed(t trace.Trace, key string) bool {
-	return e.FKeyed(t, key).Equal(e.GKeyed(t, key))
 }

@@ -142,3 +142,40 @@ func TestEvaluatorOmegaConst(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluatorCollisionFallback forges two distinct traces onto the
+// same (hash, length) memo key and checks the evaluator's equality
+// fallback: the collision costs a second application (a miss), never a
+// wrong cached tuple.
+func TestEvaluatorCollisionFallback(t *testing.T) {
+	d := evalTestDesc()
+	a := trace.Of(trace.E("b", value.Int(0)), trace.E("d", value.Int(0)))
+	b := trace.Of(trace.E("c", value.Int(1)), trace.E("d", value.Int(1)))
+	fa, fb := trace.WithKeyHash(a, 0x42), trace.WithKeyHash(b, 0x42)
+	if fa.Key() != fb.Key() {
+		t.Fatal("forged keys should collide")
+	}
+	e := NewEvaluator(d, true)
+	va, vb := e.F(fa), e.F(fb)
+	if !va.Equal(d.F.Apply(a)) || !vb.Equal(d.F.Apply(b)) {
+		t.Fatal("collision produced a wrong tuple")
+	}
+	if va.Equal(vb) {
+		t.Fatal("test needs traces with distinct images")
+	}
+	s := e.Snapshot()
+	if s.FApplies != 2 || s.FHits != 0 {
+		t.Errorf("collision accounting: applies=%d hits=%d, want 2 misses", s.FApplies, s.FHits)
+	}
+	// Both entries live in one bucket; each is now served as a hit.
+	if got := e.F(fa); !got.Equal(va) {
+		t.Error("first colliding entry lost")
+	}
+	if got := e.F(fb); !got.Equal(vb) {
+		t.Error("second colliding entry lost")
+	}
+	s = e.Snapshot()
+	if s.FApplies != 2 || s.FHits != 2 {
+		t.Errorf("post-collision accounting: applies=%d hits=%d, want 2 and 2", s.FApplies, s.FHits)
+	}
+}

@@ -56,7 +56,7 @@ func (m *Monitor) Step(e trace.Event) error {
 
 // StepAll feeds a whole trace, stopping at the first violation.
 func (m *Monitor) StepAll(t trace.Trace) error {
-	for _, e := range t {
+	for _, e := range t.Events() {
 		if err := m.Step(e); err != nil {
 			return err
 		}

@@ -175,8 +175,8 @@ func SubstChan(g TraceFn, b string, h TraceFn) TraceFn {
 		Growth:  g.Growth + h.Growth,
 		Omega:   g.Omega || h.Omega,
 		Apply: func(t trace.Trace) Tuple {
-			rewritten := make(trace.Trace, 0, len(t))
-			for _, e := range t {
+			rewritten := make([]trace.Event, 0, t.Len())
+			for _, e := range t.Events() {
 				if e.Ch != b {
 					rewritten = append(rewritten, e)
 				}
@@ -184,7 +184,7 @@ func SubstChan(g TraceFn, b string, h TraceFn) TraceFn {
 			for _, v := range h.Apply(t)[0] {
 				rewritten = append(rewritten, trace.E(b, v))
 			}
-			return g.Apply(rewritten)
+			return g.Apply(trace.FromEvents(rewritten))
 		},
 	}
 }

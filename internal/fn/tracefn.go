@@ -188,6 +188,13 @@ func Pair(fns ...TraceFn) TraceFn {
 		}
 		name += f.Name
 	}
+	if len(fns) == 1 {
+		// Single part: keep the decorated name but delegate Apply
+		// directly — no wrapper Tuple is built per application.
+		f := fns[0]
+		f.Name = "(" + name + ")"
+		return f
+	}
 	local := append([]TraceFn(nil), fns...)
 	return TraceFn{
 		Name:    "(" + name + ")",

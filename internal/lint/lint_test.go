@@ -172,31 +172,34 @@ import (
 
 func e() trace.Event { return trace.E("c", value.Value{}) }
 
-// Aliasing append and in-place writes are findings.
-func bad(t trace.Trace) trace.Trace {
-	u := append(t, e())
-	t[0] = e()
-	t = append(t, u...)
-	return append(t, u...)
+// Identity comparisons and identity-keyed maps are findings.
+func bad(t, u trace.Trace) bool {
+	seen := map[trace.Trace]bool{}
+	seen[t] = t == u
+	if t != trace.Empty {
+		return seen[u]
+	}
+	return t == u
 }
 
-// The builder idiom over a fresh make is fine.
-func good(t trace.Trace) trace.Trace {
-	out := make(trace.Trace, 0, len(t)+1)
-	out = append(out, t...)
-	return out.Append(e())
+// Structural equality, the ⊥ test and hashed/string keys are fine.
+func good(t, u trace.Trace) bool {
+	byKey := map[trace.Key]trace.Trace{t.Key(): t}
+	byStr := map[string]trace.Trace{u.String(): u}
+	_, _ = byKey, byStr
+	return t.Equal(u) || t.IsEmpty()
 }
 
-// Event slices that are not trace.Trace are out of scope.
-func unrelated(es []trace.Event) []trace.Event {
-	return append(es, e())
+// Comparable Keys and Events are out of scope.
+func unrelated(a, b trace.Key, x, y trace.Event) bool {
+	return a == b && x.Equal(y)
 }
 `
 	diags := checkSrc(t, "smoothproc/internal/fake", src, TraceAlias)
 	if len(diags) != 4 {
 		t.Fatalf("got %d findings, want 4: %v", len(diags), messages(diags))
 	}
-	wantLines := []int{12, 13, 14, 15}
+	wantLines := []int{12, 13, 14, 17}
 	for i, d := range diags {
 		if d.Pos.Line != wantLines[i] {
 			t.Errorf("finding %d at line %d, want %d (%s)", i, d.Pos.Line, wantLines[i], d.Message)

@@ -2,27 +2,25 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
+	"go/token"
 )
 
-// TraceAlias enforces the trace-immutability convention: a trace.Trace
-// is a value shared freely across solver nodes, memo keys and netsim
-// histories, which is only sound because nobody mutates one in place.
-// The safe extension operators are the copying methods Trace.Append and
-// Trace.Concat.
+// TraceAlias enforces the trace-identity convention: a trace.Trace is a
+// persistent, structurally-shared value (an immutable parent-pointer
+// spine). The struct is comparable, so `==` compiles — but it compares
+// spine pointers, not events: two traces holding the same events built
+// along different paths are `!=` under identity while Equal under the
+// trace cpo. The same trap applies to maps keyed by trace.Trace.
 //
-// Flagged shapes (t of type trace.Trace):
+// Flagged shapes (t, u of type trace.Trace):
 //
-//	t[i] = e            in-place mutation of a shared value
-//	u = append(t, …)    aliasing append: u shares t's backing array and
-//	                    a later self-append through either name writes
-//	                    into the other's storage
-//	t = append(t, …)    allowed for locals (the builder idiom over a
-//	                    fresh make), flagged when t is a parameter or
-//	                    receiver — that writes into the caller's array
+//	t == u, t != u      identity comparison; use Trace.Equal (or
+//	                    IsEmpty for the ⊥ test)
+//	map[trace.Trace]V   identity-keyed map; key by Trace.Key() (the
+//	                    hashed memo key) or Trace.String()
 var TraceAlias = &Analyzer{
 	Name: "tracealias",
-	Doc:  "forbid in-place mutation and aliasing append on shared trace.Trace values; build fresh traces or use the copying Append/Concat",
+	Doc:  "forbid identity comparison and identity map keys on trace.Trace; use Trace.Equal/IsEmpty or key by Trace.Key()/String()",
 	Run:  runTraceAlias,
 }
 
@@ -30,103 +28,30 @@ const tracePath = "smoothproc/internal/trace"
 
 func runTraceAlias(pass *Pass) error {
 	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			params := paramObjects(pass, fd)
-			// consumed tracks append calls handled by an allowed
-			// self-append assignment, so the general sweep skips them.
-			consumed := map[*ast.CallExpr]bool{}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.AssignStmt:
-					checkAssign(pass, n, params, consumed)
-				case *ast.CallExpr:
-					if isTraceAppend(pass, n) && !consumed[n] {
-						pass.Reportf(n.Pos(),
-							"append on a trace.Trace aliases its backing array; use the copying Trace.Append/Concat")
-					}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
 				}
-				return true
-			})
-		}
+				if isTraceExpr(pass, n.X) || isTraceExpr(pass, n.Y) {
+					pass.Reportf(n.Pos(),
+						"%s on trace.Trace compares spine identity, not events; use Trace.Equal (or IsEmpty)", n.Op)
+				}
+			case *ast.MapType:
+				if tv, ok := pass.TypesInfo.Types[n.Key]; ok && namedType(tv.Type, tracePath, "Trace") {
+					pass.Reportf(n.Key.Pos(),
+						"map keyed by trace.Trace uses spine identity; key by Trace.Key() or Trace.String()")
+				}
+			}
+			return true
+		})
 	}
 	return nil
 }
 
-// paramObjects collects the parameter and receiver objects of fd — the
-// variables whose backing arrays belong to the caller.
-func paramObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
-	objs := map[types.Object]bool{}
-	fields := []*ast.FieldList{fd.Type.Params}
-	if fd.Recv != nil {
-		fields = append(fields, fd.Recv)
-	}
-	for _, fl := range fields {
-		if fl == nil {
-			continue
-		}
-		for _, field := range fl.List {
-			for _, name := range field.Names {
-				if obj := pass.TypesInfo.Defs[name]; obj != nil {
-					objs[obj] = true
-				}
-			}
-		}
-	}
-	return objs
-}
-
-func checkAssign(pass *Pass, n *ast.AssignStmt, params map[types.Object]bool, consumed map[*ast.CallExpr]bool) {
-	for _, lhs := range n.Lhs {
-		if idx, isIdx := lhs.(*ast.IndexExpr); isIdx {
-			if tv, has := pass.TypesInfo.Types[idx.X]; has && namedType(tv.Type, tracePath, "Trace") {
-				pass.Reportf(lhs.Pos(), "in-place write to a trace.Trace element; traces are shared immutable values")
-			}
-		}
-	}
-	if len(n.Lhs) != len(n.Rhs) {
-		return
-	}
-	for i, rhs := range n.Rhs {
-		call, isCall := rhs.(*ast.CallExpr)
-		if !isCall || !isTraceAppend(pass, call) {
-			continue
-		}
-		dst, dstOk := n.Lhs[i].(*ast.Ident)
-		src, srcOk := call.Args[0].(*ast.Ident)
-		if !dstOk || !srcOk {
-			continue // flagged by the general sweep
-		}
-		dstObj := pass.TypesInfo.Uses[dst]
-		if dstObj == nil {
-			dstObj = pass.TypesInfo.Defs[dst]
-		}
-		srcObj := pass.TypesInfo.Uses[src]
-		if dstObj == nil || srcObj == nil || dstObj != srcObj {
-			continue
-		}
-		if params[srcObj] {
-			pass.Reportf(call.Pos(),
-				"self-append to parameter %s writes into the caller's backing array; copy with Trace.Append/Concat or build a fresh trace",
-				src.Name)
-		}
-		consumed[call] = true
-	}
-}
-
-// isTraceAppend reports whether call is builtin append applied to a
-// trace.Trace first argument.
-func isTraceAppend(pass *Pass, call *ast.CallExpr) bool {
-	id, ok := call.Fun.(*ast.Ident)
-	if !ok || id.Name != "append" || len(call.Args) == 0 {
-		return false
-	}
-	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
-		return false
-	}
-	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+// isTraceExpr reports whether e has type trace.Trace.
+func isTraceExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
 	return ok && namedType(tv.Type, tracePath, "Trace")
 }

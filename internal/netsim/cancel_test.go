@@ -38,7 +38,7 @@ func TestRunContextDeadlineStopsForeverNetwork(t *testing.T) {
 	if res.Reason != StopCanceled {
 		t.Fatalf("reason = %v, want %v", res.Reason, StopCanceled)
 	}
-	if len(res.Trace) == 0 {
+	if res.Trace.IsEmpty() {
 		t.Error("deadline run recorded no events before stopping")
 	}
 }

@@ -62,7 +62,7 @@ func TestSeedsExploreInterleavings(t *testing.T) {
 	}}
 	seen := map[string]bool{}
 	for seed := int64(0); seed < 16; seed++ {
-		seen[Run(spec, NewRandomDecider(seed), Limits{}).Trace.Key()] = true
+		seen[Run(spec, NewRandomDecider(seed), Limits{}).Trace.String()] = true
 	}
 	if len(seen) != 2 {
 		t.Errorf("interleavings seen: %d, want 2", len(seen))
@@ -434,7 +434,7 @@ func TestHistoriesEnumeration(t *testing.T) {
 		}
 		t.Fatalf("histories: %v", keys)
 	}
-	if _, ok := got[trace.Empty.Key()]; !ok {
+	if _, ok := got[trace.Empty.String()]; !ok {
 		t.Error("⊥ missing from histories")
 	}
 }

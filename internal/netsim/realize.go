@@ -119,7 +119,7 @@ func QuiescentTraces(spec Spec, maxDecisions int, opts RealizeOpts) map[string]t
 			return
 		}
 		if run.Reason == StopQuiescent {
-			found[run.Trace.Key()] = run.Trace
+			found[run.Trace.String()] = run.Trace
 			return
 		}
 		if run.Reason != StopScript {
@@ -138,7 +138,7 @@ func QuiescentTraces(spec Spec, maxDecisions int, opts RealizeOpts) map[string]t
 func Histories(spec Spec, maxDecisions int, opts RealizeOpts) map[string]trace.Trace {
 	opts = opts.withDefaults()
 	limits := opts.Limits.withDefaults()
-	found := map[string]trace.Trace{trace.Empty.Key(): trace.Empty}
+	found := map[string]trace.Trace{trace.Empty.String(): trace.Empty}
 	runs := 0
 	var dfs func(script []int)
 	dfs = func(script []int) {
@@ -151,7 +151,7 @@ func Histories(spec Spec, maxDecisions int, opts RealizeOpts) map[string]trace.T
 			return
 		}
 		for _, p := range run.Trace.Prefixes() {
-			found[p.Key()] = p
+			found[p.String()] = p
 		}
 		if run.Reason != StopScript {
 			return

@@ -125,7 +125,7 @@ func RunContext(ctx context.Context, spec Spec, d Decider, limits Limits) Result
 		r.stats.EnabledSum += len(acts)
 		r.stats.EnabledMax = max(r.stats.EnabledMax, len(acts))
 		r.fire(acts[choice])
-		if len(r.events) >= limits.MaxEvents {
+		if r.events.Len() >= limits.MaxEvents {
 			res.Reason = StopEventBudget
 			break
 		}

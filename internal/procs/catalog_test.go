@@ -316,7 +316,7 @@ func TestFiniteTicksFairness(t *testing.T) {
 	// Operationally: every (d,T)^i with i small is a quiescent trace.
 	seen := map[int]bool{}
 	for _, tr := range netsim.QuiescentTraces(netsim.Spec{Name: "ft", Procs: []netsim.Proc{e.Proc}}, 7, netsim.RealizeOpts{}) {
-		for _, ev := range tr {
+		for _, ev := range tr.Events() {
 			if ev.Ch != "d" || !ev.Val.IsTrue() {
 				t.Fatalf("unexpected event in %s", tr)
 			}
@@ -399,7 +399,7 @@ func TestFairMergeEntryAgainstFigure7(t *testing.T) {
 	}}
 	single := map[string]bool{}
 	for _, tr := range netsim.QuiescentTraces(spec, 24, netsim.RealizeOpts{}) {
-		single[tr.Project(trace.NewChanSet("c", "d", "e")).Key()] = true
+		single[tr.Project(trace.NewChanSet("c", "d", "e")).String()] = true
 	}
 
 	net := procs.Fig7Network()
@@ -409,7 +409,7 @@ func TestFairMergeEntryAgainstFigure7(t *testing.T) {
 	)
 	netTraces := map[string]bool{}
 	for _, tr := range netsim.QuiescentTraces(net.Spec, 40, netsim.RealizeOpts{}) {
-		netTraces[tr.Project(trace.NewChanSet("c", "d", "e")).Key()] = true
+		netTraces[tr.Project(trace.NewChanSet("c", "d", "e")).String()] = true
 	}
 	for k := range single {
 		if !netTraces[k] {

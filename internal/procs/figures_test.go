@@ -53,7 +53,7 @@ func TestFig1Operational(t *testing.T) {
 	if len(quiescent) != 1 {
 		t.Fatalf("fig1 quiescent traces = %d, want 1 (⊥)", len(quiescent))
 	}
-	if _, ok := quiescent[trace.Empty.Key()]; !ok {
+	if _, ok := quiescent[trace.Empty.String()]; !ok {
 		t.Fatal("fig1 quiescent trace is not ⊥")
 	}
 

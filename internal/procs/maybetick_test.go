@@ -38,10 +38,10 @@ func TestMaybeTickConformance(t *testing.T) {
 	if len(den) != 2 {
 		t.Fatalf("projected solutions: %d, want 2 (ε and (b,0))", len(den))
 	}
-	if _, ok := den[trace.Empty.Key()]; !ok {
+	if _, ok := den[trace.Empty.String()]; !ok {
 		t.Error("ε missing")
 	}
-	if _, ok := den[trace.Of(trace.E("b", value.Int(0))).Key()]; !ok {
+	if _, ok := den[trace.Of(trace.E("b", value.Int(0))).String()]; !ok {
 		t.Error("(b,0) missing")
 	}
 	if err := check.SolutionsAreRealizable(context.Background(), c); err != nil {

@@ -284,6 +284,18 @@ func IsChain(elems []Seq) bool {
 	return true
 }
 
+// Hash64 returns a 64-bit structural hash of s: equal sequences hash
+// equal. The hash chains value.Value.Hash64 in order with the same mixer
+// package trace uses for events, and starts from a seed distinct from
+// the empty-trace seed so a sequence never aliases a trace hash.
+func (s Seq) Hash64() uint64 {
+	h := uint64(0x9b4e_03f1_7c23_d5a7)
+	for _, v := range s {
+		h = value.HashMix(h, v.Hash64())
+	}
+	return value.HashMix(h, uint64(len(s)))
+}
+
 // String renders the sequence as space-separated values inside ⟨⟩,
 // e.g. ⟨0 1 2⟩; ⊥ renders as ⟨⟩.
 func (s Seq) String() string {

@@ -110,12 +110,14 @@ type SolveParams struct {
 	Workers  int `json:"workers"`
 }
 
-// resultKey names one (spec, params) search in the result cache. The
-// timeout is deliberately excluded: a completed search's answer does not
-// depend on the deadline it beat, and cancelled searches are never
-// cached.
-func resultKey(hash string, p SolveParams) string {
-	return fmt.Sprintf("%s|d%d|n%d|w%d", hash, p.Depth, p.MaxNodes, p.Workers)
+// resultKey names one (spec, params) search in the result cache — a
+// comparable struct, not a rendered string, in the same spirit as the
+// solver's hashed trace keys. The timeout is deliberately excluded: a
+// completed search's answer does not depend on the deadline it beat,
+// and cancelled searches are never cached.
+type resultKey struct {
+	hash   string
+	params SolveParams
 }
 
 // SolveResult is the wire form of one completed search.

@@ -37,6 +37,9 @@ type Config struct {
 	// (defaults 30s and 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// NoVisited skips retaining each search's visited-node list. The
+	// wire result never includes it, so this only lowers memory.
+	NoVisited bool
 }
 
 func (c Config) withDefaults() Config {
@@ -80,7 +83,7 @@ type Server struct {
 	cfg     Config
 	sched   *Scheduler
 	specs   *LRU[string, compiledSpec]
-	results *LRU[string, SolveResult]
+	results *LRU[resultKey, SolveResult]
 	mux     *http.ServeMux
 
 	requests      metrics.Counter
@@ -99,7 +102,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth),
 		specs:   NewLRU[string, compiledSpec](cfg.SpecCacheSize),
-		results: NewLRU[string, SolveResult](cfg.ResultCacheSize),
+		results: NewLRU[resultKey, SolveResult](cfg.ResultCacheSize),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
@@ -257,6 +260,7 @@ func (s *Server) solve(ctx context.Context, prog *eqlang.Program, p SolveParams)
 	problem := prog.Problem()
 	problem.MaxDepth = p.Depth
 	problem.MaxNodes = p.MaxNodes
+	problem.CollectVisited = !s.cfg.NoVisited
 	start := time.Now()
 	var res solver.Result
 	if p.Workers > 1 {
@@ -314,7 +318,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	p := s.params(req, prog)
-	key := resultKey(hash, p)
+	key := resultKey{hash: hash, params: p}
 	if !req.NoCache {
 		if cached, ok := s.results.Get(key); ok {
 			cached.Cached = true

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"smoothproc/internal/trace"
 )
 
 // EnumerateParallel is Enumerate with the tree expanded level by level
@@ -32,7 +34,7 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 	st := &res.Stats
 	st.Thm1FastPath = s.thm1
 	start := time.Now()
-	level := []node{root}
+	level := []trace.Trace{root}
 	for len(level) > 0 {
 		if ctx.Err() != nil {
 			res.Truncated = true
@@ -53,7 +55,7 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 			frontier bool
 			dead     bool
 			closed   bool
-			sons     []node
+			sons     []trace.Trace
 			stats    SearchStats
 		}
 		outs := make([]nodeOut, len(level))
@@ -72,7 +74,7 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 					cur := level[i]
 					o := &outs[i]
 					o.solution = s.classify(cur, &o.stats)
-					if cur.t.Len() >= p.MaxDepth {
+					if cur.Len() >= p.MaxDepth {
 						if s.hasSon(cur, &o.stats) {
 							o.frontier = true
 						} else if !o.solution {
@@ -95,25 +97,27 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 		}
 		wg.Wait()
 
-		var next []node
+		var next []trace.Trace
 		for i, o := range outs {
 			cur := level[i]
 			res.Nodes++
-			res.Visited = append(res.Visited, cur.t)
+			if p.CollectVisited {
+				res.Visited = append(res.Visited, cur)
+			}
 			st.Visited++
-			lvl := st.level(cur.t.Len())
+			lvl := st.level(cur.Len())
 			lvl.Nodes++
 			if o.solution {
-				res.Solutions = append(res.Solutions, cur.t)
+				res.Solutions = append(res.Solutions, cur)
 				st.Solutions++
 				lvl.Solutions++
 			}
 			switch {
 			case o.frontier:
-				res.Frontier = append(res.Frontier, cur.t)
+				res.Frontier = append(res.Frontier, cur)
 				st.Frontier++
 			case o.dead:
-				res.DeadLeaves = append(res.DeadLeaves, cur.t)
+				res.DeadLeaves = append(res.DeadLeaves, cur)
 				st.Dead++
 			case o.closed:
 				st.Closed++
@@ -126,12 +130,37 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 		if res.Truncated {
 			break
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i].key < next[j].key })
+		sortLevel(next)
 		level = next
 	}
 	st.Elapsed = time.Since(start)
 	st.Eval = s.e.Snapshot()
 	return res
+}
+
+// sortLevel orders one tree level canonically — by the rendered event
+// key, the same order the old string-keyed implementation produced — so
+// the parallel search stays deterministic (including which nodes a
+// MaxNodes truncation cuts). The renderings are derived once per node,
+// not once per comparison.
+func sortLevel(level []trace.Trace) {
+	keys := make([]string, len(level))
+	for i, t := range level {
+		keys[i] = string(t.AppendKey(nil))
+	}
+	sort.Sort(&levelSorter{level: level, keys: keys})
+}
+
+type levelSorter struct {
+	level []trace.Trace
+	keys  []string
+}
+
+func (s *levelSorter) Len() int           { return len(s.level) }
+func (s *levelSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *levelSorter) Swap(i, j int) {
+	s.level[i], s.level[j] = s.level[j], s.level[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // merge folds one node's edge/level counters into the aggregate. Node

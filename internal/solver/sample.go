@@ -71,8 +71,8 @@ walks:
 				break walks
 			}
 			st.LimitChecks++
-			if s.e.LimitOKKeyed(cur.t, cur.key) {
-				res.Solutions[cur.t.Key()] = cur.t
+			if s.e.LimitOK(cur) {
+				res.Solutions[cur.String()] = cur
 			}
 			if depth >= opts.MaxDepth {
 				break
@@ -83,8 +83,8 @@ walks:
 			}
 			cur = sons[rng.Intn(len(sons))]
 			res.Steps++
-			if cur.t.Len() > res.Deepest.Len() {
-				res.Deepest = cur.t
+			if cur.Len() > res.Deepest.Len() {
+				res.Deepest = cur
 			}
 		}
 	}

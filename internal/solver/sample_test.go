@@ -26,7 +26,7 @@ func TestSampleFindsOnlySolutions(t *testing.T) {
 	for k := range s.Solutions {
 		found := false
 		for _, sol := range full.Solutions {
-			if sol.Key() == k {
+			if sol.String() == k {
 				found = true
 				break
 			}

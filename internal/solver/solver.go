@@ -50,6 +50,12 @@ type Problem struct {
 	// shared trace prefixes are evaluated once. Transparent to results;
 	// false is the memoization ablation.
 	Memoize bool
+	// CollectVisited controls whether Result.Visited is populated.
+	// NewProblem turns it on (the compatible default); large
+	// service-driven searches turn it off so the result stops pinning
+	// every node of the explored tree. All counters (Result.Nodes,
+	// Stats.Visited) are maintained either way.
+	CollectVisited bool
 	// Thm1 enables the Theorem 1 fast path for independent descriptions
 	// (supp(f) ∩ supp(g) = ∅, the theorem's hypothesis). For a candidate
 	// edge u → u·e with e outside supp(f), f(u·e) = f(u) ⊑ g(u) already
@@ -71,7 +77,7 @@ func NewProblem(d desc.Description, alphabet map[string][]value.Value, maxDepth 
 		chans = append(chans, c)
 	}
 	sort.Strings(chans)
-	return Problem{D: d, Channels: chans, Alphabet: alphabet, MaxDepth: maxDepth, Prune: true, Memoize: true, Thm1: d.Thm1Eligible()}
+	return Problem{D: d, Channels: chans, Alphabet: alphabet, MaxDepth: maxDepth, Prune: true, Memoize: true, CollectVisited: true, Thm1: d.Thm1Eligible()}
 }
 
 // Result reports a bounded exploration of the smooth-solution tree.
@@ -90,7 +96,8 @@ type Result struct {
 	DeadLeaves []trace.Trace
 	// Visited lists every tree node reached, in BFS order; the root ⊥ is
 	// always first. Every communication history of the described process
-	// is a visited node (within the bounds).
+	// is a visited node (within the bounds). Empty when the problem opts
+	// out via CollectVisited = false; Nodes and Stats.Visited still count.
 	Visited []trace.Trace
 	// Nodes is the number of tree nodes visited.
 	Nodes int
@@ -109,41 +116,40 @@ type Result struct {
 // that prefer errors.
 var ErrBudget = errors.New("solver: node budget exhausted")
 
-// node pairs a tree node with its evaluator cache key (desc.Key of the
-// trace), maintained incrementally as the trace grows so a memo lookup
-// never re-derives an O(depth) key.
-type node struct {
-	t   trace.Trace
-	key string
-}
-
-// root is the tree's bottom element ⊥ with its (empty) key.
-var root = node{t: trace.Empty}
+// root is the tree's bottom element ⊥. Tree nodes are plain traces: the
+// persistent representation extends in O(1) with full prefix sharing,
+// and Trace.Key gives the evaluator its (hash, length) memo key in O(1),
+// so no per-node key string is maintained any more.
+var root = trace.Empty
 
 // search carries the machinery shared by one tree exploration: the
-// problem, the memoized evaluator, and the precomputed key fragment of
-// every candidate event, so extending a node's key is a single small
-// string concatenation.
+// problem, the memoized evaluator, and the interned candidate events —
+// one Event per (channel, message) built up front, so expansion never
+// re-constructs them.
 type search struct {
 	p  Problem
 	e  *desc.Evaluator
-	ev map[string][]string
+	ev map[string][]trace.Event
 	// thm1 is true when the Theorem 1 fast path is active: the problem
 	// requested it (independent supports) and the induction base
 	// f(⊥) ⊑ g(⊥) holds. Candidates on channels outside fsupp are then
 	// admitted without evaluation (see Problem.Thm1).
-	thm1  bool
-	fsupp trace.ChanSet
+	thm1 bool
+	// fanout is the total alphabet size across channels — the exact
+	// capacity an expanding node's son list can need.
+	fanout int
+	fsupp  trace.ChanSet
 }
 
 func newSearch(p Problem) *search {
-	s := &search{p: p, e: desc.NewEvaluator(p.D, p.Memoize), ev: make(map[string][]string, len(p.Channels))}
+	s := &search{p: p, e: desc.NewEvaluator(p.D, p.Memoize), ev: make(map[string][]trace.Event, len(p.Channels))}
 	for _, c := range p.Channels {
-		ks := make([]string, len(p.Alphabet[c]))
+		es := make([]trace.Event, len(p.Alphabet[c]))
 		for i, m := range p.Alphabet[c] {
-			ks[i] = string(trace.E(c, m).AppendKey(nil))
+			es[i] = trace.E(c, m)
 		}
-		s.ev[c] = ks
+		s.ev[c] = es
+		s.fanout += len(es)
 	}
 	if p.Thm1 && p.Prune && !p.D.F.Omega {
 		// Induction base for the fast path's invariant. If it fails, the
@@ -151,7 +157,7 @@ func newSearch(p Problem) *search {
 		// v), so falling back to the full edge check costs nothing. The
 		// F.Omega re-check guards callers that set Thm1 by hand on an
 		// ω-approximation left side, for which auto-admit is unsound.
-		s.thm1 = s.e.FKeyed(trace.Empty, "").Leq(s.e.GKeyed(trace.Empty, ""))
+		s.thm1 = s.e.F(trace.Empty).Leq(s.e.G(trace.Empty))
 		s.fsupp = p.D.F.Support
 	}
 	return s
@@ -179,12 +185,14 @@ func enumerate(ctx context.Context, s *search) Result {
 	st := &res.Stats
 	st.Thm1FastPath = s.thm1
 	start := time.Now()
-	queue := []node{root}
+	queue := []trace.Trace{root}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		res.Nodes++
-		res.Visited = append(res.Visited, cur.t)
+		if p.CollectVisited {
+			res.Visited = append(res.Visited, cur)
+		}
 		st.Visited++
 		if ctx.Err() != nil {
 			res.Truncated = true
@@ -197,20 +205,20 @@ func enumerate(ctx context.Context, s *search) Result {
 			st.Skipped++
 			break
 		}
-		lvl := st.level(cur.t.Len())
+		lvl := st.level(cur.Len())
 		lvl.Nodes++
 		isSolution := s.classify(cur, st)
 		if isSolution {
-			res.Solutions = append(res.Solutions, cur.t)
+			res.Solutions = append(res.Solutions, cur)
 			st.Solutions++
 			lvl.Solutions++
 		}
-		if cur.t.Len() >= p.MaxDepth {
+		if cur.Len() >= p.MaxDepth {
 			if s.hasSon(cur, st) {
-				res.Frontier = append(res.Frontier, cur.t)
+				res.Frontier = append(res.Frontier, cur)
 				st.Frontier++
 			} else if !isSolution {
-				res.DeadLeaves = append(res.DeadLeaves, cur.t)
+				res.DeadLeaves = append(res.DeadLeaves, cur)
 				st.Dead++
 			} else {
 				st.Closed++
@@ -224,7 +232,7 @@ func enumerate(ctx context.Context, s *search) Result {
 		case isSolution:
 			st.Closed++
 		default:
-			res.DeadLeaves = append(res.DeadLeaves, cur.t)
+			res.DeadLeaves = append(res.DeadLeaves, cur)
 			st.Dead++
 		}
 		queue = append(queue, sons...)
@@ -235,9 +243,9 @@ func enumerate(ctx context.Context, s *search) Result {
 
 // classify decides the limit condition at a node, with the full
 // smoothness re-check the unpruned ablation requires.
-func (s *search) classify(n node, st *SearchStats) bool {
+func (s *search) classify(t trace.Trace, st *SearchStats) bool {
 	st.LimitChecks++
-	isSolution := s.e.LimitOKKeyed(n.t, n.key)
+	isSolution := s.e.LimitOK(t)
 	if s.p.Prune {
 		// With pruning, every node is reachable only through smooth
 		// edges, so the limit condition alone decides.
@@ -245,7 +253,7 @@ func (s *search) classify(n node, st *SearchStats) bool {
 	}
 	if isSolution {
 		// Without pruning, re-check the full smoothness condition.
-		isSolution = s.p.D.IsSmoothFinite(n.t) == nil
+		isSolution = s.p.D.IsSmoothFinite(t) == nil
 	}
 	return isSolution
 }
@@ -254,9 +262,10 @@ func (s *search) classify(n node, st *SearchStats) bool {
 // per node — not once per candidate, and not at all when the Theorem 1
 // fast path admits every candidate — and each rejected candidate is a
 // whole subtree of the unpruned tree cut before any of it is expanded.
-func (s *search) expand(u node, st *SearchStats) []node {
-	var sons []node
-	lvl := st.level(u.t.Len() + 1)
+// Each son is an O(1) persistent extension sharing u's spine.
+func (s *search) expand(u trace.Trace, st *SearchStats) []trace.Trace {
+	var sons []trace.Trace
+	lvl := st.level(u.Len() + 1)
 	var gu fn.Tuple
 	guReady := false
 	for _, c := range s.p.Channels {
@@ -264,18 +273,18 @@ func (s *search) expand(u node, st *SearchStats) []node {
 		// and f(u) ⊑ g(u) holds at every admitted node, so the edge
 		// condition f(v) ⊑ g(u) is guaranteed — admit without evaluating.
 		auto := s.thm1 && !s.fsupp.Has(c)
-		for i, m := range s.p.Alphabet[c] {
-			v := node{t: u.t.Append(trace.E(c, m)), key: u.key + s.ev[c][i]}
+		for _, e := range s.ev[c] {
+			v := u.Append(e)
 			st.EdgesChecked++
 			if s.p.Prune {
 				if auto {
 					st.Thm1AutoEdges++
 				} else {
 					if !guReady {
-						gu = s.e.GKeyed(u.t, u.key)
+						gu = s.e.G(u)
 						guReady = true
 					}
-					if !s.e.FKeyed(v.t, v.key).Leq(gu) {
+					if !s.e.F(v).Leq(gu) {
 						st.SubtreesPruned++
 						lvl.Pruned++
 						continue
@@ -283,6 +292,9 @@ func (s *search) expand(u node, st *SearchStats) []node {
 				}
 			}
 			st.EdgesKept++
+			if sons == nil {
+				sons = make([]trace.Trace, 0, s.fanout)
+			}
 			sons = append(sons, v)
 		}
 	}
@@ -293,14 +305,14 @@ func (s *search) expand(u node, st *SearchStats) []node {
 // the first witness. Failed candidates are pruned subtrees like expand's;
 // the witness is counted separately since it is never enqueued. A
 // Theorem-1 auto-admitted candidate is an immediate witness.
-func (s *search) hasSon(u node, st *SearchStats) bool {
-	lvl := st.level(u.t.Len() + 1)
+func (s *search) hasSon(u trace.Trace, st *SearchStats) bool {
+	lvl := st.level(u.Len() + 1)
 	var gu fn.Tuple
 	guReady := false
 	for _, c := range s.p.Channels {
 		auto := s.thm1 && !s.fsupp.Has(c)
-		for i, m := range s.p.Alphabet[c] {
-			v := node{t: u.t.Append(trace.E(c, m)), key: u.key + s.ev[c][i]}
+		for _, e := range s.ev[c] {
+			v := u.Append(e)
 			st.EdgesChecked++
 			if auto {
 				st.Thm1AutoEdges++
@@ -308,10 +320,10 @@ func (s *search) hasSon(u node, st *SearchStats) bool {
 				return true
 			}
 			if !guReady {
-				gu = s.e.GKeyed(u.t, u.key)
+				gu = s.e.G(u)
 				guReady = true
 			}
-			if s.e.FKeyed(v.t, v.key).Leq(gu) {
+			if s.e.F(v).Leq(gu) {
 				st.FrontierWitnesses++
 				return true
 			}
@@ -333,11 +345,12 @@ func (r Result) Contains(t trace.Trace) bool {
 }
 
 // SolutionKeys returns the canonical strings of all solutions, sorted —
-// convenient for table-driven tests.
+// convenient for table-driven tests. These are the human-readable
+// renderings (Trace.String), not the (hash, length) memo keys.
 func (r Result) SolutionKeys() []string {
 	keys := make([]string, len(r.Solutions))
 	for i, s := range r.Solutions {
-		keys[i] = s.Key()
+		keys[i] = s.String()
 	}
 	sort.Strings(keys)
 	return keys
@@ -359,19 +372,25 @@ func IsTreeNode(d desc.Description, t trace.Trace) bool {
 
 // CheckInduction discharges the Section 8.4 smooth-solution induction
 // rule over the bounded tree: it verifies φ(⊥), then checks the inductive
-// step along every explored edge, and finally — soundness of the rule —
-// confirms φ on every enumerated solution. It returns an error describing
-// the first failed premise; if the premises hold but some solution
-// violates φ, the returned error says so (and would indicate a bug, since
-// the rule is sound).
+// step along every explored edge, and — soundness of the rule — confirms
+// φ on every smooth solution. It returns an error describing the first
+// failed premise; if the premises hold but some solution violates φ, the
+// returned error says so (and would indicate a bug, since the rule is
+// sound).
+//
+// The tree is explored exactly once: each dequeued node is classified by
+// the limit condition during the same walk that checks the inductive
+// step along its out-edges, sharing one memoized evaluator — there is no
+// second Enumerate pass.
 func CheckInduction(ctx context.Context, p Problem, phi func(trace.Trace) bool) error {
 	if !phi(trace.Empty) {
 		return errors.New("solver: induction base φ(⊥) fails")
 	}
 	s := newSearch(p)
 	var st SearchStats
-	queue := []node{root}
+	queue := []trace.Trace{root}
 	nodes := 0
+	var unsound error
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
@@ -382,20 +401,24 @@ func CheckInduction(ctx context.Context, p Problem, phi func(trace.Trace) bool) 
 		if p.MaxNodes > 0 && nodes > p.MaxNodes {
 			return ErrBudget
 		}
-		if u.t.Len() >= p.MaxDepth {
+		// Soundness check, folded into the single walk: a node that
+		// satisfies the limit condition is a smooth solution, and φ must
+		// hold there. The verdict is deferred — premise failures found
+		// anywhere in the walk take precedence, matching the rule's
+		// reading (an unsound conclusion only matters once the premises
+		// are discharged).
+		if unsound == nil && s.classify(u, &st) && !phi(u) {
+			unsound = fmt.Errorf("solver: induction rule unsound?! φ fails on smooth solution %s", u)
+		}
+		if u.Len() >= p.MaxDepth {
 			continue
 		}
 		for _, v := range s.expand(u, &st) {
-			if err := p.D.InductionPremise(phi, u.t, v.t); err != nil {
+			if err := p.D.InductionPremise(phi, u, v); err != nil {
 				return err
 			}
 			queue = append(queue, v)
 		}
 	}
-	for _, s := range Enumerate(ctx, p).Solutions {
-		if !phi(s) {
-			return fmt.Errorf("solver: induction rule unsound?! φ fails on smooth solution %s", s)
-		}
-	}
-	return nil
+	return unsound
 }

@@ -8,9 +8,9 @@ import (
 
 func benchTrace(n int) Trace {
 	chans := []string{"a", "b", "c"}
-	t := make(Trace, n)
-	for i := range t {
-		t[i] = E(chans[i%3], value.Int(int64(i%5)))
+	t := Empty
+	for i := 0; i < n; i++ {
+		t = t.Append(E(chans[i%3], value.Int(int64(i%5))))
 	}
 	return t
 }

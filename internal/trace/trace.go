@@ -7,11 +7,23 @@
 // channel set is continuous (Fact F3); and the pre relation — u pre v in t
 // iff u, v are finite prefixes of t with |v| = |u|+1 — drives the
 // smoothness condition of descriptions (package desc).
+//
+// Representation: a Trace is a persistent, prefix-sharing structure — an
+// immutable parent-pointer spine with one node per event. Append is O(1)
+// and shares the whole parent spine; Take returns an existing spine node
+// without copying; Prefixes and PrePairs walk the spine. Because the
+// Section 3.3 tree search materialises every node of a tree whose nodes
+// share almost all of their prefix, this turns the search's O(N·depth)
+// trace storage into O(N). Each node also carries an incrementally
+// maintained 64-bit structural hash, so Key — the (hash, length) memo
+// key used by the solver stack — is O(1). See DESIGN.md ("Persistent
+// traces and the trace cpo") for why sharing is sound.
 package trace
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"smoothproc/internal/seq"
 	"smoothproc/internal/value"
@@ -32,103 +44,163 @@ func (e Event) Equal(f Event) bool { return e.Ch == f.Ch && e.Val.Equal(f.Val) }
 // String renders the event as (c,m), matching the paper's notation.
 func (e Event) String() string { return "(" + e.Ch + "," + e.Val.String() + ")" }
 
-// Trace is a finite communication history. The nil and empty slices both
-// represent ⊥ (the empty trace). Traces are treated as immutable.
-type Trace []Event
+// Hash64 returns the event's structural hash: equal events hash equal.
+func (e Event) Hash64() uint64 {
+	return value.HashString(e.Val.Hash64(), e.Ch)
+}
+
+// node is one spine cell: the trace that ends with ev and continues, via
+// parent, with the length-(n-1) prefix. Nodes are immutable and shared
+// freely: every extension of a trace points at the same parent spine.
+type node struct {
+	parent *node
+	ev     Event
+	n      int    // length of the trace ending at this node (≥ 1)
+	hash   uint64 // structural hash of that whole prefix
+}
+
+// emptyHash seeds the rolling hash at ⊥.
+const emptyHash uint64 = 0xcbf29ce484222325
+
+// Trace is a finite communication history. The zero Trace is ⊥ (the
+// empty trace). Traces are immutable persistent values: extending one
+// never copies or invalidates another, so they may be shared freely
+// across solver nodes, memo entries and histories. Compare traces with
+// Equal/Leq, never with ==.
+type Trace struct {
+	end *node // nil for ⊥
+}
 
 // Empty is the bottom element ⊥ of the trace cpo.
 var Empty = Trace{}
 
 // Of builds a trace from events.
-func Of(events ...Event) Trace {
-	t := make(Trace, len(events))
-	copy(t, events)
+func Of(events ...Event) Trace { return Empty.append(events) }
+
+// FromEvents builds a trace from a slice of events. The slice is read,
+// never retained.
+func FromEvents(events []Event) Trace { return Empty.append(events) }
+
+func (t Trace) append(events []Event) Trace {
+	for _, e := range events {
+		t = t.Append(e)
+	}
 	return t
 }
 
 // Len returns the number of events.
-func (t Trace) Len() int { return len(t) }
+func (t Trace) Len() int {
+	if t.end == nil {
+		return 0
+	}
+	return t.end.n
+}
 
 // IsEmpty reports whether t is ⊥.
-func (t Trace) IsEmpty() bool { return len(t) == 0 }
+func (t Trace) IsEmpty() bool { return t.end == nil }
 
-// At returns the i-th event.
-func (t Trace) At(i int) Event { return t[i] }
-
-// Equal reports event-wise equality.
-func (t Trace) Equal(u Trace) bool {
-	if len(t) != len(u) {
-		return false
+// at returns the spine node ending the length-n prefix (n ≥ 1).
+func (t Trace) at(n int) *node {
+	c := t.end
+	for c.n > n {
+		c = c.parent
 	}
-	for i := range t {
-		if !t[i].Equal(u[i]) {
+	return c
+}
+
+// At returns the i-th event (0-based). Walking the spine makes this
+// O(len-i); iterate with Events when visiting many positions.
+func (t Trace) At(i int) Event { return t.at(i + 1).ev }
+
+// Last returns the final event of a nonempty trace.
+func (t Trace) Last() Event { return t.end.ev }
+
+// Events returns the events of t in order, as a fresh slice the caller
+// owns. This is the migration path for code that used to range over the
+// old slice representation.
+func (t Trace) Events() []Event {
+	out := make([]Event, t.Len())
+	for c := t.end; c != nil; c = c.parent {
+		out[c.n-1] = c.ev
+	}
+	return out
+}
+
+// spineEqual reports whether the traces ending at a and b (of equal
+// length) are event-wise equal. Shared structure short-circuits: the walk
+// stops at the first common spine node, so comparing a trace against one
+// of its own extensions' prefixes is O(1).
+func spineEqual(a, b *node) bool {
+	for a != b {
+		if !a.ev.Equal(b.ev) {
 			return false
 		}
+		a, b = a.parent, b.parent
 	}
 	return true
 }
 
+// Equal reports event-wise equality.
+func (t Trace) Equal(u Trace) bool {
+	return t.Len() == u.Len() && spineEqual(t.end, u.end)
+}
+
 // Leq reports the prefix order t ⊑ u (Fact F1's ordering).
 func (t Trace) Leq(u Trace) bool {
-	if len(t) > len(u) {
+	if t.Len() > u.Len() {
 		return false
 	}
-	for i := range t {
-		if !t[i].Equal(u[i]) {
-			return false
-		}
+	if t.end == nil {
+		return true
 	}
-	return true
+	return spineEqual(t.end, u.at(t.end.n))
 }
 
 // Compatible reports whether t and u are comparable under ⊑.
 func (t Trace) Compatible(u Trace) bool { return t.Leq(u) || u.Leq(t) }
 
-// Take returns the prefix of length at most n.
+// Take returns the prefix of length at most n — an existing spine node,
+// shared with t, found in O(len-n) without copying.
 func (t Trace) Take(n int) Trace {
-	if n < 0 {
-		n = 0
+	if n <= 0 || t.end == nil {
+		return Empty
 	}
-	if n > len(t) {
-		n = len(t)
+	if n >= t.end.n {
+		return t
 	}
-	out := make(Trace, n)
-	copy(out, t[:n])
-	return out
+	return Trace{end: t.at(n)}
 }
 
-// Append returns t extended by one event.
+// Append returns t extended by one event: O(1), sharing t's spine.
 func (t Trace) Append(e Event) Trace {
-	out := make(Trace, 0, len(t)+1)
-	out = append(out, t...)
-	out = append(out, e)
-	return out
+	h, n := emptyHash, 1
+	if t.end != nil {
+		h, n = t.end.hash, t.end.n+1
+	}
+	return Trace{end: &node{parent: t.end, ev: e, n: n, hash: value.HashMix(h, e.Hash64())}}
 }
 
 // Concat returns t followed by u.
-func (t Trace) Concat(u Trace) Trace {
-	out := make(Trace, 0, len(t)+len(u))
-	out = append(out, t...)
-	out = append(out, u...)
-	return out
-}
+func (t Trace) Concat(u Trace) Trace { return t.append(u.Events()) }
 
 // Prefixes returns all finite prefixes of t in increasing length,
-// including ⊥ and t itself — the chain of Fact F2, whose lub is t.
+// including ⊥ and t itself — the chain of Fact F2, whose lub is t. Every
+// returned prefix shares t's spine.
 func (t Trace) Prefixes() []Trace {
-	out := make([]Trace, len(t)+1)
-	for i := 0; i <= len(t); i++ {
-		out[i] = t.Take(i)
+	out := make([]Trace, t.Len()+1)
+	for c := t.end; c != nil; c = c.parent {
+		out[c.n] = Trace{end: c}
 	}
+	out[0] = Empty
 	return out
 }
 
 // PrePairs calls visit(u, v) for every pair with u pre v in t, i.e. for
 // each consecutive pair of finite prefixes. Returning false from visit
-// stops the iteration early.
+// stops the iteration early. The prefixes share t's spine.
 func (t Trace) PrePairs(visit func(u, v Trace) bool) {
-	for i := 0; i < len(t); i++ {
-		if !visit(t.Take(i), t.Take(i+1)) {
+	for _, v := range t.Prefixes()[1:] {
+		if !visit(Trace{end: v.end.parent}, v) {
 			return
 		}
 	}
@@ -136,20 +208,27 @@ func (t Trace) PrePairs(visit func(u, v Trace) bool) {
 
 // Pre reports whether u pre v in t holds.
 func Pre(u, v, t Trace) bool {
-	return len(v) == len(u)+1 && u.Leq(t) && v.Leq(t) && u.Leq(v)
+	return v.Len() == u.Len()+1 && u.Leq(t) && v.Leq(t) && u.Leq(v)
 }
 
 // Project returns the projection t_L: the subsequence of events whose
 // channel is in L (Section 3.1.2). Projection is continuous (Fact F3);
 // the package tests check this on growing prefix chains.
 func (t Trace) Project(l ChanSet) Trace {
-	out := make(Trace, 0, len(t))
-	for _, e := range t {
-		if l.Has(e.Ch) {
-			out = append(out, e)
+	kept := make([]Event, 0, t.Len())
+	for c := t.end; c != nil; c = c.parent {
+		if l.Has(c.ev.Ch) {
+			kept = append(kept, c.ev)
 		}
 	}
-	return out
+	reverse(kept)
+	return FromEvents(kept)
+}
+
+func reverse(es []Event) {
+	for i, j := 0, len(es)-1; i < j; i, j = i+1, j-1 {
+		es[i], es[j] = es[j], es[i]
+	}
 }
 
 // Channel returns the sequence of messages sent along channel c in t —
@@ -157,11 +236,14 @@ func (t Trace) Project(l ChanSet) Trace {
 // maps a trace to the sequence associated with c in the trace" (Section
 // 4). Continuous.
 func (t Trace) Channel(c string) seq.Seq {
-	out := make(seq.Seq, 0, len(t))
-	for _, e := range t {
-		if e.Ch == c {
-			out = append(out, e.Val)
+	out := make(seq.Seq, 0, t.Len())
+	for n := t.end; n != nil; n = n.parent {
+		if n.ev.Ch == c {
+			out = append(out, n.ev.Val)
 		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
 	}
 	return out
 }
@@ -169,8 +251,8 @@ func (t Trace) Channel(c string) seq.Seq {
 // Channels returns the sorted set of channel names occurring in t.
 func (t Trace) Channels() []string {
 	set := map[string]bool{}
-	for _, e := range t {
-		set[e.Ch] = true
+	for c := t.end; c != nil; c = c.parent {
+		set[c.ev.Ch] = true
 	}
 	out := make([]string, 0, len(set))
 	for c := range set {
@@ -191,29 +273,57 @@ func (e Event) AppendKey(b []byte) []byte {
 }
 
 // AppendKey appends the bracketless event rendering of t — the body of
-// String between ⟨ and ⟩ — to b and returns the extended slice. Because
-// the rendering of an extension is a suffix extension of the original's,
-// callers that build traces incrementally (the solver) can maintain these
-// keys incrementally instead of re-deriving O(len) per lookup.
+// String between ⟨ and ⟩ — to b and returns the extended slice.
 func (t Trace) AppendKey(b []byte) []byte {
-	for _, e := range t {
+	for _, e := range t.Events() {
 		b = e.AppendKey(b)
 	}
 	return b
 }
 
 // String renders the trace in the paper's notation, e.g.
-// ⟨(b,0)(c,1)(d,0)⟩; ⊥ renders as ⟨⟩.
+// ⟨(b,0)(c,1)(d,0)⟩; ⊥ renders as ⟨⟩. String is the canonical rendering:
+// distinct traces render distinctly, so it doubles as the human-readable
+// deduplication key (solution sets, golden files).
 func (t Trace) String() string {
-	b := make([]byte, 0, 6+12*len(t))
+	b := make([]byte, 0, 6+12*t.Len())
 	b = append(b, "⟨"...)
 	b = t.AppendKey(b)
 	b = append(b, "⟩"...)
 	return string(b)
 }
 
-// Key returns a canonical string usable as a map key for deduplication.
-func (t Trace) Key() string { return t.String() }
+// Key is a compact map key for a trace: the incrementally maintained
+// structural hash plus the length. Building one is O(1). Two equal
+// traces always have equal Keys; distinct traces collide only on a
+// 64-bit hash collision, so every consumer (the evaluator memo, caches)
+// must treat buckets as candidate sets and confirm with Trace.Equal —
+// the equality fallback. See DESIGN.md on hash-key transparency.
+type Key struct {
+	Hash uint64
+	Len  int
+}
+
+// Key returns the (hash, length) memo key of t in O(1).
+func (t Trace) Key() Key {
+	if t.end == nil {
+		return Key{Hash: emptyHash}
+	}
+	return Key{Hash: t.end.hash, Len: t.end.n}
+}
+
+// WithKeyHash returns a trace with the same events as t but whose Key
+// hash is forced to h. It exists solely so tests can manufacture Key
+// collisions between distinct traces and exercise the equality-fallback
+// paths; never use it outside tests.
+func WithKeyHash(t Trace, h uint64) Trace {
+	if t.end == nil {
+		panic("trace: WithKeyHash on ⊥")
+	}
+	forged := *t.end
+	forged.hash = h
+	return Trace{end: &forged}
+}
 
 // ChanSet is a set of channel names.
 type ChanSet map[string]bool
@@ -300,19 +410,19 @@ func CheckF4(u, v, t Trace, l ChanSet) error {
 func F5Witness(x, y, t Trace, l ChanSet) (u, v Trace, err error) {
 	ti := t.Project(l)
 	if !Pre(x, y, ti) {
-		return nil, nil, fmt.Errorf("trace: hypothesis x pre y in t_i fails for x=%s y=%s", x, y)
+		return Empty, Empty, fmt.Errorf("trace: hypothesis x pre y in t_i fails for x=%s y=%s", x, y)
 	}
-	for n := 1; n <= len(t); n++ {
+	for n := 1; n <= t.Len(); n++ {
 		cand := t.Take(n)
 		if cand.Project(l).Equal(y) {
 			u, v = t.Take(n-1), cand
 			if !u.Project(l).Equal(x) {
-				return nil, nil, fmt.Errorf("trace: F5 construction failed: u_i=%s, want %s", u.Project(l), x)
+				return Empty, Empty, fmt.Errorf("trace: F5 construction failed: u_i=%s, want %s", u.Project(l), x)
 			}
 			return u, v, nil
 		}
 	}
-	return nil, nil, fmt.Errorf("trace: no prefix of t projects to %s", y)
+	return Empty, Empty, fmt.Errorf("trace: no prefix of t projects to %s", y)
 }
 
 // Gen generates the finite prefixes of a possibly-infinite trace: Prefix
@@ -331,48 +441,58 @@ func FiniteGen(t Trace) Gen {
 }
 
 // CycleGen generates period repeated forever — e.g. the Ticks trace
-// (b,T)^ω of Section 4.2 and the 0^ω limit of Section 2.1.
+// (b,T)^ω of Section 4.2 and the 0^ω limit of Section 2.1. Successive
+// prefixes share one growing spine, so probing a generator at increasing
+// depths costs O(depth) total, not O(depth²).
 func CycleGen(name string, period Trace) Gen {
+	evs := period.Events()
+	var mu sync.Mutex
+	grown := Empty
 	return Gen{Name: name, Prefix: func(n int) Trace {
-		if len(period) == 0 || n <= 0 {
+		if len(evs) == 0 || n <= 0 {
 			return Empty
 		}
-		out := make(Trace, n)
-		for i := 0; i < n; i++ {
-			out[i] = period[i%len(period)] //smoothlint:allow tracealias filling a freshly made buffer
+		mu.Lock()
+		defer mu.Unlock()
+		for grown.Len() < n {
+			grown = grown.Append(evs[grown.Len()%len(evs)])
 		}
-		return out
+		return grown.Take(n)
 	}}
 }
 
-// FuncGen generates the trace whose i-th event (0-based) is at(i).
+// FuncGen generates the trace whose i-th event (0-based) is at(i). Like
+// CycleGen it memoizes one growing spine across calls; at must be pure.
 func FuncGen(name string, at func(i int) Event) Gen {
+	var mu sync.Mutex
+	grown := Empty
 	return Gen{Name: name, Prefix: func(n int) Trace {
-		if n <= 0 {
-			return Empty
+		mu.Lock()
+		defer mu.Unlock()
+		for grown.Len() < n {
+			grown = grown.Append(at(grown.Len()))
 		}
-		out := make(Trace, n)
-		for i := 0; i < n; i++ {
-			out[i] = at(i) //smoothlint:allow tracealias filling a freshly made buffer
-		}
-		return out
+		return grown.Take(n)
 	}}
 }
 
 // BlockGen generates the infinite concatenation block(0), block(1), ... —
 // used for Section 2.3's solutions x (blocks B_i), y (reversed blocks)
-// and z (blocks C_i).
+// and z (blocks C_i). The generated spine is memoized across calls;
+// block must be pure.
 func BlockGen(name string, block func(i int) Trace) Gen {
+	var mu sync.Mutex
+	grown := Empty
+	next := 0
 	return Gen{Name: name, Prefix: func(n int) Trace {
-		out := make(Trace, 0, n)
-		for i := 0; len(out) < n; i++ {
-			b := block(i)
-			if len(b) == 0 {
-				continue
-			}
-			out = append(out, b...)
+		mu.Lock()
+		defer mu.Unlock()
+		for grown.Len() < n {
+			b := block(next)
+			next++
+			grown = grown.Concat(b)
 		}
-		return Trace(out).Take(n)
+		return grown.Take(n)
 	}}
 }
 
@@ -385,8 +505,8 @@ func CheckGenMonotone(g Gen, depth int) error {
 	}
 	for n := 1; n <= depth; n++ {
 		cur := g.Prefix(n)
-		if len(cur) > n {
-			return fmt.Errorf("trace: gen %s: |Prefix(%d)| = %d > %d", g.Name, n, len(cur), n)
+		if cur.Len() > n {
+			return fmt.Errorf("trace: gen %s: |Prefix(%d)| = %d > %d", g.Name, n, cur.Len(), n)
 		}
 		if !prev.Leq(cur) {
 			return fmt.Errorf("trace: gen %s: Prefix(%d) ⋢ Prefix(%d)", g.Name, n-1, n)

@@ -41,8 +41,14 @@ func TestTraceBasics(t *testing.T) {
 	if got := tr.String(); got != "⟨(b,0)(c,1)(c,3)(d,0)(d,1)(b,2)⟩" {
 		t.Errorf("String = %q", got)
 	}
-	if tr.Key() != tr.String() {
-		t.Error("Key should equal String")
+	if tr.Key() != sample().Key() {
+		t.Error("Key should be structural: equal traces share a key")
+	}
+	if tr.Key() == tr.Take(3).Key() || tr.Key() == Empty.Key() {
+		t.Error("distinct traces should (generically) have distinct keys")
+	}
+	if tr.Key().Len != tr.Len() || Empty.Key().Len != 0 {
+		t.Error("Key.Len should mirror Len")
 	}
 }
 
@@ -284,10 +290,10 @@ type genTrace struct{ T Trace }
 // Generate implements quick.Generator.
 func (genTrace) Generate(r *rand.Rand, _ int) reflect.Value {
 	n := r.Intn(7)
-	tr := make(Trace, n)
+	tr := Empty
 	chans := []string{"a", "b"}
-	for i := range tr {
-		tr[i] = E(chans[r.Intn(2)], value.Int(int64(r.Intn(3))))
+	for i := 0; i < n; i++ {
+		tr = tr.Append(E(chans[r.Intn(2)], value.Int(int64(r.Intn(3)))))
 	}
 	return reflect.ValueOf(genTrace{T: tr})
 }

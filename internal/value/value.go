@@ -249,6 +249,59 @@ func (v Value) AppendTo(b []byte) []byte {
 	}
 }
 
+// hashMix is a splitmix64-style finalizer step combining an accumulator
+// with one 64-bit word. It is order-sensitive (hashMix(hashMix(s,a),b) ≠
+// hashMix(hashMix(s,b),a) in general), which is what sequence and trace
+// hashing need.
+func hashMix(h, x uint64) uint64 {
+	z := h + 0x9e3779b97f4a7c15 + x
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// HashMix exposes the mixing step for the other hashing hooks (trace
+// events, sequences) so every structural hash in the repository chains
+// the same way.
+func HashMix(h, x uint64) uint64 { return hashMix(h, x) }
+
+// HashString folds a string into an accumulator, FNV-1a style, then
+// mixes in the length so "ab"+"c" and "a"+"bc" land apart when chained.
+func HashString(h uint64, s string) uint64 {
+	const prime = 1099511628211
+	f := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		f ^= uint64(s[i])
+		f *= prime
+	}
+	return hashMix(h, hashMix(f, uint64(len(s))))
+}
+
+// Hash64 returns a 64-bit structural hash of v: equal values hash equal,
+// and the hash is computed from the structure directly (no rendering).
+// It backs the O(1) (hash, length) memo keys of package trace.
+func (v Value) Hash64() uint64 {
+	switch v.kind {
+	case KindInt:
+		return hashMix(uint64(v.kind), uint64(v.i))
+	case KindBool:
+		var b uint64
+		if v.b {
+			b = 1
+		}
+		return hashMix(uint64(v.kind), b)
+	case KindSym:
+		return HashString(uint64(v.kind), v.s)
+	case KindPair:
+		return hashMix(uint64(v.kind), hashMix(v.fst.Hash64(), v.snd.Hash64()))
+	default:
+		return hashMix(0, 0)
+	}
+}
+
 // Parse reads a Value from its String form. Symbols must start with a
 // lowercase letter to avoid colliding with T and F.
 func Parse(s string) (Value, error) {

@@ -1,0 +1,197 @@
+// Allocation/time regression gate. The CI bench-smoke job runs this with
+// SMOOTHPROC_BENCH_GATE=1: each workload below is measured with
+// testing.Benchmark (best of three) and compared against the perf
+// section of BENCH_solver.json and against BENCH_trace.json; a >10%
+// regression in time/op or allocs/op fails the build. Without the env
+// var the gate skips — timing on developer machines is not a signal.
+//
+// Regenerate the baselines on a quiet machine with:
+//
+//	SMOOTHPROC_BENCH_GATE=1 go test -run TestPerfGate -update .
+package smoothproc_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smoothproc/internal/eqlang"
+	"smoothproc/internal/solver"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+const traceBaselineFile = "BENCH_trace.json"
+
+// perfEntry is one workload's recorded cost.
+type perfEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// measure runs one workload best-of-three.
+func measure(name string, bench func(b *testing.B)) perfEntry {
+	best := testing.Benchmark(bench)
+	for i := 0; i < 2; i++ {
+		r := testing.Benchmark(bench)
+		if r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return perfEntry{
+		Name:        name,
+		NsPerOp:     float64(best.NsPerOp()),
+		AllocsPerOp: best.AllocsPerOp(),
+		BytesPerOp:  best.AllocedBytesPerOp(),
+	}
+}
+
+// solverWorkloads are the enumerate benchmarks the gate tracks — the
+// two specs with the deepest trees among the shipped examples.
+func solverWorkloads(t *testing.T) map[string]func(b *testing.B) {
+	t.Helper()
+	out := map[string]func(b *testing.B){}
+	for _, spec := range []string{"kahn-buffer.eq", "fig4-brock-ackermann.eq"} {
+		src, err := os.ReadFile(filepath.Join("specs", spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := eqlang.CompileSource(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		out[spec+"/enumerate"] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := solver.Enumerate(context.Background(), prog.Problem())
+				if len(res.Solutions) == 0 && len(res.Frontier) == 0 {
+					b.Fatal("search found nothing")
+				}
+			}
+		}
+	}
+	return out
+}
+
+// traceWorkloads are the core-op microbenchmarks at three depths:
+// Append (O(1) extension), Take at half depth (spine walk, no copy) and
+// Key (O(1) from the stored hash).
+func traceWorkloads() map[string]func(b *testing.B) {
+	out := map[string]func(b *testing.B){}
+	for _, depth := range []int{10, 100, 1000} {
+		base := trace.Empty
+		for i := 0; i < depth; i++ {
+			base = base.Append(trace.E("b", value.Int(int64(i%7))))
+		}
+		e := trace.E("c", value.Int(1))
+		half := depth / 2
+		out[benchName("append", depth)] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = base.Append(e)
+			}
+		}
+		out[benchName("take", depth)] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = base.Take(half)
+			}
+		}
+		out[benchName("key", depth)] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = base.Key()
+			}
+		}
+	}
+	return out
+}
+
+func benchName(op string, depth int) string {
+	return op + "/d" + value.Int(int64(depth)).String()
+}
+
+// gate compares one measured workload against its baseline.
+func gate(t *testing.T, got perfEntry, want map[string]perfEntry) {
+	t.Helper()
+	w, ok := want[got.Name]
+	if !ok {
+		t.Errorf("%s: no baseline recorded — regenerate with -update", got.Name)
+		return
+	}
+	if float64(got.AllocsPerOp) > float64(w.AllocsPerOp)*1.10 {
+		t.Errorf("%s: allocs/op regressed: %d, baseline %d (>10%%)",
+			got.Name, got.AllocsPerOp, w.AllocsPerOp)
+	}
+	if got.NsPerOp > w.NsPerOp*1.10 {
+		t.Errorf("%s: time/op regressed: %.0fns, baseline %.0fns (>10%%)",
+			got.Name, got.NsPerOp, w.NsPerOp)
+	}
+	t.Logf("%s: %.0fns/op %d allocs/op %dB/op (baseline %.0fns, %d allocs)",
+		got.Name, got.NsPerOp, got.AllocsPerOp, got.BytesPerOp, w.NsPerOp, w.AllocsPerOp)
+}
+
+func TestPerfGate(t *testing.T) {
+	update := *updateBaseline || os.Getenv("SMOOTHPROC_UPDATE_BASELINE") != ""
+	if os.Getenv("SMOOTHPROC_BENCH_GATE") == "" && !update {
+		t.Skip("set SMOOTHPROC_BENCH_GATE=1 (CI bench-smoke) to run the perf regression gate")
+	}
+	var solverGot, traceGot []perfEntry
+	for _, name := range []string{"kahn-buffer.eq/enumerate", "fig4-brock-ackermann.eq/enumerate"} {
+		solverGot = append(solverGot, measure(name, solverWorkloads(t)[name]))
+	}
+	tw := traceWorkloads()
+	for _, op := range []string{"append", "take", "key"} {
+		for _, depth := range []int{10, 100, 1000} {
+			name := benchName(op, depth)
+			traceGot = append(traceGot, measure(name, tw[name]))
+		}
+	}
+
+	if update {
+		d, err := loadBaselineData()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Perf = solverGot
+		if err := saveBaselineData(d); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.MarshalIndent(traceGot, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(traceBaselineFile, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("perf baselines regenerated (%d solver, %d trace workloads)", len(solverGot), len(traceGot))
+		return
+	}
+
+	d, err := loadBaselineData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]perfEntry{}
+	for _, e := range d.Perf {
+		want[e.Name] = e
+	}
+	js, err := os.ReadFile(traceBaselineFile)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var traceWant []perfEntry
+	if err := json.Unmarshal(js, &traceWant); err != nil {
+		t.Fatalf("corrupt %s: %v", traceBaselineFile, err)
+	}
+	for _, e := range traceWant {
+		want[e.Name] = e
+	}
+	for _, g := range append(solverGot, traceGot...) {
+		gate(t, g, want)
+	}
+}

@@ -50,7 +50,7 @@ func TestFacadeQuickstart(t *testing.T) {
 		t.Fatalf("operational %d vs denotational %d", len(quiescent), len(result.Solutions))
 	}
 	for _, s := range result.Solutions {
-		if _, ok := quiescent[s.Key()]; !ok {
+		if _, ok := quiescent[s.String()]; !ok {
 			t.Errorf("smooth solution %s not operational", s)
 		}
 	}
