@@ -16,27 +16,47 @@ import (
 // direct evaluation rather than growing without bound.
 const evalCacheLimit = 1 << 18
 
+// evalShardBits selects the number of lock stripes in the memo. Sixteen
+// shards keep the worst case — every worker of a wide parallel search
+// missing at once — spread across independent mutexes, while costing a
+// sequential search nothing but a mask on the hash it already has.
+const evalShardBits = 4
+
+// evalShards is the number of lock-striped memo buckets.
+const evalShards = 1 << evalShardBits
+
+// evalShardLimit is each shard's per-side entry budget, so the whole
+// evaluator still tops out at evalCacheLimit entries per side.
+const evalShardLimit = evalCacheLimit / evalShards
+
 // EvalStats counts what a description's two sides cost through an
-// Evaluator: underlying TraceFn applications, memo hits, and the time
-// spent inside f and g. Safe for concurrent use; read it via Snapshot.
+// Evaluator: underlying TraceFn applications, memo hits, in-flight
+// deduplication waits, and the time spent inside f and g. Safe for
+// concurrent use; read it via Snapshot.
 type EvalStats struct {
 	FApplies metrics.Counter
 	GApplies metrics.Counter
 	FHits    metrics.Counter
 	GHits    metrics.Counter
-	FTime    metrics.Timer
-	GTime    metrics.Timer
+	// InflightWaits counts lookups that found another goroutine already
+	// applying the side to the same trace and waited for its result
+	// instead of re-applying. Scheduling-dependent, hence excluded from
+	// deterministic fingerprints.
+	InflightWaits metrics.Counter
+	FTime         metrics.Timer
+	GTime         metrics.Timer
 }
 
 // Snapshot reads the stats into a plain value.
 func (s *EvalStats) Snapshot() EvalSnapshot {
 	return EvalSnapshot{
-		FApplies: s.FApplies.Load(),
-		GApplies: s.GApplies.Load(),
-		FHits:    s.FHits.Load(),
-		GHits:    s.GHits.Load(),
-		FNanos:   s.FTime.TotalNanos(),
-		GNanos:   s.GTime.TotalNanos(),
+		FApplies:      s.FApplies.Load(),
+		GApplies:      s.GApplies.Load(),
+		FHits:         s.FHits.Load(),
+		GHits:         s.GHits.Load(),
+		InflightWaits: s.InflightWaits.Load(),
+		FNanos:        s.FTime.TotalNanos(),
+		GNanos:        s.GTime.TotalNanos(),
 	}
 }
 
@@ -46,9 +66,17 @@ type EvalSnapshot struct {
 	// sides — with memoization on, these are the cache misses.
 	FApplies int64 `json:"f_applies"`
 	GApplies int64 `json:"g_applies"`
-	// FHits and GHits count lookups served from the memo.
+	// FHits and GHits count lookups served from the memo. A lookup that
+	// waited for an in-flight application of the same trace counts as a
+	// hit (it never applied the side itself), so hits + applies always
+	// equals total lookups.
 	FHits int64 `json:"f_hits"`
 	GHits int64 `json:"g_hits"`
+	// InflightWaits counts the lookups that waited out a concurrent
+	// application of the same trace — the work the singleflight dedup
+	// saved. Scheduling-dependent: zero in sequential searches,
+	// timing-dependent in parallel ones (not part of any fingerprint).
+	InflightWaits int64 `json:"inflight_waits,omitempty"`
 	// FNanos and GNanos are the wall-clock nanoseconds spent inside the
 	// underlying applications.
 	FNanos int64 `json:"f_nanos"`
@@ -70,18 +98,34 @@ type memoEntry struct {
 	v fn.Tuple
 }
 
-// memoSide is one side's memo, keyed by the O(1) trace.Key. The primary
-// map holds one entry per key — the overwhelmingly common case — and
-// overflow (allocated lazily) holds the extras that appear only on a
-// 64-bit hash collision between distinct traces. Every lookup confirms
-// Trace.Equal before trusting a hit, so collisions cost a miss, never a
-// wrong answer (the equality fallback). Retained traces are persistent
-// spines that share prefixes across entries, so the memo's footprint is
-// O(distinct traces), not O(Σ len).
+// memoSide is one shard's slice of one side's memo, keyed by the O(1)
+// trace.Key. The primary map holds one entry per key — the
+// overwhelmingly common case — and overflow (allocated lazily) holds the
+// extras that appear only on a 64-bit hash collision between distinct
+// traces. Every lookup confirms Trace.Equal before trusting a hit, so
+// collisions cost a miss, never a wrong answer (the equality fallback).
+// Retained traces are persistent spines that share prefixes across
+// entries, so the memo's footprint is O(distinct traces), not O(Σ len).
 type memoSide struct {
 	primary  map[trace.Key]memoEntry
 	overflow map[trace.Key][]memoEntry
 	entries  int
+	// inflight marks traces whose application is currently running on
+	// some goroutine, matched by key with the same equality fallback as
+	// the memo. A second goroutine asking for an in-flight trace waits on
+	// the shard's cond instead of re-applying — this is what makes
+	// "applied at most once per distinct trace" true under races. A
+	// plain slice, not a map: it holds at most one entry per concurrent
+	// applier, and its capacity is reused across claims, so the miss
+	// path stays allocation-free in steady state.
+	inflight []inflightClaim
+}
+
+// inflightClaim is one in-flight application: the trace being applied
+// and its precomputed key.
+type inflightClaim struct {
+	k trace.Key
+	t trace.Trace
 }
 
 func (m *memoSide) lookup(t trace.Trace, k trace.Key) (fn.Tuple, bool) {
@@ -101,8 +145,11 @@ func (m *memoSide) lookup(t trace.Trace, k trace.Key) (fn.Tuple, bool) {
 }
 
 func (m *memoSide) insert(t trace.Trace, k trace.Key, v fn.Tuple) {
-	if m.entries >= evalCacheLimit {
+	if m.entries >= evalShardLimit {
 		return
+	}
+	if m.primary == nil {
+		m.primary = make(map[trace.Key]memoEntry)
 	}
 	if _, taken := m.primary[k]; !taken {
 		m.primary[k] = memoEntry{t: t, v: v}
@@ -115,34 +162,76 @@ func (m *memoSide) insert(t trace.Trace, k trace.Key, v fn.Tuple) {
 	m.entries++
 }
 
-// Evaluator applies a description's two sides with optional memoization
-// over (hash, length) trace keys, counting applications, hits and
-// evaluation time. The tree search shares one evaluator per search, so f
-// and g are applied at most once per distinct trace even when nodes
-// share long prefixes or several workers race over the same level (the
-// memo is safe for concurrent use).
+// claimed reports whether an application of t is already in flight.
+func (m *memoSide) claimed(t trace.Trace, k trace.Key) bool {
+	for _, c := range m.inflight {
+		if c.k == k && c.t.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// claim marks t in flight; the caller owns the application.
+func (m *memoSide) claim(t trace.Trace, k trace.Key) {
+	m.inflight = append(m.inflight, inflightClaim{k: k, t: t})
+}
+
+// unclaim removes t's in-flight mark.
+func (m *memoSide) unclaim(t trace.Trace, k trace.Key) {
+	for i, c := range m.inflight {
+		if c.k == k && c.t.Equal(t) {
+			last := len(m.inflight) - 1
+			m.inflight[i] = m.inflight[last]
+			m.inflight[last] = inflightClaim{}
+			m.inflight = m.inflight[:last]
+			return
+		}
+	}
+}
+
+// evalShard is one lock stripe of the memo: both sides' entries for the
+// keys that hash into it, one mutex, and one cond for in-flight waiters.
+type evalShard struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	f    memoSide
+	g    memoSide
+}
+
+// Evaluator applies a description's two sides with memoization over
+// (hash, length) trace keys, counting applications, hits and evaluation
+// time. The memo is sharded into lock-striped buckets selected by the
+// trace key's hash, and each shard deduplicates in-flight applications:
+// a goroutine that asks for a trace another goroutine is currently
+// evaluating waits for that result instead of re-applying. The tree
+// search shares one evaluator per search, so f and g are applied at most
+// once per distinct trace — even when several workers race on the same
+// trace — and the apply/hit counters are deterministic under any worker
+// count (see the solver's parity suite and this package's race tests).
 //
 // Memoization is transparent: TraceFns are pure functions of the trace
 // (OmegaConstFn depends only on the trace's length, which the key also
 // determines), a cached tuple equals a fresh application, and hash
-// collisions are disarmed by the equality fallback in memoSide.
+// collisions are disarmed by the equality fallback in memoSide. The
+// at-most-once guarantee holds while the cache accepts inserts; past
+// evalCacheLimit entries the evaluator degrades to direct evaluation
+// (re-applying rather than growing without bound).
 type Evaluator struct {
 	d       Description
 	memoize bool
 	stats   EvalStats
 
-	mu sync.RWMutex
-	f  memoSide
-	g  memoSide
+	shards [evalShards]evalShard
 }
 
 // NewEvaluator builds an evaluator for d; memoize false disables the
-// cache (counters and timers still run), which is the ablation mode.
+// cache and the in-flight dedup (counters and timers still run), which
+// is the ablation mode.
 func NewEvaluator(d Description, memoize bool) *Evaluator {
 	e := &Evaluator{d: d, memoize: memoize}
-	if memoize {
-		e.f.primary = make(map[trace.Key]memoEntry)
-		e.g.primary = make(map[trace.Key]memoEntry)
+	for i := range e.shards {
+		e.shards[i].cond.L = &e.shards[i].mu
 	}
 	return e
 }
@@ -156,41 +245,73 @@ func (e *Evaluator) Stats() *EvalStats { return &e.stats }
 // Snapshot reads the evaluator's stats into a plain value.
 func (e *Evaluator) Snapshot() EvalSnapshot { return e.stats.Snapshot() }
 
-func (e *Evaluator) apply(t trace.Trace, cache *memoSide,
-	side fn.TraceFn, hits *metrics.Counter, applies *metrics.Counter, timer *metrics.Timer) fn.Tuple {
-	var key trace.Key
-	if e.memoize {
-		key = t.Key()
-		e.mu.RLock()
-		v, ok := cache.lookup(t, key)
-		e.mu.RUnlock()
-		if ok {
+// shardFor returns the lock stripe owning k.
+func (e *Evaluator) shardFor(k trace.Key) *evalShard {
+	return &e.shards[k.Hash&(evalShards-1)]
+}
+
+func (e *Evaluator) apply(t trace.Trace, side fn.TraceFn, g bool,
+	hits *metrics.Counter, applies *metrics.Counter, timer *metrics.Timer) fn.Tuple {
+	if !e.memoize {
+		applies.Inc()
+		start := time.Now()
+		v := side.Apply(t)
+		timer.ObserveSince(start)
+		return v
+	}
+	key := t.Key()
+	sh := e.shardFor(key)
+	cache := &sh.f
+	if g {
+		cache = &sh.g
+	}
+	sh.mu.Lock()
+	for {
+		if v, ok := cache.lookup(t, key); ok {
+			sh.mu.Unlock()
 			hits.Inc()
 			return v
 		}
+		if !cache.claimed(t, key) {
+			break
+		}
+		// Another goroutine is applying this side to this exact trace;
+		// wait for its insert rather than double-applying.
+		e.stats.InflightWaits.Inc()
+		sh.cond.Wait()
 	}
+	cache.claim(t, key)
+	sh.mu.Unlock()
+
 	applies.Inc()
 	start := time.Now()
-	v := side.Apply(t)
-	timer.ObserveSince(start)
-	if e.memoize {
-		e.mu.Lock()
-		if _, ok := cache.lookup(t, key); !ok {
+	inserted := false
+	var v fn.Tuple
+	defer func() {
+		// Runs on success and on a panicking side alike: the claim must
+		// be released either way or waiters would sleep forever.
+		sh.mu.Lock()
+		cache.unclaim(t, key)
+		if inserted {
 			cache.insert(t, key, v)
 		}
-		e.mu.Unlock()
-	}
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}()
+	v = side.Apply(t)
+	timer.ObserveSince(start)
+	inserted = true
 	return v
 }
 
 // F applies the description's left side to t.
 func (e *Evaluator) F(t trace.Trace) fn.Tuple {
-	return e.apply(t, &e.f, e.d.F, &e.stats.FHits, &e.stats.FApplies, &e.stats.FTime)
+	return e.apply(t, e.d.F, false, &e.stats.FHits, &e.stats.FApplies, &e.stats.FTime)
 }
 
 // G applies the description's right side to t.
 func (e *Evaluator) G(t trace.Trace) fn.Tuple {
-	return e.apply(t, &e.g, e.d.G, &e.stats.GHits, &e.stats.GApplies, &e.stats.GTime)
+	return e.apply(t, e.d.G, true, &e.stats.GHits, &e.stats.GApplies, &e.stats.GTime)
 }
 
 // EdgeOK is Description.EdgeOK through the memo: f(v) ⊑ g(u).

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkSrcInDir is checkSrc with the synthetic file named into an
+// explicit directory, so ConcDoc's race-test-file probe sees that
+// directory's contents rather than this package's.
+func checkSrcInDir(t *testing.T, dir, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join(dir, "synthetic_test_src.go"), src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("smoothproc/internal/fake", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	pkg := &Package{Path: "smoothproc/internal/fake", Dir: dir, Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const concdocSrc = `package fake
+
+import "sync"
+
+// Registry is a name table, safe for concurrent use.
+type Registry struct{ mu sync.Mutex }
+
+// Reset is idempotent: applied at most once per distinct generation.
+func (r *Registry) Reset() {}
+
+// internalTable is also safe for concurrent use — but unexported, so
+// the contract is the package's own business.
+type internalTable struct{}
+
+// Lookup has no concurrency story at all.
+func (r *Registry) Lookup() {}
+`
+
+// TestConcDocFlagsUntestedClaims: concurrency-claiming docs on exported
+// declarations are flagged when the package directory has no
+// *race*_test.go, and only those.
+func TestConcDocFlagsUntestedClaims(t *testing.T) {
+	dir := t.TempDir()
+	diags := checkSrcInDir(t, dir, concdocSrc, ConcDoc)
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (Registry and Reset): %v", len(diags), messages(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "concdoc" {
+			t.Errorf("finding from %s, want concdoc", d.Analyzer)
+		}
+	}
+}
+
+// TestConcDocSatisfiedByRaceTest: the same source is clean once a race
+// test file sits next to it.
+func TestConcDocSatisfiedByRaceTest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "registry_race_test.go"), []byte("package fake\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if diags := checkSrcInDir(t, dir, concdocSrc, ConcDoc); len(diags) != 0 {
+		t.Fatalf("got findings despite race test file: %v", messages(diags))
+	}
+}
+
+// TestConcDocPackageDoc: a package-level claim counts too.
+func TestConcDocPackageDoc(t *testing.T) {
+	src := `// Package fake is entirely goroutine-safe.
+package fake
+`
+	dir := t.TempDir()
+	diags := checkSrcInDir(t, dir, src, ConcDoc)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1 (package doc): %v", len(diags), messages(diags))
+	}
+}
+
+// TestConcDocSplitPhrase: a phrase broken across comment lines is still
+// a claim — doc text is matched with line breaks folded.
+func TestConcDocSplitPhrase(t *testing.T) {
+	src := `package fake
+
+// Table is safe for
+// concurrent use.
+type Table struct{}
+`
+	dir := t.TempDir()
+	if diags := checkSrcInDir(t, dir, src, ConcDoc); len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1 (split phrase): %v", len(diags), messages(diags))
+	}
+}
+
+// TestConcDocAllow: the standard suppression annotation applies.
+func TestConcDocAllow(t *testing.T) {
+	src := `package fake
+
+// Table is safe for concurrent use.
+type Table struct{} //smoothlint:allow concdoc covered by the cross-package suite
+`
+	dir := t.TempDir()
+	if diags := checkSrcInDir(t, dir, src, ConcDoc); len(diags) != 0 {
+		t.Fatalf("suppressed finding survived: %v", messages(diags))
+	}
+}

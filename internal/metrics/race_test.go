@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersUnderRace backs the package doc's safe-for-concurrent-use
+// claim: many goroutines hammer one Counter, Timer and Histogram, and
+// the totals come out exact — run with -race in the CI invariants job.
+func TestCountersUnderRace(t *testing.T) {
+	const goroutines = 16
+	const perG = 1000
+	var c Counter
+	var tm Timer
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				c.Add(2)
+				tm.Observe(time.Microsecond)
+				h.Observe(int64(i % 64))
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Load(), int64(goroutines*perG*3); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := tm.Count(), int64(goroutines*perG); got != want {
+		t.Errorf("timer count = %d, want %d", got, want)
+	}
+	if got, want := tm.TotalNanos(), int64(goroutines*perG)*int64(time.Microsecond); got != want {
+		t.Errorf("timer total = %d, want %d", got, want)
+	}
+	if got, want := h.Snapshot().Count, int64(goroutines*perG); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}

@@ -62,6 +62,7 @@ type Scheduler struct {
 	nextID  int
 	queue   chan *Job
 	closed  bool
+	aborted bool // Shutdown's deadline expired: cancel still-queued jobs instead of running them
 	wg      sync.WaitGroup
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -151,7 +152,15 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.mu.Lock()
-		if j.state != JobQueued { // cancelled while waiting (shutdown)
+		if s.aborted {
+			// Forced shutdown while this job was still waiting: it goes
+			// straight queued → canceled without running, its done channel
+			// closed here — the only terminal transition it will ever get,
+			// so the close cannot double-fire.
+			j.state = JobCanceled
+			j.err = ErrShutdown.Error()
+			s.canceled.Inc()
+			close(j.done)
 			s.mu.Unlock()
 			continue
 		}
@@ -249,6 +258,12 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
+		// Forced drain: running jobs stop at their next cancellation
+		// check and finish as canceled-with-partial-result; jobs still
+		// queued are marked canceled by the workers without running.
+		s.mu.Lock()
+		s.aborted = true
+		s.mu.Unlock()
 		s.stop() // cancel in-flight searches
 		<-drained
 		return ctx.Err()

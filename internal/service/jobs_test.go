@@ -153,6 +153,64 @@ func TestSchedulerForcedShutdownCancels(t *testing.T) {
 	}
 }
 
+// TestSchedulerForcedShutdownCancelsQueued: jobs that never reached a
+// worker before a forced shutdown transition queued → canceled — their
+// run closures are never invoked, their done channels close exactly
+// once, and the /metrics canceled counter sees each of them. (Before
+// this path existed, still-queued jobs were run to completion against
+// the dead base context, and the worker's cancelled-while-waiting
+// branch leaked the done channel.)
+func TestSchedulerForcedShutdownCancelsQueued(t *testing.T) {
+	s := NewScheduler(1, 8)
+	started := make(chan struct{})
+	running, err := s.Submit("h", SolveParams{}, 0, func(ctx context.Context) (*SolveResult, error) {
+		close(started)
+		<-ctx.Done() // occupy the only worker until the forced drain
+		return &SolveResult{Canceled: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var ran atomic.Int64
+	var queued []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+			ran.Add(1)
+			return okResult(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want deadline exceeded", err)
+	}
+	if v := s.View(running); v.State != JobCanceled {
+		t.Errorf("running job state = %s, want canceled", v.State)
+	}
+	for _, j := range queued {
+		select {
+		case <-j.Done(): // closed exactly once — a second close would have panicked a worker
+		default:
+			t.Fatalf("job %s: done channel not closed after drain", s.View(j).ID)
+		}
+		if v := s.View(j); v.State != JobCanceled || v.Error != ErrShutdown.Error() {
+			t.Errorf("queued job %s: state=%s error=%q, want canceled/%q", v.ID, v.State, v.Error, ErrShutdown)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d queued jobs ran during forced shutdown, want 0", ran.Load())
+	}
+	_, _, _, canceled := s.Counts()
+	if canceled != 5 { // the running job plus the four queued ones
+		t.Errorf("canceled counter = %d, want 5", canceled)
+	}
+}
+
 func TestSchedulerShutdownIdempotent(t *testing.T) {
 	s := NewScheduler(1, 1)
 	if err := s.Shutdown(context.Background()); err != nil {

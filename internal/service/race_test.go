@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRUUnderRace backs LRU's safe-for-concurrent-use claim: readers
+// and writers hammer one cache across overlapping key ranges, and the
+// books stay exact — every Get is either a hit or a miss, and the cache
+// never exceeds its capacity. Run with -race in the CI invariants job.
+func TestLRUUnderRace(t *testing.T) {
+	const goroutines = 8
+	const perG = 500
+	const capacity = 32
+	c := NewLRU[int, int](capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g*perG + i) % 64 // overlap keys across goroutines
+				if v, ok := c.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+				c.Put(k, k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := c.Hits()+c.Misses(), int64(goroutines*perG); got != want {
+		t.Errorf("hits+misses = %d, want %d", got, want)
+	}
+	if c.Len() > capacity {
+		t.Errorf("len %d exceeds capacity %d", c.Len(), capacity)
+	}
+}
+
+// TestSchedulerUnderRace submits jobs from many goroutines while others
+// poll views, then drains cleanly: every accepted job reaches a
+// terminal state with its done channel closed, and the lifecycle
+// counters account for every submission.
+func TestSchedulerUnderRace(t *testing.T) {
+	s := NewScheduler(4, 64)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var accepted []*Job
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				j, err := s.Submit(fmt.Sprintf("h%d", g), SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+					return okResult(), nil
+				})
+				if err != nil {
+					continue // queue-full shedding is fine under load
+				}
+				mu.Lock()
+				accepted = append(accepted, j)
+				mu.Unlock()
+				s.View(j)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range accepted {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %s not terminal after clean drain", s.View(j).ID)
+		}
+	}
+	submitted, completed, failed, canceled := s.Counts()
+	if submitted != int64(len(accepted)) {
+		t.Errorf("submitted = %d, accepted %d", submitted, len(accepted))
+	}
+	if completed+failed+canceled != submitted {
+		t.Errorf("terminal states %d+%d+%d ≠ submitted %d", completed, failed, canceled, submitted)
+	}
+}

@@ -91,6 +91,13 @@ type Server struct {
 	compileErrors metrics.Counter
 	nodesSearched metrics.Counter
 	solutions     metrics.Counter
+	// Work-stealing residue accumulated across parallel searches: steal
+	// events, worker parks, and memo in-flight waits. Scheduling noise by
+	// nature (never part of cached results), but the totals show whether
+	// the pool is actually sharing work or idling.
+	steals        metrics.Counter
+	idleWaits     metrics.Counter
+	inflightWaits metrics.Counter
 	start         time.Time
 }
 
@@ -270,6 +277,9 @@ func (s *Server) solve(ctx context.Context, prog *eqlang.Program, p SolveParams)
 	}
 	s.nodesSearched.Add(int64(res.Nodes))
 	s.solutions.Add(int64(len(res.Solutions)))
+	s.steals.Add(res.Stats.Steals)
+	s.idleWaits.Add(res.Stats.IdleWaits)
+	s.inflightWaits.Add(res.Stats.Eval.InflightWaits)
 	out := &SolveResult{
 		Solutions:  res.SolutionKeys(),
 		Frontier:   len(res.Frontier),
@@ -405,6 +415,9 @@ func (s *Server) Metrics() report.Stats {
 	search := report.Section{Name: "search"}
 	search.Add("nodes searched total", s.nodesSearched.Load(), "")
 	search.Add("solutions found total", s.solutions.Load(), "")
+	search.Add("work steals total", s.steals.Load(), "sched")
+	search.Add("idle waits total", s.idleWaits.Load(), "sched")
+	search.Add("memo inflight waits total", s.inflightWaits.Load(), "sched")
 
 	return report.Stats{Sections: []report.Section{server, cache, jobs, search}}
 }

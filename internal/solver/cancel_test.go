@@ -32,8 +32,11 @@ func TestEnumerateParallelCanceledContext(t *testing.T) {
 	if !res.Canceled || !res.Truncated {
 		t.Fatalf("cancelled search: Canceled=%v Truncated=%v, want both true", res.Canceled, res.Truncated)
 	}
-	if res.Nodes != 0 {
-		t.Errorf("cancelled parallel search visited %d nodes, want 0 (stops at level boundary)", res.Nodes)
+	// Same accounting as sequential: the root is visited, observed
+	// cancelled, and skipped — the old barrier implementation stopped at
+	// a level boundary with zero nodes, which diverged from Enumerate.
+	if res.Nodes != 1 {
+		t.Errorf("cancelled parallel search visited %d nodes, want 1 (the root, skipped)", res.Nodes)
 	}
 	if err := res.Stats.CheckInvariants(res.Truncated); err != nil {
 		t.Error(err)

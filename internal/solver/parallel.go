@@ -2,29 +2,183 @@ package solver
 
 import (
 	"context"
+	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"smoothproc/internal/trace"
 )
 
-// EnumerateParallel is Enumerate with the tree expanded level by level
-// across a worker pool. Results are identical to Enumerate up to
-// ordering; this implementation sorts each level canonically, so the
-// output is deterministic (and equal to Enumerate's after sorting).
-// Workers ≤ 0 uses GOMAXPROCS. All workers share one memoized evaluator,
-// so shared prefixes are evaluated once across the whole pool.
+// maxChunk caps how many frontier nodes one claim takes from the shared
+// pool. Small enough that a worker never hoards a level, large enough
+// that wide levels amortize the pool lock.
+const maxChunk = 64
+
+// nodeOut is one node's classification, keyed by its canonical BFS
+// index. Outputs are index-addressed, which is what makes the merged
+// result independent of which worker processed the node and when.
+type nodeOut struct {
+	done     bool
+	solution bool
+	frontier bool
+	dead     bool
+	closed   bool
+	sons     []trace.Trace
+}
+
+// span is a claimed range of canonical BFS indices [pos, hi). The owner
+// takes nodes from the front; a thief takes the back half.
+type span struct {
+	pos, hi int
+}
+
+// wsState is the shared state of one work-stealing search. One mutex
+// guards all of it: the search's unit of work (classify + expand one
+// node, typically several f/g evaluations) is orders of magnitude
+// heavier than a pool operation, so striping here would buy nothing.
 //
-// The node budget is enforced inside level expansion: when a level would
-// cross MaxNodes, only the first MaxNodes−visited nodes of the level (in
-// canonical order) are visited, so a truncated search visits exactly
-// MaxNodes nodes — never a whole level more.
+// order is the canonical BFS order of the tree, identical to the visit
+// order of sequential Enumerate: commit appends the sons of node i
+// (already in channel/alphabet order from expand) before those of node
+// i+1, regardless of which worker finished first. outs is parallel to
+// order. committed is the length of the contiguous prefix of outs that
+// is done — the only nodes whose sons exist in order, and exactly the
+// nodes the final merge classifies.
+type wsState struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	order     []trace.Trace
+	outs      []nodeOut
+	committed int
+	next      int // first unclaimed index; next ≤ min(len(order), limit)
+	doneCnt   int // nodes completed (in or out of order)
+	limit     int // MaxNodes, or math.MaxInt when unbounded
+
+	spans    []span
+	steals   int64
+	idles    int64
+	stopped  bool // no more work will ever be claimable
+	canceled bool
+}
+
+// claimable returns how far next may advance right now.
+func (ws *wsState) claimable() int {
+	if len(ws.order) < ws.limit {
+		return len(ws.order)
+	}
+	return ws.limit
+}
+
+// takeOne hands the calling worker its next node, blocking while other
+// workers may still commit sons. It returns ok=false when the search is
+// over: every claimable node is done, or the context was cancelled.
+// Cancellation is checked here — once per node, the same granularity as
+// sequential Enumerate — so a cancelled search abandons whole spans but
+// never a node mid-classification.
+func (ws *wsState) takeOne(ctx context.Context, w int) (int, trace.Trace, bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for {
+		if ws.stopped {
+			return 0, trace.Trace{}, false
+		}
+		if ctx.Err() != nil {
+			ws.canceled = true
+			ws.stopped = true
+			ws.cond.Broadcast()
+			return 0, trace.Trace{}, false
+		}
+		if sp := &ws.spans[w]; sp.pos < sp.hi {
+			i := sp.pos
+			sp.pos++
+			return i, ws.order[i], true
+		}
+		if avail := ws.claimable(); ws.next < avail {
+			// Refill from the unclaimed pool: an even split of what's
+			// there, capped so late-arriving sons still spread out.
+			chunk := (avail - ws.next) / len(ws.spans)
+			if chunk < 1 {
+				chunk = 1
+			}
+			if chunk > maxChunk {
+				chunk = maxChunk
+			}
+			ws.spans[w] = span{pos: ws.next, hi: ws.next + chunk}
+			ws.next += chunk
+			continue
+		}
+		// Pool dry: steal the back half of the largest remaining span.
+		// (A remainder of 1 is left alone — migrating a single node just
+		// moves the work without sharing it.)
+		victim, best := -1, 1
+		for v := range ws.spans {
+			if rem := ws.spans[v].hi - ws.spans[v].pos; rem > best {
+				victim, best = v, rem
+			}
+		}
+		if victim >= 0 {
+			vs := &ws.spans[victim]
+			mid := vs.pos + (best+1)/2
+			ws.spans[w] = span{pos: mid, hi: vs.hi}
+			vs.hi = mid
+			ws.steals++
+			continue
+		}
+		if ws.doneCnt == ws.next {
+			// Nothing claimable, nothing stealable, nothing in flight:
+			// commit has caught up and order can never grow again.
+			ws.stopped = true
+			ws.cond.Broadcast()
+			return 0, trace.Trace{}, false
+		}
+		// Other workers are mid-node; their sons may refill the pool.
+		ws.idles++
+		ws.cond.Wait()
+	}
+}
+
+// complete records node i's output and advances the commit pointer,
+// appending newly admitted sons — in canonical order — to the shared
+// frontier. Every completion wakes parked workers: either the frontier
+// grew, a span became stealable earlier, or the search just finished.
+func (ws *wsState) complete(i int, o nodeOut) {
+	o.done = true
+	ws.mu.Lock()
+	ws.outs[i] = o
+	ws.doneCnt++
+	for ws.committed < len(ws.outs) && ws.outs[ws.committed].done {
+		sons := ws.outs[ws.committed].sons
+		ws.order = append(ws.order, sons...)
+		ws.outs = append(ws.outs, make([]nodeOut, len(sons))...)
+		ws.committed++
+	}
+	ws.cond.Broadcast()
+	ws.mu.Unlock()
+}
+
+// EnumerateParallel is Enumerate with the tree explored by a
+// work-stealing worker pool instead of one goroutine. There is no
+// per-level barrier: workers claim chunks of the shared frontier, steal
+// from each other when their chunk runs dry, and each finished node
+// feeds its sons back the moment the commit pointer reaches it. Results
+// are byte-identical to Enumerate at any worker count — Solutions,
+// Frontier, DeadLeaves and Visited in the same order, and every
+// deterministic SearchStats counter equal (see DESIGN.md on why
+// determinism survives stealing; Steals and IdleWaits are the
+// scheduling-dependent residue, reported separately). Workers ≤ 0 uses
+// GOMAXPROCS. All workers share one sharded memoized evaluator, so f
+// and g are applied at most once per distinct trace across the pool.
 //
-// Cancellation is checked at level boundaries — the coarsest granularity
-// that keeps results deterministic: a cancelled search stops before the
-// next level with Truncated and Canceled set, never mid-level.
+// The node budget matches sequential accounting exactly: claims stop at
+// MaxNodes, so a truncated search classifies exactly MaxNodes nodes and
+// then observes one more as Skipped — never a whole level more, and
+// never silently dropping the cut nodes.
+//
+// Cancellation is checked once per claimed node, like Enumerate. A
+// cancelled run keeps the contiguous committed prefix of the canonical
+// order (everything in it is genuine) plus one Skipped node.
 func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -33,139 +187,134 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 	var res Result
 	st := &res.Stats
 	st.Thm1FastPath = s.thm1
+	st.Workers = workers
 	start := time.Now()
-	level := []trace.Trace{root}
-	for len(level) > 0 {
-		if ctx.Err() != nil {
-			res.Truncated = true
-			res.Canceled = true
-			break
-		}
-		if p.MaxNodes > 0 && res.Nodes+len(level) > p.MaxNodes {
-			res.Truncated = true
-			level = level[:p.MaxNodes-res.Nodes]
-			if len(level) == 0 {
-				break
-			}
-		}
-		// Classify and expand this level in parallel. Each worker keeps
-		// its counters in its slice of outs; aggregation is sequential.
-		type nodeOut struct {
-			solution bool
-			frontier bool
-			dead     bool
-			closed   bool
-			sons     []trace.Trace
-			stats    SearchStats
-		}
-		outs := make([]nodeOut, len(level))
-		var wg sync.WaitGroup
-		chunk := (len(level) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := min(lo+chunk, len(level))
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					cur := level[i]
-					o := &outs[i]
-					o.solution = s.classify(cur, &o.stats)
-					if cur.Len() >= p.MaxDepth {
-						if s.hasSon(cur, &o.stats) {
-							o.frontier = true
-						} else if !o.solution {
-							o.dead = true
-						} else {
-							o.closed = true
-						}
-						continue
-					}
-					o.sons = s.expand(cur, &o.stats)
-					if len(o.sons) == 0 {
-						if o.solution {
-							o.closed = true
-						} else {
-							o.dead = true
-						}
-					}
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
 
-		var next []trace.Trace
-		for i, o := range outs {
-			cur := level[i]
-			res.Nodes++
-			if p.CollectVisited {
-				res.Visited = append(res.Visited, cur)
-			}
-			st.Visited++
-			lvl := st.level(cur.Len())
-			lvl.Nodes++
-			if o.solution {
-				res.Solutions = append(res.Solutions, cur)
-				st.Solutions++
-				lvl.Solutions++
-			}
-			switch {
-			case o.frontier:
-				res.Frontier = append(res.Frontier, cur)
-				st.Frontier++
-			case o.dead:
-				res.DeadLeaves = append(res.DeadLeaves, cur)
-				st.Dead++
-			case o.closed:
-				st.Closed++
-			default:
-				st.Interior++
-			}
-			st.merge(o.stats)
-			next = append(next, o.sons...)
-		}
-		if res.Truncated {
-			break
-		}
-		sortLevel(next)
-		level = next
+	ws := &wsState{
+		order: []trace.Trace{root},
+		outs:  make([]nodeOut, 1),
+		limit: math.MaxInt,
+		spans: make([]span, workers),
 	}
+	ws.cond.L = &ws.mu
+	if p.MaxNodes > 0 {
+		ws.limit = p.MaxNodes
+	}
+
+	// Per-worker stats shards: classify/expand write edge counters into
+	// their worker's shard with no sharing; the totals are sums over the
+	// deterministic node set, so the merged counters are deterministic
+	// even though the partition into shards is not.
+	shards := make([]SearchStats, workers)
+	work := func(w int) {
+		shard := &shards[w]
+		for {
+			i, cur, ok := ws.takeOne(ctx, w)
+			if !ok {
+				return
+			}
+			ws.complete(i, s.visit(cur, shard))
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	work(0) // the caller is worker 0; workers == 1 spawns nothing
+	wg.Wait()
+
+	// Merge. Only the contiguous committed prefix is classified — those
+	// are exactly the nodes whose sons made it into the canonical order,
+	// i.e. the nodes sequential Enumerate would have classified.
+	for i := 0; i < ws.committed; i++ {
+		cur := ws.order[i]
+		o := ws.outs[i]
+		res.Nodes++
+		if p.CollectVisited {
+			res.Visited = append(res.Visited, cur)
+		}
+		st.Visited++
+		lvl := st.level(cur.Len())
+		lvl.Nodes++
+		if o.solution {
+			res.Solutions = append(res.Solutions, cur)
+			st.Solutions++
+			lvl.Solutions++
+		}
+		switch {
+		case o.frontier:
+			res.Frontier = append(res.Frontier, cur)
+			st.Frontier++
+		case o.dead:
+			res.DeadLeaves = append(res.DeadLeaves, cur)
+			st.Dead++
+		case o.closed:
+			st.Closed++
+		default:
+			st.Interior++
+		}
+	}
+	for w := range shards {
+		st.merge(shards[w])
+	}
+	st.Steals = ws.steals
+	st.IdleWaits = ws.idles
+
+	// Truncation accounting, identical to sequential: the first node
+	// past the stopping point is visited but skipped — counted in Nodes
+	// and Visited, never classified, no level entry.
+	if ws.committed < len(ws.order) {
+		res.Truncated = true
+		res.Canceled = ws.canceled
+		cur := ws.order[ws.committed]
+		res.Nodes++
+		if p.CollectVisited {
+			res.Visited = append(res.Visited, cur)
+		}
+		st.Visited++
+		st.Skipped++
+	}
+
 	st.Elapsed = time.Since(start)
 	st.Eval = s.e.Snapshot()
 	return res
 }
 
-// sortLevel orders one tree level canonically — by the rendered event
-// key, the same order the old string-keyed implementation produced — so
-// the parallel search stays deterministic (including which nodes a
-// MaxNodes truncation cuts). The renderings are derived once per node,
-// not once per comparison.
-func sortLevel(level []trace.Trace) {
-	keys := make([]string, len(level))
-	for i, t := range level {
-		keys[i] = string(t.AppendKey(nil))
+// visit classifies one node: limit condition, role, and — below the
+// depth bound — its admitted sons. Pure with respect to the shared
+// search state; all counters go to the caller's shard.
+func (s *search) visit(cur trace.Trace, shard *SearchStats) nodeOut {
+	var o nodeOut
+	o.solution = s.classify(cur, shard)
+	if cur.Len() >= s.p.MaxDepth {
+		if s.hasSon(cur, shard) {
+			o.frontier = true
+		} else if !o.solution {
+			o.dead = true
+		} else {
+			o.closed = true
+		}
+		return o
 	}
-	sort.Sort(&levelSorter{level: level, keys: keys})
+	o.sons = s.expand(cur, shard)
+	if len(o.sons) == 0 {
+		if o.solution {
+			o.closed = true
+		} else {
+			o.dead = true
+		}
+	}
+	return o
 }
 
-type levelSorter struct {
-	level []trace.Trace
-	keys  []string
-}
-
-func (s *levelSorter) Len() int           { return len(s.level) }
-func (s *levelSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
-func (s *levelSorter) Swap(i, j int) {
-	s.level[i], s.level[j] = s.level[j], s.level[i]
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
-}
-
-// merge folds one node's edge/level counters into the aggregate. Node
-// roles and per-level node counts are accounted by the sequential
-// aggregation loop; workers only produce edge fates and per-level prunes.
+// merge folds one worker shard's edge/level counters into the
+// aggregate. Node roles and per-level node counts are accounted by the
+// canonical merge loop; shards only carry edge fates and per-level
+// prunes.
 func (s *SearchStats) merge(o SearchStats) {
 	s.LimitChecks += o.LimitChecks
 	s.EdgesChecked += o.EdgesChecked

@@ -58,6 +58,17 @@ type SearchStats struct {
 	// balance with or without the shortcut.
 	Thm1AutoEdges int `json:"thm1_auto_edges,omitempty"`
 
+	// Workers is the pool size of a parallel search (zero for
+	// sequential). Steals counts work-stealing events — one worker taking
+	// the back half of another's claimed span — and IdleWaits counts
+	// parks of a worker that found the frontier momentarily dry. Both are
+	// scheduling-dependent (reported with the "sched" unit, dropped from
+	// deterministic views); every other counter in this struct is equal
+	// across worker counts, including sequential.
+	Workers   int   `json:"workers,omitempty"`
+	Steals    int64 `json:"steals,omitempty"`
+	IdleWaits int64 `json:"idle_waits,omitempty"`
+
 	// Levels holds per-depth stats, indexed by trace length.
 	Levels []LevelStats `json:"levels,omitempty"`
 
@@ -152,6 +163,12 @@ func (s SearchStats) Report() report.Stats {
 	memo.Add("cache misses", s.Eval.CacheMisses(), "")
 	memo.Add("f applications", s.Eval.FApplies, "")
 	memo.Add("g applications", s.Eval.GApplies, "")
+	memo.Add("inflight waits", s.Eval.InflightWaits, "sched")
+
+	parallel := report.Section{Name: "parallel"}
+	parallel.AddInt("workers", s.Workers)
+	parallel.Add("steals", s.Steals, "sched")
+	parallel.Add("idle waits", s.IdleWaits, "sched")
 
 	levels := report.Section{Name: "levels"}
 	for _, l := range s.Levels {
@@ -165,5 +182,27 @@ func (s SearchStats) Report() report.Stats {
 	timing.Add("f evaluation", s.Eval.FNanos, "ns")
 	timing.Add("g evaluation", s.Eval.GNanos, "ns")
 
-	return report.Stats{Sections: []report.Section{search, pruning, memo, levels, timing}}
+	sections := []report.Section{search, pruning, memo}
+	if s.Workers > 0 {
+		sections = append(sections, parallel)
+	}
+	sections = append(sections, levels, timing)
+	return report.Stats{Sections: sections}
+}
+
+// Deterministic returns a copy with every scheduling- and timing-
+// dependent field zeroed: Workers (run configuration), Steals,
+// IdleWaits, Elapsed, and the evaluator's wall-clock and in-flight-wait
+// readings. Two searches of the same problem — sequential or parallel,
+// at any worker count — produce equal Deterministic views; the parity
+// suite and the CI smoke assertion compare exactly this.
+func (s SearchStats) Deterministic() SearchStats {
+	s.Workers = 0
+	s.Steals = 0
+	s.IdleWaits = 0
+	s.Elapsed = 0
+	s.Eval.InflightWaits = 0
+	s.Eval.FNanos = 0
+	s.Eval.GNanos = 0
+	return s
 }

@@ -127,9 +127,11 @@ func TestMemoizationTransparent(t *testing.T) {
 	}
 }
 
-// TestParallelBudgetExact: the budget is enforced inside level expansion
-// — a truncated parallel search visits exactly MaxNodes nodes, not up to
-// a whole level more.
+// TestParallelBudgetExact: truncation follows sequential Enumerate's
+// accounting exactly — MaxNodes nodes classified, then one more node
+// visited as Skipped (budget+1 observed, like TestMaxNodesTruncates).
+// The old barrier implementation cut the level to exactly MaxNodes and
+// silently dropped the cut nodes, diverging from Enumerate.
 func TestParallelBudgetExact(t *testing.T) {
 	for _, budget := range []int{1, 2, 5, 9} {
 		p := dfmProblem(6)
@@ -138,11 +140,14 @@ func TestParallelBudgetExact(t *testing.T) {
 		if !res.Truncated {
 			t.Errorf("budget %d: not truncated", budget)
 		}
-		if res.Nodes != budget {
-			t.Errorf("budget %d: visited %d nodes", budget, res.Nodes)
+		if res.Nodes != budget+1 {
+			t.Errorf("budget %d: visited %d nodes, want %d", budget, res.Nodes, budget+1)
 		}
-		if len(res.Visited) != budget {
-			t.Errorf("budget %d: |Visited| = %d", budget, len(res.Visited))
+		if len(res.Visited) != budget+1 {
+			t.Errorf("budget %d: |Visited| = %d, want %d", budget, len(res.Visited), budget+1)
+		}
+		if res.Stats.Skipped != 1 {
+			t.Errorf("budget %d: skipped %d, want 1", budget, res.Stats.Skipped)
 		}
 		if err := res.Stats.CheckInvariants(true); err != nil {
 			t.Errorf("budget %d: %v", budget, err)
@@ -151,18 +156,55 @@ func TestParallelBudgetExact(t *testing.T) {
 }
 
 // TestParallelBudgetPrefix: the nodes a truncated parallel search visits
-// are a prefix of the untruncated search's canonical level order.
+// are a prefix of the untruncated search's canonical BFS order — the
+// classified ones and the final skipped one alike.
 func TestParallelBudgetPrefix(t *testing.T) {
 	p := dfmProblem(4)
 	full := EnumerateParallel(context.Background(), p, 4)
 	p.MaxNodes = 6
 	cut := EnumerateParallel(context.Background(), p, 4)
-	if cut.Nodes != 6 {
-		t.Fatalf("visited %d", cut.Nodes)
+	if cut.Nodes != 7 {
+		t.Fatalf("visited %d, want 7 (6 classified + 1 skipped)", cut.Nodes)
 	}
 	for i, v := range cut.Visited {
 		if !v.Equal(full.Visited[i]) {
 			t.Errorf("visited[%d] = %s, want %s", i, v, full.Visited[i])
+		}
+	}
+}
+
+// TestParallelBudgetMatchesSequential is the satellite parity test: with
+// MaxNodes landing exactly mid-level and one off on each side, the
+// parallel search's truncation accounting — Nodes, Truncated, Skipped,
+// role counts and the Visited prefix — is byte-identical to Enumerate's.
+func TestParallelBudgetMatchesSequential(t *testing.T) {
+	// dfm-6's levels are 1, 2, 3, 5, ... nodes wide; budget 8 stops
+	// mid-level-4, and 7/9 sit one node to each side of that cut.
+	for _, budget := range []int{7, 8, 9} {
+		p := dfmProblem(6)
+		p.MaxNodes = budget
+		seq := Enumerate(context.Background(), p)
+		for _, workers := range []int{1, 3, 4} {
+			par := EnumerateParallel(context.Background(), p, workers)
+			if par.Nodes != seq.Nodes || par.Truncated != seq.Truncated {
+				t.Errorf("budget %d w%d: nodes/truncated %d/%v, sequential %d/%v",
+					budget, workers, par.Nodes, par.Truncated, seq.Nodes, seq.Truncated)
+			}
+			if len(par.Visited) != len(seq.Visited) {
+				t.Fatalf("budget %d w%d: |Visited| %d vs %d", budget, workers, len(par.Visited), len(seq.Visited))
+			}
+			for i := range seq.Visited {
+				if !par.Visited[i].Equal(seq.Visited[i]) {
+					t.Errorf("budget %d w%d: visited[%d] = %s, want %s",
+						budget, workers, i, par.Visited[i], seq.Visited[i])
+				}
+			}
+			ds, dp := seq.Stats.Deterministic(), par.Stats.Deterministic()
+			if dp.Visited != ds.Visited || dp.Skipped != ds.Skipped ||
+				dp.Frontier != ds.Frontier || dp.Interior != ds.Interior ||
+				dp.Dead != ds.Dead || dp.Closed != ds.Closed {
+				t.Errorf("budget %d w%d: roles diverge:\nseq %+v\npar %+v", budget, workers, ds, dp)
+			}
 		}
 	}
 }

@@ -13,6 +13,7 @@ package smoothproc_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -51,7 +52,9 @@ func measure(name string, bench func(b *testing.B)) perfEntry {
 }
 
 // solverWorkloads are the enumerate benchmarks the gate tracks — the
-// two specs with the deepest trees among the shipped examples.
+// two specs with the deepest trees among the shipped examples, plus the
+// work-stealing parallel search on the widest one at 1 and 4 workers
+// (the acceptance workload for the barrier-free scheduler).
 func solverWorkloads(t *testing.T) map[string]func(b *testing.B) {
 	t.Helper()
 	out := map[string]func(b *testing.B){}
@@ -70,6 +73,21 @@ func solverWorkloads(t *testing.T) map[string]func(b *testing.B) {
 				res := solver.Enumerate(context.Background(), prog.Problem())
 				if len(res.Solutions) == 0 && len(res.Frontier) == 0 {
 					b.Fatal("search found nothing")
+				}
+			}
+		}
+		if spec != "kahn-buffer.eq" {
+			continue
+		}
+		for _, workers := range []int{1, 4} {
+			workers := workers
+			out[fmt.Sprintf("%s/enumerate-parallel-w%d", spec, workers)] = func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := solver.EnumerateParallel(context.Background(), prog.Problem(), workers)
+					if len(res.Solutions) == 0 && len(res.Frontier) == 0 {
+						b.Fatal("search found nothing")
+					}
 				}
 			}
 		}
@@ -141,8 +159,14 @@ func TestPerfGate(t *testing.T) {
 		t.Skip("set SMOOTHPROC_BENCH_GATE=1 (CI bench-smoke) to run the perf regression gate")
 	}
 	var solverGot, traceGot []perfEntry
-	for _, name := range []string{"kahn-buffer.eq/enumerate", "fig4-brock-ackermann.eq/enumerate"} {
-		solverGot = append(solverGot, measure(name, solverWorkloads(t)[name]))
+	sw := solverWorkloads(t)
+	for _, name := range []string{
+		"kahn-buffer.eq/enumerate",
+		"fig4-brock-ackermann.eq/enumerate",
+		"kahn-buffer.eq/enumerate-parallel-w1",
+		"kahn-buffer.eq/enumerate-parallel-w4",
+	} {
+		solverGot = append(solverGot, measure(name, sw[name]))
 	}
 	tw := traceWorkloads()
 	for _, op := range []string{"append", "take", "key"} {
