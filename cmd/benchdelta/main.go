@@ -1,0 +1,139 @@
+// Command benchdelta renders an old-vs-new perf comparison as a GitHub
+// Flavored Markdown table, for appending to $GITHUB_STEP_SUMMARY in the
+// CI perf-gate job.
+//
+// Usage:
+//
+//	benchdelta -new bench.json [-threshold 10] baseline.json...
+//
+// The -new file is a flat JSON array of measurements (written by the
+// perf gate via SMOOTHPROC_BENCH_OUT). Each baseline argument may be a
+// flat array (BENCH_trace.json) or an object with a "perf" field
+// (BENCH_solver.json); later files win on duplicate workload names.
+// Workloads are printed in the new file's order, so the table mirrors
+// the gate's own measurement sequence. Exit status is 1 when any
+// workload regressed past the threshold on time/op or allocs/op — the
+// same rule TestPerfGate enforces — so the job summary and the job
+// verdict cannot disagree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// entry mirrors perfEntry in the root test package: one workload's
+// recorded cost.
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdelta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	newFile := fs.String("new", "", "JSON array of fresh measurements (SMOOTHPROC_BENCH_OUT)")
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *newFile == "" || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: benchdelta -new bench.json baseline.json...")
+		return 2
+	}
+
+	fresh, err := readEntries(*newFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdelta: %v\n", err)
+		return 2
+	}
+	base := map[string]entry{}
+	for _, path := range fs.Args() {
+		es, err := readEntries(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdelta: %v\n", err)
+			return 2
+		}
+		for _, e := range es {
+			base[e.Name] = e
+		}
+	}
+
+	fmt.Fprintln(stdout, "### Perf gate: old vs new")
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "| workload | old ns/op | new ns/op | Δ time | old allocs/op | new allocs/op | Δ allocs |")
+	fmt.Fprintln(stdout, "|---|---:|---:|---:|---:|---:|---:|")
+	regressed := false
+	for _, e := range fresh {
+		old, ok := base[e.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "| %s | — | %.0f | *new* | — | %d | *new* |\n",
+				e.Name, e.NsPerOp, e.AllocsPerOp)
+			continue
+		}
+		dt := pctDelta(old.NsPerOp, e.NsPerOp)
+		da := pctDelta(float64(old.AllocsPerOp), float64(e.AllocsPerOp))
+		bad := dt > *threshold || da > *threshold
+		if bad {
+			regressed = true
+		}
+		fmt.Fprintf(stdout, "| %s | %.0f | %.0f | %s | %d | %d | %s |\n",
+			e.Name, old.NsPerOp, e.NsPerOp, cell(dt, bad),
+			old.AllocsPerOp, e.AllocsPerOp, cell(da, bad))
+	}
+	fmt.Fprintln(stdout)
+	if regressed {
+		fmt.Fprintf(stdout, "**Regression:** at least one workload exceeded the %.0f%% threshold.\n", *threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "No workload regressed past the %.0f%% threshold.\n", *threshold)
+	return 0
+}
+
+// readEntries loads a measurement file in either on-disk shape: a flat
+// array, or an object whose "perf" field holds the array.
+func readEntries(path string) ([]entry, error) {
+	js, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var flat []entry
+	if err := json.Unmarshal(js, &flat); err == nil {
+		return flat, nil
+	}
+	var wrapped struct {
+		Perf []entry `json:"perf"`
+	}
+	if err := json.Unmarshal(js, &wrapped); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return wrapped.Perf, nil
+}
+
+// pctDelta is the signed percent change from old to new; a zero or
+// missing old measurement yields zero rather than a division blow-up.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// cell formats one delta, flagging the row's regression state so a
+// reader can scan the table for the failure.
+func cell(pct float64, bad bool) string {
+	s := fmt.Sprintf("%+.1f%%", pct)
+	if bad {
+		return "**" + s + "** ⚠️"
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRendersDeltasAndVerdict(t *testing.T) {
+	dir := t.TempDir()
+	fresh := write(t, dir, "new.json", `[
+		{"name":"a/enumerate","ns_per_op":100,"allocs_per_op":10,"bytes_per_op":1},
+		{"name":"b/enumerate","ns_per_op":300,"allocs_per_op":10,"bytes_per_op":1},
+		{"name":"c/enumerate","ns_per_op":5,"allocs_per_op":1,"bytes_per_op":1}
+	]`)
+	// Mixed baseline shapes: one wrapped (BENCH_solver.json style), one
+	// flat (BENCH_trace.json style). c/enumerate has no baseline.
+	solver := write(t, dir, "solver.json", `{"perf":[
+		{"name":"a/enumerate","ns_per_op":100,"allocs_per_op":10,"bytes_per_op":1}
+	]}`)
+	tr := write(t, dir, "trace.json", `[
+		{"name":"b/enumerate","ns_per_op":200,"allocs_per_op":10,"bytes_per_op":1}
+	]`)
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-new", fresh, solver, tr}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("want exit 1 for the 50%% regression, got %d\nstderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"| a/enumerate | 100 | 100 | +0.0% |",
+		"**+50.0%** ⚠️",
+		"| c/enumerate | — | 5 | *new* |",
+		"**Regression:**",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCleanPass(t *testing.T) {
+	dir := t.TempDir()
+	fresh := write(t, dir, "new.json", `[{"name":"a","ns_per_op":104,"allocs_per_op":10,"bytes_per_op":1}]`)
+	base := write(t, dir, "base.json", `[{"name":"a","ns_per_op":100,"allocs_per_op":10,"bytes_per_op":1}]`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-new", fresh, base}, &out, &errOut); code != 0 {
+		t.Fatalf("want exit 0, got %d\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "No workload regressed") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("want exit 2 with no args, got %d", code)
+	}
+	if code := run([]string{"-new", "missing.json", "also-missing.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("want exit 2 for missing files, got %d", code)
+	}
+}

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on requested per-job deadlines (0 = default 2m)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight searches before cancelling them")
 	noVisited := fs.Bool("no-visited", false, "do not retain visited-node lists in searches (lower memory; results are unchanged)")
+	compiled := fs.Bool("compiled", false, "evaluate descriptions as descvm bytecode in every search (same results, faster)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		DefaultTimeout:  *defaultTimeout,
 		MaxTimeout:      *maxTimeout,
 		NoVisited:       *noVisited,
+		Compiled:        *compiled,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

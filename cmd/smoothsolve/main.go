@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"smoothproc/internal/eqlang"
 	"smoothproc/internal/solver"
@@ -48,6 +49,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	statsJSON := fs.Bool("stats-json", false, "print search statistics as JSON")
 	timeout := fs.Duration("timeout", 0, "wall-clock bound on the search (0 = none), e.g. 500ms or 10s")
 	noVisited := fs.Bool("no-visited", false, "do not retain the list of visited nodes (lower memory on large searches)")
+	compiled := fs.Bool("compiled", false, "evaluate descriptions as descvm bytecode (same results, faster; sides that cannot lower keep the interpreter)")
+	bytecode := fs.Bool("bytecode", false, "print the descvm disassembly of the description's sides and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,12 +82,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *bytecode {
+		f, g, ok := prog.Bytecode()
+		printSide := func(name, dis string) {
+			if dis == "" {
+				fmt.Fprintf(stdout, "%s: not lowerable (interpreted)\n", name)
+				return
+			}
+			fmt.Fprintf(stdout, "%s:\n", name)
+			for _, line := range strings.Split(strings.TrimRight(dis, "\n"), "\n") {
+				fmt.Fprintf(stdout, "  %s\n", line)
+			}
+		}
+		printSide("f", f)
+		printSide("g", g)
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+
 	problem := prog.Problem()
 	if *depth > 0 {
 		problem.MaxDepth = *depth
 	}
 	problem.MaxNodes = *maxNodes
 	problem.CollectVisited = !*noVisited
+	problem.Compiled = *compiled
 
 	fmt.Fprintf(stdout, "system: %d description(s), channels %v, depth %d\n",
 		len(prog.System.Descs), problem.Channels, problem.MaxDepth)

@@ -1,0 +1,91 @@
+// Compiled-vs-interpreted differential suite: every shipped spec is
+// solved with Problem.Compiled off (the interpreter, kept as the
+// oracle) and on (descvm bytecode), sequentially and at several worker
+// counts, and the complete observable result — the fingerprint
+// BENCH_solver.json tracks, the ordered result slices and every
+// deterministic SearchStats counter — must be byte-identical. This is
+// the transparency contract Problem.Compiled advertises, enforced by
+// the CI differential job; together with the eqlang corpus fuzz
+// (FuzzCompiledVsInterpreted) it is what lets the solver treat the
+// bytecode path as a pure speedup.
+package smoothproc_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"testing"
+
+	"smoothproc/internal/eqlang"
+	"smoothproc/internal/solver"
+)
+
+func TestCompiledParityAcrossSpecs(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("specs", "*.eq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no spec files found")
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := eqlang.CompileSource(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		spec := filepath.Base(path)
+		t.Run(spec, func(t *testing.T) {
+			// Shipped specs are written entirely in the lowerable surface
+			// language; a spec that silently fell back to the interpreter
+			// would turn the rest of this test into a tautology.
+			if _, _, ok := prog.Bytecode(); !ok {
+				t.Fatal("spec does not lower to bytecode")
+			}
+			interp := prog.Problem()
+			interp.Compiled = false
+			oracle := solver.Enumerate(context.Background(), interp)
+			oracleFp := fingerprint(spec, oracle)
+			oracleStats := oracle.Stats.Deterministic()
+			if oracle.Stats.CompiledEval {
+				t.Fatal("oracle run reports compiled evaluation")
+			}
+
+			compiled := prog.Problem()
+			compiled.Compiled = true
+			check := func(what string, res solver.Result) {
+				t.Helper()
+				if !res.Stats.CompiledEval {
+					t.Errorf("%s: compiled run did not use bytecode", what)
+				}
+				if got := fingerprint(spec, res); got != oracleFp {
+					t.Errorf("%s: fingerprint drifted:\n got %+v\nwant %+v", what, got, oracleFp)
+				}
+				if got := res.Stats.Deterministic(); !reflect.DeepEqual(got, oracleStats) {
+					t.Errorf("%s: SearchStats diverged:\n got %+v\nwant %+v", what, got, oracleStats)
+				}
+				compareTraceSlices(t, 0, what+" solutions", res.Solutions, oracle.Solutions)
+				compareTraceSlices(t, 0, what+" frontier", res.Frontier, oracle.Frontier)
+				compareTraceSlices(t, 0, what+" dead leaves", res.DeadLeaves, oracle.DeadLeaves)
+				compareTraceSlices(t, 0, what+" visited", res.Visited, oracle.Visited)
+			}
+			check("sequential", solver.Enumerate(context.Background(), compiled))
+			for _, workers := range parityWorkerCounts() {
+				if workers == 1 {
+					continue
+				}
+				res := solver.EnumerateParallel(context.Background(), compiled, workers)
+				check(strWorkers(workers), res)
+			}
+		})
+	}
+}
+
+func strWorkers(n int) string { return "parallel-w" + strconv.Itoa(n) }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"smoothproc/internal/descvm"
 	"smoothproc/internal/fn"
 	"smoothproc/internal/metrics"
 	"smoothproc/internal/trace"
@@ -128,30 +129,41 @@ type inflightClaim struct {
 	t trace.Trace
 }
 
-func (m *memoSide) lookup(t trace.Trace, k trace.Key) (fn.Tuple, bool) {
-	e, ok := m.primary[k]
-	if !ok {
-		return nil, false
+// lookup finds t's entry. present reports whether the key itself is
+// taken (by t's entry or a colliding trace's) — callers that go on to
+// insert under the same lock, or on the same goroutine, can reuse it to
+// skip insert's probe.
+func (m *memoSide) lookup(t trace.Trace, k trace.Key) (v fn.Tuple, ok, present bool) {
+	e, taken := m.primary[k]
+	if !taken {
+		return nil, false, false
 	}
 	if e.t.Equal(t) {
-		return e.v, true
+		return e.v, true, true
 	}
 	for _, o := range m.overflow[k] {
 		if o.t.Equal(t) {
-			return o.v, true
+			return o.v, true, true
 		}
 	}
-	return nil, false
+	return nil, false, true
 }
 
 func (m *memoSide) insert(t trace.Trace, k trace.Key, v fn.Tuple) {
+	_, taken := m.primary[k]
+	m.insertKnown(t, k, v, taken)
+}
+
+// insertKnown is insert with the key probe already done: present is
+// lookup's report of whether k was taken, which must still hold.
+func (m *memoSide) insertKnown(t trace.Trace, k trace.Key, v fn.Tuple, present bool) {
 	if m.entries >= evalShardLimit {
 		return
 	}
 	if m.primary == nil {
 		m.primary = make(map[trace.Key]memoEntry)
 	}
-	if _, taken := m.primary[k]; !taken {
+	if !present {
 		m.primary[k] = memoEntry{t: t, v: v}
 	} else {
 		if m.overflow == nil {
@@ -220,44 +232,139 @@ type evalShard struct {
 type Evaluator struct {
 	d       Description
 	memoize bool
+	single  bool
 	stats   EvalStats
+	// sc holds the single-threaded path's counter increments as plain
+	// ints (one goroutine, no need for the atomics); Snapshot folds them
+	// into the totals.
+	sc singleCounts
+
+	// fprog and gprog are the bytecode programs of the two sides when
+	// compiled evaluation was requested and the side lowers (descvm).
+	// They sit strictly below the memo: everything above — keys, claims,
+	// counters, insert/lookup — is byte-identical between compiled and
+	// interpreted evaluation, which is what keeps search fingerprints
+	// equal across the two modes (the differential suite's contract).
+	// A side that does not lower falls back to its interpreted Apply.
+	fprog *descvm.Prog
+	gprog *descvm.Prog
+	// fsess and gsess are dedicated single-goroutine VM frames, set only
+	// with SingleThreaded: the frame's base cache then survives the whole
+	// search instead of cycling through the Prog's pool.
+	fsess *descvm.Session
+	gsess *descvm.Session
 
 	shards [evalShards]evalShard
+}
+
+// EvalOptions configures NewEvaluatorOpts.
+type EvalOptions struct {
+	// Memoize enables the memo and in-flight dedup; false is the
+	// ablation mode (counters and timers still run).
+	Memoize bool
+	// Compiled lowers each side to descvm bytecode where possible; the
+	// interpreter remains the oracle and the fallback.
+	Compiled bool
+	// SingleThreaded promises that F/G/EdgeOK/LimitOK are called from
+	// one goroutine only, letting the memo skip its locks and in-flight
+	// claims. Counters and lookup/insert logic are unchanged — hits and
+	// misses are byte-identical to the concurrent evaluator, which the
+	// parity suite checks across sequential and parallel searches. The
+	// default (false) is always safe.
+	SingleThreaded bool
 }
 
 // NewEvaluator builds an evaluator for d; memoize false disables the
 // cache and the in-flight dedup (counters and timers still run), which
 // is the ablation mode.
 func NewEvaluator(d Description, memoize bool) *Evaluator {
-	e := &Evaluator{d: d, memoize: memoize}
+	return NewEvaluatorOpts(d, EvalOptions{Memoize: memoize})
+}
+
+// NewEvaluatorOpts builds an evaluator for d with explicit options.
+func NewEvaluatorOpts(d Description, opts EvalOptions) *Evaluator {
+	e := &Evaluator{d: d, memoize: opts.Memoize, single: opts.SingleThreaded}
+	if opts.Compiled {
+		// Memoized sessions retain every output for the evaluator's
+		// lifetime, which lets them arena-allocate result tuples.
+		if p, ok := descvm.Compile(d.F); ok {
+			e.fprog = p
+			if e.single {
+				e.fsess = p.NewSession()
+			}
+		}
+		if p, ok := descvm.Compile(d.G); ok {
+			e.gprog = p
+			if e.single {
+				e.gsess = p.NewSession()
+			}
+		}
+	}
 	for i := range e.shards {
 		e.shards[i].cond.L = &e.shards[i].mu
 	}
 	return e
 }
 
+// Compiled reports whether both sides run on descvm bytecode.
+func (e *Evaluator) Compiled() bool { return e.fprog != nil && e.gprog != nil }
+
+// timedRun applies one side to t through the compiled program when there
+// is one, the interpreter otherwise. Only interpreted runs are timed:
+// at the paper's spec sizes two time.Now calls cost as much as a whole
+// compiled evaluation, so the compiled path reports FNanos/GNanos of
+// zero. That asymmetry is parity-safe — the wall-clock fields are
+// excluded from fingerprints and zeroed by SearchStats.Deterministic.
+func (e *Evaluator) timedRun(t trace.Trace, side fn.TraceFn, g bool, timer *metrics.Timer) fn.Tuple {
+	p, sess := e.fprog, e.fsess
+	if g {
+		p, sess = e.gprog, e.gsess
+	}
+	if sess != nil {
+		return sess.Eval(t)
+	}
+	if p != nil {
+		return p.Eval(t)
+	}
+	start := time.Now()
+	v := side.Apply(t)
+	timer.ObserveSince(start)
+	return v
+}
+
 // Description returns the description being evaluated.
 func (e *Evaluator) Description() Description { return e.d }
 
-// Stats returns the live stats; read them via Snapshot.
+// singleCounts are the lookup-outcome counters of the single-threaded
+// fast path; see Evaluator.sc.
+type singleCounts struct {
+	fApplies, gApplies, fHits, gHits int64
+}
+
+// Stats returns the live atomic stats. With SingleThreaded these miss
+// the fast path's increments — use Snapshot, which folds both in.
 func (e *Evaluator) Stats() *EvalStats { return &e.stats }
 
 // Snapshot reads the evaluator's stats into a plain value.
-func (e *Evaluator) Snapshot() EvalSnapshot { return e.stats.Snapshot() }
+func (e *Evaluator) Snapshot() EvalSnapshot {
+	s := e.stats.Snapshot()
+	s.FApplies += e.sc.fApplies
+	s.GApplies += e.sc.gApplies
+	s.FHits += e.sc.fHits
+	s.GHits += e.sc.gHits
+	return s
+}
 
 // shardFor returns the lock stripe owning k.
 func (e *Evaluator) shardFor(k trace.Key) *evalShard {
-	return &e.shards[k.Hash&(evalShards-1)]
+	return &e.shards[uint64(k)&(evalShards-1)]
 }
 
 func (e *Evaluator) apply(t trace.Trace, side fn.TraceFn, g bool,
 	hits *metrics.Counter, applies *metrics.Counter, timer *metrics.Timer) fn.Tuple {
 	if !e.memoize {
 		applies.Inc()
-		start := time.Now()
-		v := side.Apply(t)
-		timer.ObserveSince(start)
-		return v
+		return e.timedRun(t, side, g, timer)
 	}
 	key := t.Key()
 	sh := e.shardFor(key)
@@ -265,9 +372,32 @@ func (e *Evaluator) apply(t trace.Trace, side fn.TraceFn, g bool,
 	if g {
 		cache = &sh.g
 	}
+	if e.single {
+		// One-goroutine promise: the same lookup → count → apply → insert
+		// sequence as below with the locks and in-flight claims elided.
+		// Hit/apply counts are decided by the same code, so sequential
+		// searches produce the exact fingerprints the locked path would.
+		v, ok, present := cache.lookup(t, key)
+		if ok {
+			if g {
+				e.sc.gHits++
+			} else {
+				e.sc.fHits++
+			}
+			return v
+		}
+		if g {
+			e.sc.gApplies++
+		} else {
+			e.sc.fApplies++
+		}
+		v = e.timedRun(t, side, g, timer)
+		cache.insertKnown(t, key, v, present)
+		return v
+	}
 	sh.mu.Lock()
 	for {
-		if v, ok := cache.lookup(t, key); ok {
+		if v, ok, _ := cache.lookup(t, key); ok {
 			sh.mu.Unlock()
 			hits.Inc()
 			return v
@@ -284,7 +414,6 @@ func (e *Evaluator) apply(t trace.Trace, side fn.TraceFn, g bool,
 	sh.mu.Unlock()
 
 	applies.Inc()
-	start := time.Now()
 	inserted := false
 	var v fn.Tuple
 	defer func() {
@@ -298,8 +427,7 @@ func (e *Evaluator) apply(t trace.Trace, side fn.TraceFn, g bool,
 		sh.cond.Broadcast()
 		sh.mu.Unlock()
 	}()
-	v = side.Apply(t)
-	timer.ObserveSince(start)
+	v = e.timedRun(t, side, g, timer)
 	inserted = true
 	return v
 }

@@ -1,0 +1,109 @@
+package descvm
+
+import (
+	"testing"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// fuzzBuild interprets raw bytes as a tiny stack program over the
+// lowerable combinator language: each opcode byte pushes a leaf or
+// combines stack entries, and the leftover stack becomes one Pair. This
+// gives the fuzzer structural control over the function under test —
+// depth, sharing, dead operands — without ever producing an input the
+// compiler must refuse.
+func fuzzBuild(ops []byte) fn.TraceFn {
+	var stack []fn.TraceFn
+	pop := func() fn.TraceFn {
+		if len(stack) == 0 {
+			return fn.ChanFn("a")
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return f
+	}
+	for _, op := range ops {
+		switch op % 12 {
+		case 0:
+			stack = append(stack, fn.ChanFn("a"))
+		case 1:
+			stack = append(stack, fn.ChanFn("b"))
+		case 2:
+			stack = append(stack, fn.ConstTraceFn(seq.OfInts(1, 2, 3)))
+		case 3:
+			stack = append(stack, fn.OmegaConstFn("trues", seq.OfBools(true)))
+		case 4:
+			stack = append(stack, fn.ApplySeq(fn.Even, pop()))
+		case 5:
+			stack = append(stack, fn.ApplySeq(fn.Double, pop()))
+		case 6:
+			stack = append(stack, fn.ApplySeq(fn.PrependFn(value.Int(0)), pop()))
+		case 7:
+			stack = append(stack, fn.ApplySeq(fn.UntilF, pop()))
+		case 8:
+			stack = append(stack, fn.ApplySeq(fn.CountTs, pop()))
+		case 9:
+			stack = append(stack, fn.ApplyBi(fn.And, pop(), pop()))
+		case 10:
+			stack = append(stack, fn.ApplyBi(fn.NonStrictAnd, pop(), pop()))
+		case 11:
+			// Deliberate sharing: duplicate the top so CSE paths run.
+			top := pop()
+			stack = append(stack, top, top)
+		}
+	}
+	if len(stack) == 0 {
+		return fn.ChanFn("a")
+	}
+	if len(stack) == 1 {
+		return stack[0]
+	}
+	return fn.Pair(stack...)
+}
+
+// fuzzTrace decodes the remaining bytes as (channel, value) pairs,
+// including events on a channel no combinator reads.
+func fuzzTrace(bs []byte) trace.Trace {
+	chans := []string{"a", "b", "x"}
+	vals := []value.Value{value.Int(0), value.Int(1), value.Int(2), value.T, value.F}
+	u := trace.Empty
+	for i := 0; i+1 < len(bs) && u.Len() < 12; i += 2 {
+		u = u.Append(trace.E(chans[int(bs[i])%len(chans)], vals[int(bs[i+1])%len(vals)]))
+	}
+	return u
+}
+
+// FuzzEvalMatchesInterpreter holds the VM equal to the direct IR walk:
+// for any bytecode-lowerable function and any trace, Eval must return
+// exactly fn.TraceFn.Apply. Every prefix is evaluated root-to-leaf, then
+// the full trace twice more — the session-frame hit, adopt and reload
+// paths all fire, the same access pattern the solver's expand produces.
+func FuzzEvalMatchesInterpreter(f *testing.F) {
+	f.Add([]byte{0, 4}, []byte{0, 0, 1, 3})
+	f.Add([]byte{1, 7, 3, 9}, []byte{1, 3, 1, 4, 2, 0})
+	f.Add([]byte{0, 11, 5, 6}, []byte{0, 1, 0, 2})
+	f.Add([]byte{2}, []byte{})
+	f.Fuzz(func(t *testing.T, ops, events []byte) {
+		if len(ops) > 32 {
+			t.Skip("function too deep for the differential budget")
+		}
+		tf := fuzzBuild(ops)
+		p, ok := Compile(tf)
+		if !ok {
+			t.Fatalf("%s: fuzz grammar produced a non-lowerable function", tf.Name)
+		}
+		u := fuzzTrace(events)
+		evals := u.Prefixes()
+		evals = append(evals, u, u)
+		for i, tr := range evals {
+			got, want := p.Eval(tr), tf.Apply(tr)
+			if !got.Equal(want) {
+				t.Fatalf("%s: eval %d of %s:\ncompiled    %v\ninterpreted %v\n%s",
+					tf.Name, i, tr, got, want, p.Disasm())
+			}
+		}
+	})
+}

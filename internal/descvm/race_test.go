@@ -1,0 +1,37 @@
+package descvm
+
+import (
+	"sync"
+	"testing"
+
+	"smoothproc/internal/fn"
+)
+
+// TestEvalConcurrent exercises concurrent Eval on one Prog — the
+// safe-for-concurrent-use property Prog.Eval claims: all mutable state
+// lives in pooled frames, never in the Prog. CI runs this under -race.
+func TestEvalConcurrent(t *testing.T) {
+	f := buildComposite()
+	p, _ := Compile(f)
+	traces := sampleTraces()
+	want := make([]fn.Tuple, len(traces))
+	for i, tr := range traces {
+		want[i] = f.Apply(tr)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, tr := range traces {
+					if got := p.Eval(tr); !got.Equal(want[i]) {
+						t.Errorf("worker %d: trace %s: %v != %v", w, tr, got, want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

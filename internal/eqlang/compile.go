@@ -2,8 +2,10 @@ package eqlang
 
 import (
 	"fmt"
+	"sync"
 
 	"smoothproc/internal/desc"
+	"smoothproc/internal/descvm"
 	"smoothproc/internal/fn"
 	"smoothproc/internal/seq"
 	"smoothproc/internal/solver"
@@ -21,6 +23,9 @@ type Program struct {
 	Depth int
 	// Expects are the file's self-checks, verified by CheckExpects.
 	Expects []ExpectStmt
+
+	problemOnce sync.Once
+	problem     solver.Problem
 }
 
 // DefaultDepth is used when a file has no depth statement.
@@ -107,9 +112,34 @@ func CompileSource(src string) (*Program, error) {
 	return Compile(f)
 }
 
-// Problem builds the solver problem for the program.
+// Problem returns the solver problem for the program. The combined
+// description is built once and shared by every call: callers receive a
+// value copy they may adjust (Workers, Compiled, ...), while the
+// function identity of the combined sides stays stable — which is what
+// lets descvm cache the compiled bytecode per IR across repeated solves
+// of one program (the service's steady state).
 func (p *Program) Problem() solver.Problem {
-	return solver.NewProblem(p.System.Combined(), p.Alphabet, p.Depth)
+	p.problemOnce.Do(func() {
+		p.problem = solver.NewProblem(p.System.Combined(), p.Alphabet, p.Depth)
+	})
+	return p.problem
+}
+
+// Bytecode lowers the program's combined sides to descvm programs and
+// returns their disassemblies. ok is false when a side cannot be
+// lowered (an opaque combinator with no recorded IR) — the solver then
+// interprets that side, so a false here is informative, not an error.
+func (p *Program) Bytecode() (f, g string, ok bool) {
+	d := p.Problem().D
+	pf, okf := descvm.Compile(d.F)
+	pg, okg := descvm.Compile(d.G)
+	if okf {
+		f = pf.Disasm()
+	}
+	if okg {
+		g = pg.Disasm()
+	}
+	return f, g, okf && okg
 }
 
 // CheckExpects verifies the file's expect statements against an

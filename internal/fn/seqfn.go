@@ -21,6 +21,10 @@ type SeqFn struct {
 	Name   string
 	Growth int
 	Apply  func(seq.Seq) seq.Seq
+	// Lower records the function as a specializable primitive for the
+	// bytecode backend (see lower.go); nil means only Apply is
+	// available and the backend falls back to a generic call.
+	Lower *SeqLower
 }
 
 // Identity is the identity on sequences.
@@ -28,12 +32,20 @@ var Identity = SeqFn{Name: "id", Apply: func(s seq.Seq) seq.Seq { return s }}
 
 // FilterFn builds the continuous filter keeping elements satisfying keep.
 func FilterFn(name string, keep func(value.Value) bool) SeqFn {
-	return SeqFn{Name: name, Apply: func(s seq.Seq) seq.Seq { return s.Filter(keep) }}
+	return SeqFn{
+		Name:  name,
+		Apply: func(s seq.Seq) seq.Seq { return s.Filter(keep) },
+		Lower: &SeqLower{Kind: LowerFilter, Pred: keep},
+	}
 }
 
 // MapFn builds the continuous pointwise map of a total function.
 func MapFn(name string, f func(value.Value) value.Value) SeqFn {
-	return SeqFn{Name: name, Apply: func(s seq.Seq) seq.Seq { return s.Map(f) }}
+	return SeqFn{
+		Name:  name,
+		Apply: func(s seq.Seq) seq.Seq { return s.Map(f) },
+		Lower: &SeqLower{Kind: LowerMap, Map: f},
+	}
 }
 
 // PrependFn builds s ↦ vals ; s — the paper's "0; c" (Section 2.1) and
@@ -44,12 +56,17 @@ func PrependFn(vals ...value.Value) SeqFn {
 		Name:   fmt.Sprintf("prepend%s", prefix),
 		Growth: len(vals),
 		Apply:  func(s seq.Seq) seq.Seq { return prefix.Concat(s) },
+		Lower:  &SeqLower{Kind: LowerPrepend, Const: prefix},
 	}
 }
 
 // TakeWhileFn builds the longest-prefix-satisfying function.
 func TakeWhileFn(name string, keep func(value.Value) bool) SeqFn {
-	return SeqFn{Name: name, Apply: func(s seq.Seq) seq.Seq { return s.TakeWhile(keep) }}
+	return SeqFn{
+		Name:  name,
+		Apply: func(s seq.Seq) seq.Seq { return s.TakeWhile(keep) },
+		Lower: &SeqLower{Kind: LowerTakeWhile, Pred: keep},
+	}
 }
 
 // ComposeSeq builds g ∘ f (apply f first).
@@ -69,6 +86,7 @@ func ConstFn(k seq.Seq) SeqFn {
 		Name:   "const" + k.String(),
 		Growth: k.Len(),
 		Apply:  func(seq.Seq) seq.Seq { return k },
+		Lower:  &SeqLower{Kind: LowerConst, Const: k},
 	}
 }
 
@@ -79,13 +97,20 @@ type BiSeqFn struct {
 	Name   string
 	Growth int
 	Apply  func(a, b seq.Seq) seq.Seq
+	// Lower records the function as a specializable primitive for the
+	// bytecode backend; nil falls back to a generic Apply call.
+	Lower *BiLower
 }
 
 // ZipFn lifts a total binary function pointwise, cutting at the shorter
 // argument (the strict lifting: output element i exists only when both
 // operands do).
 func ZipFn(name string, f func(a, b value.Value) value.Value) BiSeqFn {
-	return BiSeqFn{Name: name, Apply: func(a, b seq.Seq) seq.Seq { return seq.Zip(a, b, f) }}
+	return BiSeqFn{
+		Name:  name,
+		Apply: func(a, b seq.Seq) seq.Seq { return seq.Zip(a, b, f) },
+		Lower: &BiLower{Zip: f},
+	}
 }
 
 // CheckSeqFnMonotone verifies f(x) ⊑ f(y) on every ordered pair of

@@ -39,6 +39,10 @@ type TraceFn struct {
 	// its support, such as the solver's Theorem 1 fast path, must check
 	// !Omega (see desc.Description.Thm1Eligible).
 	Omega bool
+	// IR records the combinator tree that built this function so the
+	// bytecode backend (package descvm) can lower it; nil means the
+	// function is opaque and only Apply is available. See lower.go.
+	IR *TraceIR
 }
 
 // ChanFn is the paper's convention of using a channel name as a function:
@@ -49,6 +53,7 @@ func ChanFn(c string) TraceFn {
 		Out:     1,
 		Support: trace.NewChanSet(c),
 		Apply:   func(t trace.Trace) Tuple { return Tuple{t.Channel(c)} },
+		IR:      &TraceIR{Kind: IRChan, Chan: c},
 	}
 }
 
@@ -60,6 +65,7 @@ func OnChan(sf SeqFn, c string) TraceFn {
 		Support: trace.NewChanSet(c),
 		Growth:  sf.Growth,
 		Apply:   func(t trace.Trace) Tuple { return Tuple{sf.Apply(t.Channel(c))} },
+		IR:      &TraceIR{Kind: IRSeqApply, Sf: sf, Args: []*TraceIR{{Kind: IRChan, Chan: c}}},
 	}
 }
 
@@ -91,6 +97,9 @@ func OnTwoChans(bi BiSeqFn, c1, c2 string) TraceFn {
 		Support: trace.NewChanSet(c1, c2),
 		Growth:  bi.Growth,
 		Apply:   func(t trace.Trace) Tuple { return Tuple{bi.Apply(t.Channel(c1), t.Channel(c2))} },
+		IR: &TraceIR{Kind: IRBiApply, Bi: bi, Args: []*TraceIR{
+			{Kind: IRChan, Chan: c1}, {Kind: IRChan, Chan: c2},
+		}},
 	}
 }
 
@@ -103,6 +112,7 @@ func ConstTraceFn(k seq.Seq) TraceFn {
 		Support: trace.ChanSet{},
 		Growth:  k.Len(),
 		Apply:   func(trace.Trace) Tuple { return Tuple{k} },
+		IR:      &TraceIR{Kind: IRConst, Const: k},
 	}
 }
 
@@ -121,6 +131,7 @@ func OmegaConstFn(name string, period seq.Seq) TraceFn {
 		Apply: func(t trace.Trace) Tuple {
 			return Tuple{seq.Repeat(period, t.Len()+OmegaPad)}
 		},
+		IR: &TraceIR{Kind: IROmega, Const: period},
 	}
 }
 
@@ -139,6 +150,10 @@ func ApplySeq(sf SeqFn, inner TraceFn) TraceFn {
 	if inner.Out != 1 {
 		panic("fn: ApplySeq requires a width-1 inner function")
 	}
+	var ir *TraceIR
+	if inner.IR != nil {
+		ir = &TraceIR{Kind: IRSeqApply, Sf: sf, Args: []*TraceIR{inner.IR}}
+	}
 	return TraceFn{
 		Name:    sf.Name + "(" + inner.Name + ")",
 		Out:     1,
@@ -146,6 +161,7 @@ func ApplySeq(sf SeqFn, inner TraceFn) TraceFn {
 		Growth:  sf.Growth + inner.Growth,
 		Omega:   inner.Omega,
 		Apply:   func(t trace.Trace) Tuple { return Tuple{sf.Apply(inner.Apply(t)[0])} },
+		IR:      ir,
 	}
 }
 
@@ -156,6 +172,10 @@ func ApplyBi(bi BiSeqFn, a, b TraceFn) TraceFn {
 	if a.Out != 1 || b.Out != 1 {
 		panic("fn: ApplyBi requires width-1 operands")
 	}
+	var ir *TraceIR
+	if a.IR != nil && b.IR != nil {
+		ir = &TraceIR{Kind: IRBiApply, Bi: bi, Args: []*TraceIR{a.IR, b.IR}}
+	}
 	return TraceFn{
 		Name:    bi.Name + "(" + a.Name + "," + b.Name + ")",
 		Out:     1,
@@ -165,6 +185,7 @@ func ApplyBi(bi BiSeqFn, a, b TraceFn) TraceFn {
 		Apply: func(t trace.Trace) Tuple {
 			return Tuple{bi.Apply(a.Apply(t)[0], b.Apply(t)[0])}
 		},
+		IR: ir,
 	}
 }
 
@@ -196,6 +217,14 @@ func Pair(fns ...TraceFn) TraceFn {
 		return f
 	}
 	local := append([]TraceFn(nil), fns...)
+	ir := &TraceIR{Kind: IRPair, Args: make([]*TraceIR, 0, len(local))}
+	for _, f := range local {
+		if f.IR == nil {
+			ir = nil
+			break
+		}
+		ir.Args = append(ir.Args, f.IR)
+	}
 	return TraceFn{
 		Name:    "(" + name + ")",
 		Out:     width,
@@ -209,6 +238,7 @@ func Pair(fns ...TraceFn) TraceFn {
 			}
 			return out
 		},
+		IR: ir,
 	}
 }
 

@@ -40,6 +40,11 @@ type Config struct {
 	// NoVisited skips retaining each search's visited-node list. The
 	// wire result never includes it, so this only lowers memory.
 	NoVisited bool
+	// Compiled evaluates descriptions as descvm bytecode in every
+	// served search. Results, stats and cache keys are byte-identical
+	// to interpreted evaluation (the solver's differential suite holds
+	// the two equal), so the switch is safe to flip on a live fleet.
+	Compiled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +273,7 @@ func (s *Server) solve(ctx context.Context, prog *eqlang.Program, p SolveParams)
 	problem.MaxDepth = p.Depth
 	problem.MaxNodes = p.MaxNodes
 	problem.CollectVisited = !s.cfg.NoVisited
+	problem.Compiled = s.cfg.Compiled
 	start := time.Now()
 	var res solver.Result
 	if p.Workers > 1 {

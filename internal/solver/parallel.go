@@ -183,7 +183,7 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := newSearch(p)
+	s := newSearch(p, false)
 	var res Result
 	st := &res.Stats
 	st.Thm1FastPath = s.thm1
@@ -281,6 +281,7 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 
 	st.Elapsed = time.Since(start)
 	st.Eval = s.e.Snapshot()
+	st.CompiledEval = s.e.Compiled()
 	return res
 }
 
@@ -300,7 +301,7 @@ func (s *search) visit(cur trace.Trace, shard *SearchStats) nodeOut {
 		}
 		return o
 	}
-	o.sons = s.expand(cur, shard)
+	o.sons = s.expand(cur, shard, nil)
 	if len(o.sons) == 0 {
 		if o.solution {
 			o.closed = true

@@ -57,7 +57,7 @@ type SampleResult struct {
 // Canceled and returns what the walks found so far.
 func Sample(ctx context.Context, p Problem, opts SampleOpts) SampleResult {
 	opts = opts.withDefaults(p)
-	s := newSearch(p)
+	s := newSearch(p, true)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := SampleResult{Solutions: map[string]trace.Trace{}}
 	st := &res.Stats
@@ -77,7 +77,7 @@ walks:
 			if depth >= opts.MaxDepth {
 				break
 			}
-			sons := s.expand(cur, st)
+			sons := s.expand(cur, st, s.sonBuf[:0])
 			if len(sons) == 0 {
 				break
 			}

@@ -68,6 +68,14 @@ type Problem struct {
 	// induction base f(⊥) ⊑ g(⊥) before trusting the shortcut (see
 	// newSearch).
 	Thm1 bool
+	// Compiled lowers the description's sides to descvm bytecode for the
+	// search's evaluations (see desc.EvalOptions). Observably transparent:
+	// the evaluator memo, all counters and every result are byte-identical
+	// to interpreted evaluation — the root differential suite enforces
+	// this across all shipped specs — so the flag only trades evaluation
+	// mechanics for speed. Sides that cannot lower (opaque combinators)
+	// silently keep the interpreter.
+	Compiled bool
 }
 
 // NewProblem builds a pruned problem with sane defaults.
@@ -127,9 +135,14 @@ var root = trace.Empty
 // one Event per (channel, message) built up front, so expansion never
 // re-constructs them.
 type search struct {
-	p  Problem
-	e  *desc.Evaluator
-	ev map[string][]trace.Event
+	p Problem
+	e *desc.Evaluator
+	// cands holds the per-channel candidate events in Channels order —
+	// the same data as ev, but expansion iterates it as a slice so the
+	// per-node inner loop never touches a map. Each event's Hash64 is
+	// precomputed: expansion appends the same few events to thousands of
+	// nodes, so each is hashed once per search (trace.AppendPrehashed).
+	cands []candSet
 	// thm1 is true when the Theorem 1 fast path is active: the problem
 	// requested it (independent supports) and the induction base
 	// f(⊥) ⊑ g(⊥) holds. Candidates on channels outside fsupp are then
@@ -139,18 +152,50 @@ type search struct {
 	// capacity an expanding node's son list can need.
 	fanout int
 	fsupp  trace.ChanSet
+	// sonBuf is the reusable son-slot buffer of the sequential walks
+	// (enumerate, CheckInduction): capacity fanout, so expand never
+	// reallocates, and the consumer copies the sons into its queue
+	// before the next expand reuses the slots. The parallel search must
+	// not use it — its nodeOuts retain son slices until commit.
+	sonBuf []trace.Trace
 }
 
-func newSearch(p Problem) *search {
-	s := &search{p: p, e: desc.NewEvaluator(p.D, p.Memoize), ev: make(map[string][]trace.Event, len(p.Channels))}
+// candSet is one channel's interned candidate events and their hashes.
+type candSet struct {
+	ch string
+	es []trace.Event
+	hs []uint64
+	// auto caches the Theorem 1 membership test ch ∉ supp(f); expand
+	// reads it per node instead of re-testing the ChanSet. False until
+	// newSearch verifies the fast path's induction base.
+	auto bool
+}
+
+// newSearch builds the shared search state. single promises the caller
+// drives the search from one goroutine (Enumerate, Sample,
+// CheckInduction), letting the evaluator memo skip its locks;
+// EnumerateParallel must pass false.
+func newSearch(p Problem, single bool) *search {
+	s := &search{
+		p: p,
+		e: desc.NewEvaluatorOpts(p.D, desc.EvalOptions{
+			Memoize:        p.Memoize,
+			Compiled:       p.Compiled,
+			SingleThreaded: single,
+		}),
+		cands: make([]candSet, 0, len(p.Channels)),
+	}
 	for _, c := range p.Channels {
 		es := make([]trace.Event, len(p.Alphabet[c]))
+		hs := make([]uint64, len(es))
 		for i, m := range p.Alphabet[c] {
 			es[i] = trace.E(c, m)
+			hs[i] = es[i].Hash64()
 		}
-		s.ev[c] = es
+		s.cands = append(s.cands, candSet{ch: c, es: es, hs: hs})
 		s.fanout += len(es)
 	}
+	s.sonBuf = make([]trace.Trace, 0, s.fanout)
 	if p.Thm1 && p.Prune && !p.D.F.Omega {
 		// Induction base for the fast path's invariant. If it fails, the
 		// root has no sons at all (f(⊥) ⊑ f(v) ⊑ g(⊥) for any admitted
@@ -159,6 +204,11 @@ func newSearch(p Problem) *search {
 		// ω-approximation left side, for which auto-admit is unsound.
 		s.thm1 = s.e.F(trace.Empty).Leq(s.e.G(trace.Empty))
 		s.fsupp = p.D.F.Support
+		if s.thm1 {
+			for i := range s.cands {
+				s.cands[i].auto = !s.fsupp.Has(s.cands[i].ch)
+			}
+		}
 	}
 	return s
 }
@@ -173,9 +223,10 @@ func newSearch(p Problem) *search {
 // adversarial problems (wide alphabets, deep probes) cannot run
 // unbounded when the caller holds a deadline.
 func Enumerate(ctx context.Context, p Problem) Result {
-	s := newSearch(p)
+	s := newSearch(p, true)
 	res := enumerate(ctx, s)
 	res.Stats.Eval = s.e.Snapshot()
+	res.Stats.CompiledEval = s.e.Compiled()
 	return res
 }
 
@@ -225,7 +276,7 @@ func enumerate(ctx context.Context, s *search) Result {
 			}
 			continue
 		}
-		sons := s.expand(cur, st)
+		sons := s.expand(cur, st, s.sonBuf[:0])
 		switch {
 		case len(sons) > 0:
 			st.Interior++
@@ -263,18 +314,24 @@ func (s *search) classify(t trace.Trace, st *SearchStats) bool {
 // fast path admits every candidate — and each rejected candidate is a
 // whole subtree of the unpruned tree cut before any of it is expanded.
 // Each son is an O(1) persistent extension sharing u's spine.
-func (s *search) expand(u trace.Trace, st *SearchStats) []trace.Trace {
-	var sons []trace.Trace
+//
+// dst, when non-nil, supplies the son slots (the sequential walks pass
+// the search's reusable buffer); callers that retain the returned slice
+// past the next expand — the parallel search — must pass nil.
+func (s *search) expand(u trace.Trace, st *SearchStats, dst []trace.Trace) []trace.Trace {
+	sons := dst
 	lvl := st.level(u.Len() + 1)
 	var gu fn.Tuple
 	guReady := false
-	for _, c := range s.p.Channels {
-		// Fast path (Theorem 1): c outside supp(f) means f(u·e) = f(u),
-		// and f(u) ⊑ g(u) holds at every admitted node, so the edge
-		// condition f(v) ⊑ g(u) is guaranteed — admit without evaluating.
-		auto := s.thm1 && !s.fsupp.Has(c)
-		for _, e := range s.ev[c] {
-			v := u.Append(e)
+	for ci := range s.cands {
+		// Fast path (Theorem 1): a channel outside supp(f) means
+		// f(u·e) = f(u), and f(u) ⊑ g(u) holds at every admitted node, so
+		// the edge condition f(v) ⊑ g(u) is guaranteed — admit without
+		// evaluating.
+		c := &s.cands[ci]
+		auto := c.auto
+		for i, e := range c.es {
+			v := u.AppendPrehashed(e, c.hs[i])
 			st.EdgesChecked++
 			if s.p.Prune {
 				if auto {
@@ -309,10 +366,11 @@ func (s *search) hasSon(u trace.Trace, st *SearchStats) bool {
 	lvl := st.level(u.Len() + 1)
 	var gu fn.Tuple
 	guReady := false
-	for _, c := range s.p.Channels {
-		auto := s.thm1 && !s.fsupp.Has(c)
-		for _, e := range s.ev[c] {
-			v := u.Append(e)
+	for ci := range s.cands {
+		c := &s.cands[ci]
+		auto := c.auto
+		for i, e := range c.es {
+			v := u.AppendPrehashed(e, c.hs[i])
 			st.EdgesChecked++
 			if auto {
 				st.Thm1AutoEdges++
@@ -386,7 +444,7 @@ func CheckInduction(ctx context.Context, p Problem, phi func(trace.Trace) bool) 
 	if !phi(trace.Empty) {
 		return errors.New("solver: induction base φ(⊥) fails")
 	}
-	s := newSearch(p)
+	s := newSearch(p, true)
 	var st SearchStats
 	queue := []trace.Trace{root}
 	nodes := 0
@@ -413,7 +471,7 @@ func CheckInduction(ctx context.Context, p Problem, phi func(trace.Trace) bool) 
 		if u.Len() >= p.MaxDepth {
 			continue
 		}
-		for _, v := range s.expand(u, &st) {
+		for _, v := range s.expand(u, &st, s.sonBuf[:0]) {
 			if err := p.D.InductionPremise(phi, u, v); err != nil {
 				return err
 			}

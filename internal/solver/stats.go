@@ -58,6 +58,13 @@ type SearchStats struct {
 	// balance with or without the shortcut.
 	Thm1AutoEdges int `json:"thm1_auto_edges,omitempty"`
 
+	// CompiledEval records that both description sides ran on descvm
+	// bytecode (Problem.Compiled requested and both sides lowered). Run
+	// configuration, like Workers, not a search observable: every other
+	// deterministic counter is equal with the flag on or off, which is
+	// what the compiled-vs-interpreted differential suite asserts.
+	CompiledEval bool `json:"compiled_eval,omitempty"`
+
 	// Workers is the pool size of a parallel search (zero for
 	// sequential). Steals counts work-stealing events — one worker taking
 	// the back half of another's claimed span — and IdleWaits counts
@@ -164,6 +171,10 @@ func (s SearchStats) Report() report.Stats {
 	memo.Add("f applications", s.Eval.FApplies, "")
 	memo.Add("g applications", s.Eval.GApplies, "")
 	memo.Add("inflight waits", s.Eval.InflightWaits, "sched")
+	if s.CompiledEval {
+		// Only rendered when on, so interpreted-run goldens are unchanged.
+		memo.AddInt("compiled eval", 1)
+	}
 
 	parallel := report.Section{Name: "parallel"}
 	parallel.AddInt("workers", s.Workers)
@@ -190,14 +201,17 @@ func (s SearchStats) Report() report.Stats {
 	return report.Stats{Sections: sections}
 }
 
-// Deterministic returns a copy with every scheduling- and timing-
-// dependent field zeroed: Workers (run configuration), Steals,
-// IdleWaits, Elapsed, and the evaluator's wall-clock and in-flight-wait
-// readings. Two searches of the same problem — sequential or parallel,
-// at any worker count — produce equal Deterministic views; the parity
-// suite and the CI smoke assertion compare exactly this.
+// Deterministic returns a copy with every scheduling-, timing- and
+// configuration-dependent field zeroed: Workers and CompiledEval (run
+// configuration), Steals, IdleWaits, Elapsed, and the evaluator's
+// wall-clock and in-flight-wait readings. Two searches of the same
+// problem — sequential or parallel, at any worker count, compiled or
+// interpreted — produce equal Deterministic views; the parity suite,
+// the differential suite and the CI smoke assertion compare exactly
+// this.
 func (s SearchStats) Deterministic() SearchStats {
 	s.Workers = 0
+	s.CompiledEval = false
 	s.Steals = 0
 	s.IdleWaits = 0
 	s.Elapsed = 0

@@ -90,9 +90,6 @@ func checkPair(t *testing.T, p pair) {
 	if p.t.Key() != FromEvents(p.r).Key() {
 		t.Fatal("Key differs from FromEvents(oracle) rebuild")
 	}
-	if p.t.Key().Len != len(p.r) {
-		t.Fatalf("Key.Len = %d, oracle %d", p.t.Key().Len, len(p.r))
-	}
 	var pairs int
 	p.t.PrePairs(func(u, v Trace) bool {
 		if u.Len()+1 != v.Len() || !u.Leq(v) || !v.Leq(p.t) {

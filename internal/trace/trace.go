@@ -126,6 +126,25 @@ func (t Trace) Events() []Event {
 	return out
 }
 
+// AppendEvents appends the events of t in order to dst and returns the
+// extended slice — the buffer-reusing variant of Events for hot paths
+// (the descvm frame loader) that would otherwise allocate a fresh slice
+// per spine walk.
+func (t Trace) AppendEvents(dst []Event) []Event {
+	base, n := len(dst), t.Len()
+	if cap(dst) < base+n {
+		grown := make([]Event, base+n)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:base+n]
+	}
+	for c := t.end; c != nil; c = c.parent {
+		dst[base+c.n-1] = c.ev
+	}
+	return dst
+}
+
 // spineEqual reports whether the traces ending at a and b (of equal
 // length) are event-wise equal. Shared structure short-circuits: the walk
 // stops at the first common spine node, so comparing a trace against one
@@ -173,11 +192,20 @@ func (t Trace) Take(n int) Trace {
 
 // Append returns t extended by one event: O(1), sharing t's spine.
 func (t Trace) Append(e Event) Trace {
+	return t.AppendPrehashed(e, e.Hash64())
+}
+
+// AppendPrehashed is Append with the event's Hash64 supplied by the
+// caller (eh must equal e.Hash64()). Callers that extend traces by
+// events from a fixed candidate alphabet — the solver's expand, which
+// appends the same few events to thousands of nodes — hash each event
+// once per search instead of once per appended node.
+func (t Trace) AppendPrehashed(e Event, eh uint64) Trace {
 	h, n := emptyHash, 1
 	if t.end != nil {
 		h, n = t.end.hash, t.end.n+1
 	}
-	return Trace{end: &node{parent: t.end, ev: e, n: n, hash: value.HashMix(h, e.Hash64())}}
+	return Trace{end: &node{parent: t.end, ev: e, n: n, hash: value.HashMix(h, eh)}}
 }
 
 // Concat returns t followed by u.
@@ -294,22 +322,22 @@ func (t Trace) String() string {
 }
 
 // Key is a compact map key for a trace: the incrementally maintained
-// structural hash plus the length. Building one is O(1). Two equal
-// traces always have equal Keys; distinct traces collide only on a
-// 64-bit hash collision, so every consumer (the evaluator memo, caches)
-// must treat buckets as candidate sets and confirm with Trace.Equal —
-// the equality fallback. See DESIGN.md on hash-key transparency.
-type Key struct {
-	Hash uint64
-	Len  int
-}
+// structural hash mixed with the length into one word. Building one is
+// O(1), and a single-word key takes the runtime map's fast uint64 path —
+// measurably cheaper than hashing a two-field struct in memo-bound
+// searches. Two equal traces always have equal Keys; distinct traces
+// collide only on a 64-bit hash collision, so every consumer (the
+// evaluator memo, caches) must treat buckets as candidate sets and
+// confirm with Trace.Equal — the equality fallback. See DESIGN.md on
+// hash-key transparency.
+type Key uint64
 
-// Key returns the (hash, length) memo key of t in O(1).
+// Key returns the memo key of t in O(1).
 func (t Trace) Key() Key {
 	if t.end == nil {
-		return Key{Hash: emptyHash}
+		return Key(value.HashMix(emptyHash, 0))
 	}
-	return Key{Hash: t.end.hash, Len: t.end.n}
+	return Key(value.HashMix(t.end.hash, uint64(t.end.n)))
 }
 
 // WithKeyHash returns a trace with the same events as t but whose Key

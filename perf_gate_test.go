@@ -26,6 +26,14 @@ import (
 
 const traceBaselineFile = "BENCH_trace.json"
 
+// pr5InterpretedKahnNs is the recorded interpreted time/op for
+// kahn-buffer.eq/enumerate when the bytecode VM landed (the PR 5
+// baseline). The acceptance bar for the compiled path is fixed against
+// this constant, not against the rolling baseline file: descvm must
+// keep kahn-buffer enumeration at least 2x faster than the interpreter
+// it replaced, forever, or the gate fails.
+const pr5InterpretedKahnNs = 113345
+
 // perfEntry is one workload's recorded cost.
 type perfEntry struct {
 	Name        string  `json:"name"`
@@ -52,7 +60,8 @@ func measure(name string, bench func(b *testing.B)) perfEntry {
 }
 
 // solverWorkloads are the enumerate benchmarks the gate tracks — the
-// two specs with the deepest trees among the shipped examples, plus the
+// two specs with the deepest trees among the shipped examples, each
+// interpreted and compiled (the descvm acceptance workloads), plus the
 // work-stealing parallel search on the widest one at 1 and 4 workers
 // (the acceptance workload for the barrier-free scheduler).
 func solverWorkloads(t *testing.T) map[string]func(b *testing.B) {
@@ -73,6 +82,20 @@ func solverWorkloads(t *testing.T) map[string]func(b *testing.B) {
 				res := solver.Enumerate(context.Background(), prog.Problem())
 				if len(res.Solutions) == 0 && len(res.Frontier) == 0 {
 					b.Fatal("search found nothing")
+				}
+			}
+		}
+		out[spec+"/enumerate-compiled"] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := prog.Problem()
+				p.Compiled = true
+				res := solver.Enumerate(context.Background(), p)
+				if len(res.Solutions) == 0 && len(res.Frontier) == 0 {
+					b.Fatal("search found nothing")
+				}
+				if !res.Stats.CompiledEval {
+					b.Fatal("compiled workload fell back to the interpreter")
 				}
 			}
 		}
@@ -162,7 +185,9 @@ func TestPerfGate(t *testing.T) {
 	sw := solverWorkloads(t)
 	for _, name := range []string{
 		"kahn-buffer.eq/enumerate",
+		"kahn-buffer.eq/enumerate-compiled",
 		"fig4-brock-ackermann.eq/enumerate",
+		"fig4-brock-ackermann.eq/enumerate-compiled",
 		"kahn-buffer.eq/enumerate-parallel-w1",
 		"kahn-buffer.eq/enumerate-parallel-w4",
 	} {
@@ -173,6 +198,37 @@ func TestPerfGate(t *testing.T) {
 		for _, depth := range []int{10, 100, 1000} {
 			name := benchName(op, depth)
 			traceGot = append(traceGot, measure(name, tw[name]))
+		}
+	}
+
+	// The compiled-path acceptance bar is absolute, checked on every
+	// gated run (update included — a baseline that fails acceptance must
+	// not be recordable): bytecode evaluation has to hold kahn-buffer
+	// enumeration at >=2x over the interpreted time recorded when the VM
+	// shipped.
+	for _, g := range solverGot {
+		if g.Name != "kahn-buffer.eq/enumerate-compiled" {
+			continue
+		}
+		if limit := float64(pr5InterpretedKahnNs) / 2; g.NsPerOp > limit {
+			t.Errorf("%s: %.0fns/op exceeds the 2x acceptance bar (%.0fns, half of the %dns interpreted PR 5 baseline)",
+				g.Name, g.NsPerOp, limit, pr5InterpretedKahnNs)
+		} else {
+			t.Logf("%s: %.0fns/op — %.2fx the %dns interpreted PR 5 baseline",
+				g.Name, g.NsPerOp, float64(pr5InterpretedKahnNs)/g.NsPerOp, pr5InterpretedKahnNs)
+		}
+	}
+
+	// SMOOTHPROC_BENCH_OUT captures every measurement as a flat JSON
+	// array; the CI perf-gate job feeds it to cmd/benchdelta to render
+	// the old-vs-new table in the job summary.
+	if out := os.Getenv("SMOOTHPROC_BENCH_OUT"); out != "" {
+		js, err := json.MarshalIndent(append(append([]perfEntry{}, solverGot...), traceGot...), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
 		}
 	}
 
