@@ -1,18 +1,27 @@
 // Command smoothctl is the client for smoothd. It uploads eqlang specs,
-// schedules solve jobs, polls their status, and load-tests a running
-// daemon.
+// schedules solve jobs, polls their status, streams solutions, drives
+// resumable solve sessions, and load-tests a running daemon.
 //
 // Usage:
 //
 //	smoothctl upload [-addr URL] file.eq
-//	smoothctl solve  [-addr URL] [-hash H | file.eq] [-depth N] [-workers N] [-timeout-ms N] [-async] [-no-cache]
+//	smoothctl solve  [-addr URL] [-hash H | file.eq] [-depth N] [-workers N] [-timeout-ms N] [-async] [-no-cache] [-stream] [-resume]
 //	smoothctl status [-addr URL] job-id
+//	smoothctl delta  [-addr URL] (-hash H | file.eq) -channel NAME [-check]
 //	smoothctl bench  [-addr URL] [-concurrency N] [-requests N] [-o BENCH_service.json] file.eq
+//
+// solve -stream reads the /v1/solve/stream server-sent event stream and
+// prints each smooth solution as the search classifies it. solve -resume
+// runs the search in a solve session keyed by the spec hash: repeating
+// the command at a larger -depth deepens the previous search from its
+// retained frontier instead of starting cold. delta answers a Theorem
+// 5/6 channel elimination from the session's retained solutions.
 //
 // The address may be a bare host:port or a full http:// URL.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -45,6 +54,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdSolve(rest, stdin, stdout, stderr)
 	case "status":
 		return cmdStatus(rest, stdout, stderr)
+	case "delta":
+		return cmdDelta(rest, stdin, stdout, stderr)
 	case "bench":
 		return cmdBench(rest, stdout, stderr)
 	default:
@@ -61,6 +72,7 @@ commands:
   upload  compile a spec on the server and print its hash
   solve   run the smooth-solution search for a spec
   status  show a job by id
+  delta   answer a channel elimination from a solve session
   bench   load-test the server and write BENCH_service.json`)
 }
 
@@ -124,6 +136,53 @@ func (c *client) call(method, path string, body, out any) (int, error) {
 	return resp.StatusCode, nil
 }
 
+// stream posts body and hands back the raw response body for SSE
+// reading; non-2xx responses are turned into errors like call's.
+func (c *client) stream(path string, body any) (io.ReadCloser, error) {
+	js, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(js))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var eb service.ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return nil, fmt.Errorf("%s", eb.Error)
+		}
+		return nil, fmt.Errorf("server returned %s", resp.Status)
+	}
+	return resp.Body, nil
+}
+
+// readEvents parses a server-sent event stream, calling emit once per
+// event, until the stream closes.
+func readEvents(r io.Reader, emit func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && event != "":
+			if err := emit(event, data); err != nil {
+				return err
+			}
+			event, data = "", nil
+		}
+	}
+	return sc.Err()
+}
+
 func readSpec(path string, stdin io.Reader) (string, error) {
 	if path == "-" {
 		src, err := io.ReadAll(stdin)
@@ -175,7 +234,13 @@ func cmdSolve(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	timeoutMs := fs.Int("timeout-ms", 0, "per-job deadline in milliseconds")
 	async := fs.Bool("async", false, "submit without waiting; print the job id to poll")
 	noCache := fs.Bool("no-cache", false, "skip the server's result cache")
+	stream := fs.Bool("stream", false, "stream solutions as the search finds them (SSE)")
+	resume := fs.Bool("resume", false, "run in a resumable session; repeating at a larger -depth deepens the previous search")
 	if fs.Parse(args) != nil {
+		return 2
+	}
+	if *stream && *resume {
+		fmt.Fprintln(stderr, "smoothctl: -stream and -resume are separate modes; pick one")
 		return 2
 	}
 
@@ -201,15 +266,157 @@ func cmdSolve(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: smoothctl solve [-addr URL] (-hash H | file.eq) [flags]")
 		return 2
 	}
+	c := newClient(*addr)
+	if *stream {
+		return solveStream(c, req, stdout, stderr)
+	}
+	if *resume {
+		return solveResume(c, req, stdout, stderr)
+	}
 
 	var job service.JobView
-	if _, err := newClient(*addr).call("POST", "/v1/solve", req, &job); err != nil {
+	if _, err := c.call("POST", "/v1/solve", req, &job); err != nil {
 		fmt.Fprintf(stderr, "smoothctl: solve: %v\n", err)
 		return 1
 	}
 	printJob(stdout, job)
 	if job.State == service.JobFailed {
 		return 1
+	}
+	return 0
+}
+
+// solveStream runs one search over /v1/solve/stream, printing each
+// smooth solution the moment the server emits it.
+func solveStream(c *client, req service.SolveRequest, stdout, stderr io.Writer) int {
+	body, err := c.stream("/v1/solve/stream", req)
+	if err != nil {
+		fmt.Fprintf(stderr, "smoothctl: solve: %v\n", err)
+		return 1
+	}
+	defer body.Close()
+
+	count := 0
+	done := false
+	err = readEvents(body, func(event string, data []byte) error {
+		switch event {
+		case "job":
+			var j service.StreamJob
+			if err := json.Unmarshal(data, &j); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "job: %s\n", j.ID)
+		case "solution":
+			var sol service.StreamSolution
+			if err := json.Unmarshal(data, &sol); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "smooth solution: %s\n", sol.Trace)
+			count++
+		case "done":
+			var job service.JobView
+			if err := json.Unmarshal(data, &job); err != nil {
+				return err
+			}
+			done = true
+			fmt.Fprintf(stdout, "state: %s\n", job.State)
+			if job.Error != "" {
+				fmt.Fprintf(stdout, "error: %s\n", job.Error)
+			}
+			if r := job.Result; r != nil {
+				fmt.Fprintf(stdout, "solutions: %d  frontier: %d  dead: %d  nodes: %d\n",
+					len(r.Solutions), r.Frontier, r.DeadLeaves, r.Nodes)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "smoothctl: stream: %v\n", err)
+		return 1
+	}
+	if !done {
+		fmt.Fprintf(stderr, "smoothctl: stream ended after %d solutions without a done event\n", count)
+		return 1
+	}
+	return 0
+}
+
+// solveResume runs one search as a session leg: the server resumes the
+// spec's retained frontier when the bounds grow and replays the stored
+// result when they do not.
+func solveResume(c *client, req service.SolveRequest, stdout, stderr io.Writer) int {
+	sreq := service.SessionRequest{
+		SpecHash:  req.SpecHash,
+		Source:    req.Source,
+		Depth:     req.Depth,
+		MaxNodes:  req.MaxNodes,
+		Workers:   req.Workers,
+		TimeoutMs: req.TimeoutMs,
+	}
+	var sv service.SessionView
+	if _, err := c.call("POST", "/v1/sessions", sreq, &sv); err != nil {
+		fmt.Fprintf(stderr, "smoothctl: solve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "session: %s\n", sv.SpecHash)
+	fmt.Fprintf(stdout, "outcome: %s  depth: %d  nodes: %d  frontier: %d\n",
+		sv.Outcome, sv.Depth, sv.Nodes, sv.Frontier)
+	if r := sv.Result; r != nil {
+		for _, sol := range r.Solutions {
+			fmt.Fprintf(stdout, "smooth solution: %s\n", sol)
+		}
+		fmt.Fprintf(stdout, "solutions: %d  frontier: %d  dead: %d  nodes: %d\n",
+			len(r.Solutions), r.Frontier, r.DeadLeaves, r.Nodes)
+	}
+	return 0
+}
+
+func cmdDelta(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := newFlagSet("delta", stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "smoothd address")
+	hash := fs.String("hash", "", "session spec hash (or pass the spec file to derive it)")
+	channel := fs.String("channel", "", "channel to eliminate (must carry an eliminable verdict)")
+	check := fs.Bool("check", false, "also run the Theorem 5/6 differential check against a fresh solve")
+	workers := fs.Int("workers", 0, "parallel workers for the check's fresh solve")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if *channel == "" || (*hash == "" && fs.NArg() != 1) || (*hash != "" && fs.NArg() != 0) {
+		fmt.Fprintln(stderr, "usage: smoothctl delta [-addr URL] (-hash H | file.eq) -channel NAME [-check]")
+		return 2
+	}
+	c := newClient(*addr)
+	h := *hash
+	if h == "" {
+		src, err := readSpec(fs.Arg(0), stdin)
+		if err != nil {
+			fmt.Fprintf(stderr, "smoothctl: %v\n", err)
+			return 1
+		}
+		var info service.SpecInfo
+		if _, err := c.call("POST", "/v1/specs", service.SpecRequest{Source: src}, &info); err != nil {
+			fmt.Fprintf(stderr, "smoothctl: delta upload: %v\n", err)
+			return 1
+		}
+		h = info.Hash
+	}
+	var dv service.DeltaView
+	req := service.DeltaRequest{Channel: *channel, Check: *check, Workers: *workers}
+	if _, err := c.call("POST", "/v1/sessions/"+h+"/delta", req, &dv); err != nil {
+		fmt.Fprintf(stderr, "smoothctl: delta: %v\n(a delta needs a solved session: run smoothctl solve -resume first)\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "eliminated: %s via %s\n", dv.Channel, dv.Desc)
+	for _, d := range dv.System {
+		fmt.Fprintf(stdout, "desc: %s\n", d)
+	}
+	for _, sol := range dv.Solutions {
+		fmt.Fprintf(stdout, "smooth solution: %s\n", sol)
+	}
+	fmt.Fprintf(stdout, "solutions: %d  projected from %d searched nodes\n", len(dv.Solutions), dv.FromNodes)
+	if dv.Check != nil {
+		fmt.Fprintf(stdout, "check: fresh solve %d nodes, %d matched, %d beyond horizon\n",
+			dv.Check.FreshNodes, dv.Check.Matched, dv.Check.BeyondHorizon)
 	}
 	return 0
 }

@@ -139,6 +139,87 @@ func TestSolveAsyncThenStatus(t *testing.T) {
 	}
 }
 
+func TestSolveStream(t *testing.T) {
+	addr := testDaemon(t)
+	spec := writeSpec(t, fig4)
+	code, out, errOut := runCtl(t, "", "solve", "-addr", addr, "-stream", spec)
+	if code != 0 {
+		t.Fatalf("stream solve exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "job: job-") {
+		t.Errorf("stream output missing job event: %q", out)
+	}
+	if !strings.Contains(out, "smooth solution: "+fig4Solution) {
+		t.Errorf("stream output missing the solution: %q", out)
+	}
+	if !strings.Contains(out, "state: done") || !strings.Contains(out, "solutions: 1") {
+		t.Errorf("stream output missing done summary: %q", out)
+	}
+}
+
+func TestSolveResumeAndDelta(t *testing.T) {
+	addr := testDaemon(t)
+	// The discriminated fair merge: feeders b and c are eliminable.
+	dfm := `alphabet b = {0}
+alphabet c = {1}
+alphabet d = {0, 1}
+depth 4
+desc even(d) <- b
+desc odd(d)  <- c
+desc b <- [0]
+desc c <- [1]
+`
+	spec := writeSpec(t, dfm)
+
+	code, out, errOut := runCtl(t, "", "solve", "-addr", addr, "-resume", "-depth", "2", spec)
+	if code != 0 {
+		t.Fatalf("session solve exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "outcome: cold") || !strings.Contains(out, "depth: 2") {
+		t.Errorf("first session leg: %q", out)
+	}
+
+	// Repeating at a larger depth deepens the same session.
+	code, out, errOut = runCtl(t, "", "solve", "-addr", addr, "-resume", "-depth", "4", spec)
+	if code != 0 {
+		t.Fatalf("resume exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "outcome: resumed") || !strings.Contains(out, "depth: 4") {
+		t.Errorf("resumed leg: %q", out)
+	}
+	if !strings.Contains(out, "smooth solution: ") {
+		t.Errorf("resumed leg printed no solutions: %q", out)
+	}
+
+	// Theorem 5 delta: eliminate the b feeder from the retained state.
+	code, out, errOut = runCtl(t, "", "delta", "-addr", addr, "-channel", "b", "-check", spec)
+	if code != 0 {
+		t.Fatalf("delta exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "eliminated: b via ") || !strings.Contains(out, "projected from ") {
+		t.Errorf("delta output: %q", out)
+	}
+	if strings.Contains(out, "(b,") {
+		t.Errorf("projected solutions still mention b: %q", out)
+	}
+	if !strings.Contains(out, "check: fresh solve ") {
+		t.Errorf("delta output missing the differential check: %q", out)
+	}
+
+	// The merged output channel d carries no eliminable verdict.
+	code, _, errOut = runCtl(t, "", "delta", "-addr", addr, "-channel", "d", spec)
+	if code != 1 || !strings.Contains(errOut, "not eliminable") {
+		t.Errorf("delta d exit %d (%q), want rejection", code, errOut)
+	}
+
+	if code, _, _ := runCtl(t, "", "solve", "-addr", addr, "-stream", "-resume", spec); code != 2 {
+		t.Errorf("-stream -resume together exit %d, want 2", code)
+	}
+	if code, _, _ := runCtl(t, "", "delta", "-addr", addr, spec); code != 2 {
+		t.Errorf("delta without -channel exit %d, want 2", code)
+	}
+}
+
 func TestUploadCompileErrorShowsLine(t *testing.T) {
 	addr := testDaemon(t)
 	spec := writeSpec(t, "alphabet c = ints 0 .. 2\ndesc broken(c <- [0\n")

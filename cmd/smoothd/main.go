@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	queue := fs.Int("queue", 0, "bound on queued jobs before shedding load (0 = default 64)")
 	specCache := fs.Int("spec-cache", 0, "compiled-spec LRU capacity (0 = default 128)")
 	resultCache := fs.Int("result-cache", 0, "result LRU capacity (0 = default 1024)")
+	sessionCache := fs.Int("session-cache", 0, "live solve-session LRU capacity (0 = default 64)")
 	maxDepth := fs.Int("max-depth", 0, "cap on requested probe depth (0 = default 12)")
 	maxNodes := fs.Int("max-nodes", 0, "cap on per-search node budget (0 = default 500000)")
 	defaultTimeout := fs.Duration("default-timeout", 0, "per-job deadline when the request sets none (0 = default 30s)")
@@ -67,16 +68,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	}
 
 	svc := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		SpecCacheSize:   *specCache,
-		ResultCacheSize: *resultCache,
-		MaxDepth:        *maxDepth,
-		MaxNodes:        *maxNodes,
-		DefaultTimeout:  *defaultTimeout,
-		MaxTimeout:      *maxTimeout,
-		NoVisited:       *noVisited,
-		Compiled:        *compiled,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		SpecCacheSize:    *specCache,
+		ResultCacheSize:  *resultCache,
+		SessionCacheSize: *sessionCache,
+		MaxDepth:         *maxDepth,
+		MaxNodes:         *maxNodes,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		NoVisited:        *noVisited,
+		Compiled:         *compiled,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

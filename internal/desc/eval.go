@@ -355,6 +355,22 @@ func (e *Evaluator) Snapshot() EvalSnapshot {
 	return s
 }
 
+// MemoEntries returns the number of cached applications currently
+// retained across both sides — the memory a caller that keeps the
+// evaluator alive between searches (a resumable solve session) is
+// holding onto. Safe for concurrent use: each shard's lock is taken
+// briefly, so the count is a consistent per-shard snapshot.
+func (e *Evaluator) MemoEntries() int {
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		n += sh.f.entries + sh.g.entries
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // shardFor returns the lock stripe owning k.
 func (e *Evaluator) shardFor(k trace.Key) *evalShard {
 	return &e.shards[uint64(k)&(evalShards-1)]

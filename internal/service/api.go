@@ -149,10 +149,124 @@ type JobView struct {
 	State    JobState    `json:"state"`
 	SpecHash string      `json:"spec_hash"`
 	Params   SolveParams `json:"params"`
+	// QueueMs and RunMs are this job's queue wait and run duration in
+	// milliseconds — final for terminal jobs, still growing for live ones
+	// (a queued job has no RunMs yet).
+	QueueMs float64 `json:"queue_ms"`
+	RunMs   float64 `json:"run_ms,omitempty"`
 	// Error is set for failed jobs; Result for finished ones (a
 	// cancelled job keeps its partial result).
 	Error  string       `json:"error,omitempty"`
 	Result *SolveResult `json:"result,omitempty"`
+}
+
+// SessionRequest is the body of POST /v1/sessions (create or first
+// solve) and POST /v1/sessions/{hash}/resume (deepen). Creation takes
+// source or spec_hash like a solve; resume addresses the session by the
+// path hash and only carries new bounds.
+type SessionRequest struct {
+	SpecHash string `json:"spec_hash,omitempty"`
+	Source   string `json:"source,omitempty"`
+
+	// Depth and MaxNodes are the requested bounds, clamped like a solve's.
+	// A resume must not shrink Depth; growing it deepens the session from
+	// its retained frontier.
+	Depth    int `json:"depth,omitempty"`
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// Workers selects the parallel search when > 1.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs bounds this leg's wall clock; a timed-out leg keeps the
+	// session resumable (the unexplored queue is retained).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SessionView is the wire form of a solve session.
+type SessionView struct {
+	SpecHash string `json:"spec_hash"`
+	// Depth is the session's current depth bound; Nodes its commit
+	// pointer (nodes classified so far); Frontier the retained
+	// depth-bound nodes a resume deepens from; MemoEntries the evaluator
+	// memo footprint the session keeps warm.
+	Depth       int `json:"depth"`
+	Nodes       int `json:"nodes"`
+	Frontier    int `json:"frontier"`
+	MemoEntries int `json:"memo_entries"`
+	// Solves, Resumes and Replays count how the session has answered.
+	Solves  int `json:"solves"`
+	Resumes int `json:"resumes"`
+	Replays int `json:"replays"`
+	// Outcome says how the request returning this view was answered:
+	// "cold", "resumed" or "replayed". Empty on plain GETs.
+	Outcome string `json:"outcome,omitempty"`
+	// Result is the latest leg's search result (absent on plain GETs of
+	// a session that has not solved yet).
+	Result *SolveResult `json:"result,omitempty"`
+}
+
+// DeltaRequest is the body of POST /v1/sessions/{hash}/delta: answer a
+// Theorem 5/6 channel elimination from the session's retained state.
+type DeltaRequest struct {
+	// Channel to eliminate. The spec's static analysis must have issued
+	// an eliminable verdict for it (see specvet.ElimVerdict); otherwise
+	// the delta is rejected with 422.
+	Channel string `json:"channel"`
+	// Check additionally runs the differential guard: a fresh solve of
+	// the eliminated system, verified against the projection in both
+	// directions (Theorems 5 and 6). The response carries the account.
+	Check bool `json:"check,omitempty"`
+	// Workers parallelizes the check's fresh solve.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DeltaView is the wire form of a delta-solve.
+type DeltaView struct {
+	SpecHash string `json:"spec_hash"`
+	Channel  string `json:"channel"`
+	// Desc and Index identify the defining description the elimination
+	// went through.
+	Desc  string `json:"desc"`
+	Index int    `json:"index"`
+	// System renders the reduced system's equations.
+	System []string `json:"system"`
+	// Solutions are the session's solutions projected away from the
+	// channel — the reduced system's solutions, by Theorem 5 — in
+	// canonical order.
+	Solutions []string `json:"solutions"`
+	// FromNodes is the session's commit pointer: the search work the
+	// projection reused instead of redoing.
+	FromNodes int `json:"from_nodes"`
+	// Check reports the differential guard when requested.
+	Check *DeltaCheckView `json:"check,omitempty"`
+}
+
+// DeltaCheckView accounts the delta differential check on the wire.
+type DeltaCheckView struct {
+	// FreshNodes is the node count of the from-scratch reference solve.
+	FreshNodes int `json:"fresh_nodes"`
+	// Matched counts fresh solutions equal to a projected one;
+	// BeyondHorizon counts fresh solutions whose Theorem 6 lift lies
+	// beyond the session's depth bound (the one legitimate mismatch).
+	Matched       int `json:"matched"`
+	BeyondHorizon int `json:"beyond_horizon"`
+}
+
+// StreamSolution is the data payload of a "solution" event on
+// /v1/solve/stream: one smooth solution, in canonical commit order,
+// emitted while the search is still running.
+type StreamSolution struct {
+	// Index is the solution's position in the canonical order (0-based).
+	Index int `json:"index"`
+	// Trace renders the solution in the paper's notation.
+	Trace string `json:"trace"`
+}
+
+// StreamJob is the data payload of the "job" event opening a stream:
+// the scheduler job running the search, pollable via GET /v1/jobs/{id}
+// while the stream is live.
+type StreamJob struct {
+	ID       string      `json:"id"`
+	SpecHash string      `json:"spec_hash"`
+	Params   SolveParams `json:"params"`
 }
 
 // ErrorBody is the structured JSON shape of every non-2xx response.

@@ -45,6 +45,14 @@ type Job struct {
 	result *SolveResult
 	err    string
 	done   chan struct{}
+
+	// Lifecycle timestamps: submittedAt is set by Submit, startedAt when
+	// a worker picks the job up, doneAt at the terminal transition. They
+	// feed the per-job queue-wait and run durations in JobView and the
+	// aggregate timers in /metrics.
+	submittedAt time.Time
+	startedAt   time.Time
+	doneAt      time.Time
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -72,6 +80,12 @@ type Scheduler struct {
 	completed metrics.Counter
 	failed    metrics.Counter
 	canceled  metrics.Counter
+
+	// Aggregate per-job durations for /metrics: queueWait covers
+	// submission to worker pickup (or cancellation while queued), runTime
+	// covers pickup to the terminal transition.
+	queueWait metrics.Timer
+	runTime   metrics.Timer
 }
 
 // maxRetainedJobs bounds the finished-job history kept for GET
@@ -115,13 +129,14 @@ func (s *Scheduler) Submit(specHash string, params SolveParams, timeout time.Dur
 	}
 	s.nextID++
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", s.nextID),
-		specHash: specHash,
-		params:   params,
-		timeout:  timeout,
-		run:      run,
-		state:    JobQueued,
-		done:     make(chan struct{}),
+		id:          fmt.Sprintf("job-%d", s.nextID),
+		specHash:    specHash,
+		params:      params,
+		timeout:     timeout,
+		run:         run,
+		state:       JobQueued,
+		done:        make(chan struct{}),
+		submittedAt: time.Now(),
 	}
 	select {
 	case s.queue <- j:
@@ -159,12 +174,16 @@ func (s *Scheduler) worker() {
 			// so the close cannot double-fire.
 			j.state = JobCanceled
 			j.err = ErrShutdown.Error()
+			j.doneAt = time.Now()
+			s.queueWait.Observe(j.doneAt.Sub(j.submittedAt))
 			s.canceled.Inc()
 			close(j.done)
 			s.mu.Unlock()
 			continue
 		}
 		j.state = JobRunning
+		j.startedAt = time.Now()
+		s.queueWait.Observe(j.startedAt.Sub(j.submittedAt))
 		timeout := j.timeout
 		s.mu.Unlock()
 
@@ -193,6 +212,8 @@ func (s *Scheduler) worker() {
 			j.result = res
 			s.completed.Inc()
 		}
+		j.doneAt = time.Now()
+		s.runTime.Observe(j.doneAt.Sub(j.startedAt))
 		close(j.done)
 		s.mu.Unlock()
 	}
@@ -206,7 +227,9 @@ func (s *Scheduler) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// View snapshots a job for the wire.
+// View snapshots a job for the wire, including its queue-wait and run
+// durations: final for terminal jobs, live (still growing) for queued
+// and running ones.
 func (s *Scheduler) View(j *Job) JobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -217,11 +240,33 @@ func (s *Scheduler) View(j *Job) JobView {
 		Params:   j.params,
 		Error:    j.err,
 	}
+	now := time.Now()
+	switch {
+	case j.state == JobQueued:
+		v.QueueMs = ms(now.Sub(j.submittedAt))
+	case j.startedAt.IsZero(): // canceled while queued
+		v.QueueMs = ms(j.doneAt.Sub(j.submittedAt))
+	case j.state == JobRunning:
+		v.QueueMs = ms(j.startedAt.Sub(j.submittedAt))
+		v.RunMs = ms(now.Sub(j.startedAt))
+	default:
+		v.QueueMs = ms(j.startedAt.Sub(j.submittedAt))
+		v.RunMs = ms(j.doneAt.Sub(j.startedAt))
+	}
 	if j.result != nil {
 		r := *j.result
 		v.Result = &r
 	}
 	return v
+}
+
+// ms renders a duration in fractional milliseconds for the wire.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Durations returns the aggregate queue-wait and run timers for
+// /metrics.
+func (s *Scheduler) Durations() (queueWait, runTime *metrics.Timer) {
+	return &s.queueWait, &s.runTime
 }
 
 // Counts returns the lifecycle counters (submitted, completed, failed,

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"smoothproc/internal/eqlang"
@@ -28,6 +29,10 @@ type Config struct {
 	// and 1024).
 	SpecCacheSize   int
 	ResultCacheSize int
+	// SessionCacheSize bounds the live solve sessions (default 64). Each
+	// session retains its search frontier and evaluator memo, so this cap
+	// is the server's incremental-state memory knob.
+	SessionCacheSize int
 	// MaxDepth caps the probe depth a request may ask for (default 12).
 	MaxDepth int
 	// MaxNodes caps (and defaults) the per-search node budget (default
@@ -60,6 +65,9 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheSize <= 0 {
 		c.ResultCacheSize = 1024
 	}
+	if c.SessionCacheSize <= 0 {
+		c.SessionCacheSize = 64
+	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 12
 	}
@@ -81,21 +89,35 @@ func (c Config) withDefaults() Config {
 type compiledSpec struct {
 	prog     *eqlang.Program
 	findings []specvet.Diagnostic
+	// elims are the structured Theorems 5/6 verdicts; the delta-solve
+	// endpoint is gated on them.
+	elims []specvet.ElimVerdict
 }
 
 // Server wires the caches, the scheduler and the HTTP surface together.
 type Server struct {
-	cfg     Config
-	sched   *Scheduler
-	specs   *LRU[string, compiledSpec]
-	results *LRU[resultKey, SolveResult]
-	mux     *http.ServeMux
+	cfg      Config
+	sched    *Scheduler
+	specs    *LRU[string, compiledSpec]
+	results  *LRU[resultKey, SolveResult]
+	sessions *LRU[string, *sessionEntry]
+	sessMu   sync.Mutex // serializes session create-or-get
+	mux      *http.ServeMux
 
 	requests      metrics.Counter
 	compiles      metrics.Counter
 	compileErrors metrics.Counter
 	nodesSearched metrics.Counter
 	solutions     metrics.Counter
+	// Session and streaming traffic: how often incremental state was
+	// created, deepened (resumes), served as-is (replays), answered by a
+	// Theorem 5/6 projection (deltas), and how many solutions were pushed
+	// over live streams.
+	sessionCreates metrics.Counter
+	sessionResumes metrics.Counter
+	sessionReplays metrics.Counter
+	deltaSolves    metrics.Counter
+	streamed       metrics.Counter
 	// Work-stealing residue accumulated across parallel searches: steal
 	// events, worker parks, and memo in-flight waits. Scheduling noise by
 	// nature (never part of cached results), but the totals show whether
@@ -111,16 +133,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth),
-		specs:   NewLRU[string, compiledSpec](cfg.SpecCacheSize),
-		results: NewLRU[resultKey, SolveResult](cfg.ResultCacheSize),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
+		cfg:      cfg,
+		sched:    NewScheduler(cfg.Workers, cfg.QueueDepth),
+		specs:    NewLRU[string, compiledSpec](cfg.SpecCacheSize),
+		results:  NewLRU[resultKey, SolveResult](cfg.ResultCacheSize),
+		sessions: NewLRU[string, *sessionEntry](cfg.SessionCacheSize),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/specs", s.handleSpecs)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/stream", s.handleSolveStream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{hash}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/sessions/{hash}/resume", s.handleSessionResume)
+	s.mux.HandleFunc("POST /v1/sessions/{hash}/delta", s.handleSessionDelta)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -184,7 +212,7 @@ func (s *Server) compile(source string) (hash string, spec compiledSpec, cached 
 		s.compileErrors.Inc()
 		return "", compiledSpec{}, false, &VetError{Findings: vr.Findings}
 	}
-	spec = compiledSpec{prog: vr.Program, findings: vr.Findings}
+	spec = compiledSpec{prog: vr.Program, findings: vr.Findings, elims: vr.Eliminations}
 	s.specs.Put(hash, spec)
 	return hash, spec, false, nil
 }
@@ -243,6 +271,33 @@ func compileErrorBody(err error, source string) ErrorBody {
 	return body
 }
 
+// resolveSpec turns a request's source-or-hash pair into a compiled
+// spec, writing the error response itself when it cannot (false return).
+func (s *Server) resolveSpec(w http.ResponseWriter, source, specHash string) (hash string, spec compiledSpec, ok bool) {
+	switch {
+	case source != "" && specHash != "":
+		writeError(w, http.StatusBadRequest, errors.New("service: give source or spec_hash, not both"))
+		return "", compiledSpec{}, false
+	case source != "":
+		var err error
+		if hash, spec, _, err = s.compile(source); err != nil {
+			writeJSON(w, http.StatusBadRequest, compileErrorBody(err, source))
+			return "", compiledSpec{}, false
+		}
+		return hash, spec, true
+	case specHash != "":
+		spec, found := s.specs.Get(specHash)
+		if !found {
+			writeError(w, http.StatusNotFound, errors.New("service: unknown spec hash (upload it via /v1/specs)"))
+			return "", compiledSpec{}, false
+		}
+		return specHash, spec, true
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("service: need source or spec_hash"))
+		return "", compiledSpec{}, false
+	}
+}
+
 // params normalizes a solve request against the server caps.
 func (s *Server) params(req SolveRequest, prog *eqlang.Program) SolveParams {
 	p := SolveParams{Depth: req.Depth, MaxNodes: req.MaxNodes, Workers: req.Workers}
@@ -266,13 +321,18 @@ func (s *Server) timeout(req SolveRequest) time.Duration {
 	return min(d, s.cfg.MaxTimeout)
 }
 
-// solve runs one search — the unit of served work. It is the only place
-// the service touches the solver.
+// solve runs one from-scratch search; solveProblem is shared with the
+// streaming endpoint (which adds a solution callback), and wireResult
+// with the session endpoints (whose searches run inside a session).
 func (s *Server) solve(ctx context.Context, prog *eqlang.Program, p SolveParams) *SolveResult {
 	problem := prog.Problem()
+	problem.CollectVisited = !s.cfg.NoVisited
+	return s.solveProblem(ctx, problem, p)
+}
+
+func (s *Server) solveProblem(ctx context.Context, problem solver.Problem, p SolveParams) *SolveResult {
 	problem.MaxDepth = p.Depth
 	problem.MaxNodes = p.MaxNodes
-	problem.CollectVisited = !s.cfg.NoVisited
 	problem.Compiled = s.cfg.Compiled
 	start := time.Now()
 	var res solver.Result
@@ -281,12 +341,25 @@ func (s *Server) solve(ctx context.Context, prog *eqlang.Program, p SolveParams)
 	} else {
 		res = solver.Enumerate(ctx, problem)
 	}
-	s.nodesSearched.Add(int64(res.Nodes))
-	s.solutions.Add(int64(len(res.Solutions)))
+	s.countSearch(res, res.Nodes, len(res.Solutions))
+	return wireResult(res, start)
+}
+
+// countSearch feeds the search counters. newNodes and newSolutions are
+// what this search actually classified — for a resumed session leg that
+// is the growth beyond the retained prefix, so nodes_searched_total
+// reflects real work, not re-reported prefixes.
+func (s *Server) countSearch(res solver.Result, newNodes, newSolutions int) {
+	s.nodesSearched.Add(int64(newNodes))
+	s.solutions.Add(int64(newSolutions))
 	s.steals.Add(res.Stats.Steals)
 	s.idleWaits.Add(res.Stats.IdleWaits)
 	s.inflightWaits.Add(res.Stats.Eval.InflightWaits)
-	out := &SolveResult{
+}
+
+// wireResult converts a solver result to the wire form.
+func wireResult(res solver.Result, start time.Time) *SolveResult {
+	return &SolveResult{
 		Solutions:  res.SolutionKeys(),
 		Frontier:   len(res.Frontier),
 		DeadLeaves: len(res.DeadLeaves),
@@ -296,7 +369,6 @@ func (s *Server) solve(ctx context.Context, prog *eqlang.Program, p SolveParams)
 		Stats:      res.Stats.Report().Deterministic(),
 		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
 	}
-	return out
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -306,32 +378,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var hash string
-	var prog *eqlang.Program
-	switch {
-	case req.Source != "" && req.SpecHash != "":
-		writeError(w, http.StatusBadRequest, errors.New("service: give source or spec_hash, not both"))
-		return
-	case req.Source != "":
-		var err error
-		var spec compiledSpec
-		if hash, spec, _, err = s.compile(req.Source); err != nil {
-			writeJSON(w, http.StatusBadRequest, compileErrorBody(err, req.Source))
-			return
-		}
-		prog = spec.prog
-	case req.SpecHash != "":
-		spec, ok := s.specs.Get(req.SpecHash)
-		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("service: unknown spec hash (upload it via /v1/specs)"))
-			return
-		}
-		prog = spec.prog
-		hash = req.SpecHash
-	default:
-		writeError(w, http.StatusBadRequest, errors.New("service: need source or spec_hash"))
+	hash, spec, ok := s.resolveSpec(w, req.Source, req.SpecHash)
+	if !ok {
 		return
 	}
+	prog := spec.prog
 
 	p := s.params(req, prog)
 	key := resultKey{hash: hash, params: p}
@@ -417,6 +468,19 @@ func (s *Server) Metrics() report.Stats {
 	jobs.Add("failed", failed, "")
 	jobs.Add("canceled", canceled, "")
 	jobs.AddInt("queued", s.sched.QueueDepth())
+	queueWait, runTime := s.sched.Durations()
+	jobs.Add("queue wait total", queueWait.TotalNanos(), "ns")
+	jobs.Add("queue wait count", queueWait.Count(), "")
+	jobs.Add("run total", runTime.TotalNanos(), "ns")
+	jobs.Add("run count", runTime.Count(), "")
+
+	sessions := report.Section{Name: "sessions"}
+	sessions.Add("created", s.sessionCreates.Load(), "")
+	sessions.Add("resumed", s.sessionResumes.Load(), "")
+	sessions.Add("replayed", s.sessionReplays.Load(), "")
+	sessions.Add("delta solves", s.deltaSolves.Load(), "")
+	sessions.Add("solutions streamed", s.streamed.Load(), "")
+	sessions.AddInt("live", s.sessions.Len())
 
 	search := report.Section{Name: "search"}
 	search.Add("nodes searched total", s.nodesSearched.Load(), "")
@@ -425,7 +489,7 @@ func (s *Server) Metrics() report.Stats {
 	search.Add("idle waits total", s.idleWaits.Load(), "sched")
 	search.Add("memo inflight waits total", s.inflightWaits.Load(), "sched")
 
-	return report.Stats{Sections: []report.Section{server, cache, jobs, search}}
+	return report.Stats{Sections: []report.Section{server, cache, jobs, sessions, search}}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"smoothproc/internal/session"
+	"smoothproc/internal/specvet"
+)
+
+// sessionEntry pairs a live solve session with the static-analysis
+// verdicts that gate its delta-solves, so deltas keep working after the
+// spec LRU evicts the compiled spec.
+type sessionEntry struct {
+	sess  *session.Session
+	elims []specvet.ElimVerdict
+}
+
+// sessionFor returns the session for a compiled spec, creating it on
+// first use. Serialized so concurrent creates converge on one session
+// (whose evaluator memo and frontier they then share).
+func (s *Server) sessionFor(hash string, spec compiledSpec) *sessionEntry {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if e, ok := s.sessions.Get(hash); ok {
+		return e
+	}
+	p := spec.prog.Problem()
+	// Sessions retain their state between solves, so never pin the
+	// visited-node list; the wire result does not carry it anyway.
+	p.CollectVisited = false
+	p.Compiled = s.cfg.Compiled
+	e := &sessionEntry{sess: session.New(hash, p, spec.prog.System), elims: spec.elims}
+	s.sessions.Put(hash, e)
+	s.sessionCreates.Inc()
+	return e
+}
+
+// sessionView snapshots a session for the wire.
+func sessionView(hash string, e *sessionEntry) SessionView {
+	solves, resumes, replays := e.sess.Counts()
+	return SessionView{
+		SpecHash:    hash,
+		Depth:       e.sess.Depth(),
+		Nodes:       e.sess.Nodes(),
+		Frontier:    e.sess.FrontierSize(),
+		MemoEntries: e.sess.MemoEntries(),
+		Solves:      solves,
+		Resumes:     resumes,
+		Replays:     replays,
+	}
+}
+
+// sessionParams clamps a session request's bounds like a solve's, except
+// that Depth 0 is kept (meaning "the session's current depth") instead
+// of defaulting to the spec's.
+func (s *Server) sessionParams(req SessionRequest) SolveParams {
+	p := SolveParams{Depth: req.Depth, MaxNodes: req.MaxNodes, Workers: req.Workers}
+	p.Depth = min(p.Depth, s.cfg.MaxDepth)
+	if p.MaxNodes <= 0 || p.MaxNodes > s.cfg.MaxNodes {
+		p.MaxNodes = s.cfg.MaxNodes
+	}
+	p.Workers = max(p.Workers, 1)
+	p.Workers = min(p.Workers, 4*runtime.GOMAXPROCS(0))
+	return p
+}
+
+// runSession schedules one session leg on the worker pool, waits for it
+// and writes the SessionView response. The solve runs under the job's
+// deadline: a timed-out leg returns its sound truncated result and the
+// session stays resumable from the retained queue.
+func (s *Server) runSession(w http.ResponseWriter, r *http.Request, hash string, e *sessionEntry, req SessionRequest) {
+	p := s.sessionParams(req)
+	var outcome session.Outcome
+	start := time.Now()
+	job, err := s.sched.Submit(hash, p, s.timeout(SolveRequest{TimeoutMs: req.TimeoutMs}), func(ctx context.Context) (*SolveResult, error) {
+		// The prefix's nodes and solutions were counted by the legs that
+		// classified them; feed the counters only the growth.
+		prevNodes := e.sess.Nodes()
+		prevRes, _ := e.sess.Result()
+		res, out, err := e.sess.Solve(ctx, session.Options{
+			Depth:    p.Depth,
+			MaxNodes: p.MaxNodes,
+			Workers:  p.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		outcome = out
+		s.countSearch(res, res.Nodes-prevNodes, len(res.Solutions)-len(prevRes.Solutions))
+		return wireResult(res, start), nil
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client went away; the leg keeps running and the session
+		// absorbs it — the job stays pollable.
+		writeJSON(w, http.StatusAccepted, s.sched.View(job))
+		return
+	}
+	view := s.sched.View(job)
+	if view.State == JobFailed {
+		status := http.StatusConflict // depth shrink, exhausted budget
+		writeError(w, status, errors.New(view.Error))
+		return
+	}
+	switch outcome {
+	case session.Resumed:
+		s.sessionResumes.Inc()
+	case session.Replayed:
+		s.sessionReplays.Inc()
+	}
+	sv := sessionView(hash, e)
+	sv.Outcome = outcome.String()
+	sv.Result = view.Result
+	writeJSON(w, http.StatusOK, sv)
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	hash, spec, ok := s.resolveSpec(w, req.Source, req.SpecHash)
+	if !ok {
+		return
+	}
+	e := s.sessionFor(hash, spec)
+	if req.Depth <= 0 {
+		req.Depth = spec.prog.Depth
+	}
+	s.runSession(w, r, hash, e, req)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	hash := r.PathValue("hash")
+	e, ok := s.sessions.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no session for this spec hash (create one via POST /v1/sessions)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionView(hash, e))
+}
+
+func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	hash := r.PathValue("hash")
+	e, ok := s.sessions.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no session for this spec hash (create one via POST /v1/sessions)"))
+		return
+	}
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Source != "" || req.SpecHash != "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: resume addresses the session by the path hash; drop source/spec_hash"))
+		return
+	}
+	s.runSession(w, r, hash, e, req)
+}
+
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	hash := r.PathValue("hash")
+	e, ok := s.sessions.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no session for this spec hash (create one via POST /v1/sessions)"))
+		return
+	}
+	var req DeltaRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Channel == "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: delta needs a channel"))
+		return
+	}
+
+	// The gate: only spec edits the static analyzer certified as
+	// Theorem 5/6 eliminations may reuse session state.
+	verdict, ok := eliminableVerdict(e.elims, req.Channel)
+	if !ok {
+		reason := "no defining description for the channel"
+		for _, v := range e.elims {
+			if v.Channel == req.Channel {
+				reason = v.Reason
+			}
+		}
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("service: channel %s is not eliminable (%s); solve the edited spec from scratch", req.Channel, reason))
+		return
+	}
+
+	d, err := e.sess.Delta(verdict.Index, req.Channel)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.deltaSolves.Inc()
+	view := DeltaView{
+		SpecHash:  hash,
+		Channel:   d.Channel,
+		Desc:      verdict.Desc,
+		Index:     d.Index,
+		FromNodes: d.FromNodes,
+	}
+	for _, desc := range d.System.Descs {
+		view.System = append(view.System, desc.String())
+	}
+	for _, t := range d.Solutions {
+		view.Solutions = append(view.Solutions, t.String())
+	}
+	if req.Check {
+		rep, err := e.sess.DeltaCheck(r.Context(), d, req.Workers)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("service: delta differential check failed: %w", err))
+			return
+		}
+		view.Check = &DeltaCheckView{
+			FreshNodes:    rep.FreshNodes,
+			Matched:       rep.Matched,
+			BeyondHorizon: rep.BeyondHorizon,
+		}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func eliminableVerdict(vs []specvet.ElimVerdict, channel string) (specvet.ElimVerdict, bool) {
+	for _, v := range vs {
+		if v.Channel == channel && v.Eliminable {
+			return v, true
+		}
+	}
+	return specvet.ElimVerdict{}, false
+}

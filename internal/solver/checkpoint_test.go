@@ -1,0 +1,233 @@
+package solver
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"smoothproc/internal/trace"
+)
+
+// expectResultsEqual compares the complete observable result — slices,
+// counters, deterministic stats — between a resumed and a cold search.
+func expectResultsEqual(t *testing.T, what string, got, want Result) {
+	t.Helper()
+	if got.Nodes != want.Nodes || got.Truncated != want.Truncated || got.Canceled != want.Canceled {
+		t.Errorf("%s: nodes/flags: got (%d,%v,%v), want (%d,%v,%v)",
+			what, got.Nodes, got.Truncated, got.Canceled, want.Nodes, want.Truncated, want.Canceled)
+	}
+	for _, s := range []struct {
+		name      string
+		got, want []trace.Trace
+	}{
+		{"solutions", got.Solutions, want.Solutions},
+		{"frontier", got.Frontier, want.Frontier},
+		{"dead leaves", got.DeadLeaves, want.DeadLeaves},
+		{"visited", got.Visited, want.Visited},
+	} {
+		if len(s.got) != len(s.want) {
+			t.Errorf("%s: %s: %d traces, want %d", what, s.name, len(s.got), len(s.want))
+			continue
+		}
+		for i := range s.got {
+			if !s.got[i].Equal(s.want[i]) {
+				t.Errorf("%s: %s[%d] = %s, want %s", what, s.name, i, s.got[i], s.want[i])
+				break
+			}
+		}
+	}
+	if g, w := got.Stats.Deterministic(), want.Stats.Deterministic(); !reflect.DeepEqual(g, w) {
+		t.Errorf("%s: deterministic stats diverged:\n got %+v\nwant %+v", what, g, w)
+	}
+}
+
+// TestCaptureResumeFinalMatchesCold is the core deepening contract: a
+// capture at depth d resumed in Final mode to depth D is byte-identical
+// to a cold plain solve at D — result slices, fingerprint counters and
+// evaluator hit/apply counts — across sequential and parallel legs in
+// every combination.
+func TestCaptureResumeFinalMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	const capDepth, fullDepth = 2, 5
+	cold := Enumerate(ctx, dfmProblem(fullDepth))
+	if err := cold.Stats.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name                      string
+		capWorkers, resumeWorkers int
+	}{
+		{"seq-seq", 1, 1},
+		{"seq-par", 1, 3},
+		{"par-seq", 3, 1},
+		{"par-par", 2, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var capRes Result
+			var cp *Checkpoint
+			if tc.capWorkers > 1 {
+				capRes, cp = EnumerateParallelCapture(ctx, dfmProblem(capDepth), tc.capWorkers)
+			} else {
+				capRes, cp = EnumerateCapture(ctx, dfmProblem(capDepth))
+			}
+			if err := capRes.Stats.CheckInvariants(false); err != nil {
+				t.Fatal(err)
+			}
+			if capRes.Nodes >= cold.Nodes {
+				t.Fatalf("capture at depth %d classified %d nodes, not fewer than the %d at depth %d",
+					capDepth, capRes.Nodes, cold.Nodes, fullDepth)
+			}
+			res, err := cp.Resume(ctx, ResumeOpts{MaxDepth: fullDepth, Workers: tc.resumeWorkers, Final: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectResultsEqual(t, tc.name, res, cold)
+			if cp.Resumable() {
+				t.Error("checkpoint still resumable after a Final resume")
+			}
+			if _, err := cp.Resume(ctx, ResumeOpts{MaxDepth: fullDepth + 1}); err == nil {
+				t.Error("resume after Final should fail")
+			}
+		})
+	}
+}
+
+// TestCaptureResumeChain deepens one checkpoint across several capture
+// legs; each leg's Solutions and classifications must match a cold solve
+// at that leg's depth, and the final leg resumed Final must match cold
+// byte for byte.
+func TestCaptureResumeChain(t *testing.T) {
+	ctx := context.Background()
+	_, cp := EnumerateCapture(ctx, dfmProblem(1))
+	for depth := 2; depth <= 4; depth++ {
+		res, err := cp.Resume(ctx, ResumeOpts{MaxDepth: depth, Workers: depth % 3})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		cold := Enumerate(ctx, dfmProblem(depth))
+		// Capture-mode legs classify identically to cold; only bound-level
+		// edge accounting differs (see the package comment in checkpoint.go).
+		if got, want := res.SolutionKeys(), cold.SolutionKeys(); !reflect.DeepEqual(got, want) {
+			t.Errorf("depth %d: solutions %v, want %v", depth, got, want)
+		}
+		if res.Nodes != cold.Nodes || len(res.Frontier) != len(cold.Frontier) || len(res.DeadLeaves) != len(cold.DeadLeaves) {
+			t.Errorf("depth %d: classification counts (%d,%d,%d), want (%d,%d,%d)",
+				depth, res.Nodes, len(res.Frontier), len(res.DeadLeaves),
+				cold.Nodes, len(cold.Frontier), len(cold.DeadLeaves))
+		}
+		if err := res.Stats.CheckInvariants(false); err != nil {
+			t.Errorf("depth %d: %v", depth, err)
+		}
+	}
+	res, err := cp.Resume(ctx, ResumeOpts{MaxDepth: 5, Final: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectResultsEqual(t, "chained final", res, Enumerate(ctx, dfmProblem(5)))
+}
+
+// TestCaptureBudgetResume truncates a capture with MaxNodes below the
+// first depth-bound level and resumes it unbounded: the pending queue
+// must carry the cut exactly, and the final result must match cold.
+func TestCaptureBudgetResume(t *testing.T) {
+	ctx := context.Background()
+	const depth = 4
+	cold := Enumerate(ctx, dfmProblem(depth))
+	if cold.Nodes < 12 {
+		t.Fatalf("test wants a tree bigger than 12 nodes, got %d", cold.Nodes)
+	}
+	for _, workers := range []int{1, 3} {
+		p := dfmProblem(depth)
+		p.MaxNodes = 7
+		var capRes Result
+		var cp *Checkpoint
+		if workers > 1 {
+			capRes, cp = EnumerateParallelCapture(ctx, p, workers)
+		} else {
+			capRes, cp = EnumerateCapture(ctx, p)
+		}
+		if !capRes.Truncated {
+			t.Fatalf("w%d: capture with MaxNodes=7 not truncated", workers)
+		}
+		if cp.PendingSize() == 0 {
+			t.Fatalf("w%d: truncated capture retained no pending nodes", workers)
+		}
+		res, err := cp.Resume(ctx, ResumeOpts{MaxDepth: depth, Workers: workers, Final: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A parallel truncated capture may have evaluated uncommitted
+		// nodes, so evaluator counters are compared only for the
+		// sequential leg; classifications must match either way.
+		if workers == 1 {
+			expectResultsEqual(t, "budget-resume-w1", res, cold)
+		} else {
+			if got, want := res.SolutionKeys(), cold.SolutionKeys(); !reflect.DeepEqual(got, want) {
+				t.Errorf("w%d: solutions %v, want %v", workers, got, want)
+			}
+			if res.Nodes != cold.Nodes {
+				t.Errorf("w%d: %d nodes, want %d", workers, res.Nodes, cold.Nodes)
+			}
+		}
+	}
+}
+
+// TestResumeValidation pins the guard rails: shrinking depth, exhausted
+// budgets and same-depth Final resumes over a live frontier all fail.
+func TestResumeValidation(t *testing.T) {
+	ctx := context.Background()
+	_, cp := EnumerateCapture(ctx, dfmProblem(2))
+	if _, err := cp.Resume(ctx, ResumeOpts{MaxDepth: 1}); err == nil {
+		t.Error("resume below the captured depth should fail")
+	}
+	if _, err := cp.Resume(ctx, ResumeOpts{MaxDepth: 4, MaxNodes: cp.Nodes()}); err == nil {
+		t.Error("resume with an already-spent budget should fail")
+	}
+	if cp.FrontierSize() > 0 {
+		if _, err := cp.Resume(ctx, ResumeOpts{Final: true}); err == nil {
+			t.Error("same-depth Final resume over a live frontier should fail")
+		}
+	}
+}
+
+// TestOnSolutionStreamsCanonically checks the streaming hook: sequential
+// and parallel searches emit the same solutions, in the same canonical
+// order as Result.Solutions, and a resume emits exactly the new ones.
+func TestOnSolutionStreamsCanonically(t *testing.T) {
+	ctx := context.Background()
+	p := dfmProblem(4)
+	var seq []string
+	p.OnSolution = func(tr trace.Trace) { seq = append(seq, tr.String()) }
+	res := Enumerate(ctx, p)
+	if len(seq) != len(res.Solutions) {
+		t.Fatalf("sequential emitted %d, result has %d", len(seq), len(res.Solutions))
+	}
+	for i, tr := range res.Solutions {
+		if seq[i] != tr.String() {
+			t.Fatalf("sequential emission[%d] = %s, want %s", i, seq[i], tr)
+		}
+	}
+
+	var par []string
+	pp := dfmProblem(4)
+	pp.OnSolution = func(tr trace.Trace) { par = append(par, tr.String()) }
+	EnumerateParallel(ctx, pp, 4)
+	if !reflect.DeepEqual(par, seq) {
+		t.Errorf("parallel emission order %v, want %v", par, seq)
+	}
+
+	// Resume emits only the new solutions.
+	capP := dfmProblem(2)
+	capRes, cp := EnumerateCapture(ctx, capP)
+	var resumed []string
+	full, err := cp.Resume(ctx, ResumeOpts{MaxDepth: 4, OnSolution: func(tr trace.Trace) {
+		resumed = append(resumed, tr.String())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(full.Solutions) - len(capRes.Solutions); len(resumed) != want {
+		t.Errorf("resume emitted %d solutions, want the %d new ones", len(resumed), want)
+	}
+}

@@ -24,7 +24,12 @@ type nodeOut struct {
 	frontier bool
 	dead     bool
 	closed   bool
-	sons     []trace.Trace
+	// bound marks a depth-bound node visited in capture mode: its sons
+	// were fully expanded for the resume frontier but must never enter
+	// the canonical order (the commit loop skips them; the capture
+	// collection reads them instead).
+	bound bool
+	sons  []trace.Trace
 }
 
 // span is a claimed range of canonical BFS indices [pos, hi). The owner
@@ -61,6 +66,16 @@ type wsState struct {
 	idles    int64
 	stopped  bool // no more work will ever be claimable
 	canceled bool
+
+	// capture selects the checkpoint semantics for depth-bound nodes
+	// (full expansion, sons retained, never committed into order).
+	capture bool
+	// emit, when non-nil, receives each solution as the commit pointer
+	// passes it — canonical order by construction, independent of which
+	// worker classified the node. Called with mu held (commits advance
+	// monotonically under it), so it must not block; see
+	// Problem.OnSolution.
+	emit func(trace.Trace)
 }
 
 // claimable returns how far next may advance right now.
@@ -149,9 +164,15 @@ func (ws *wsState) complete(i int, o nodeOut) {
 	ws.outs[i] = o
 	ws.doneCnt++
 	for ws.committed < len(ws.outs) && ws.outs[ws.committed].done {
-		sons := ws.outs[ws.committed].sons
-		ws.order = append(ws.order, sons...)
-		ws.outs = append(ws.outs, make([]nodeOut, len(sons))...)
+		out := ws.outs[ws.committed]
+		if !out.bound {
+			sons := out.sons
+			ws.order = append(ws.order, sons...)
+			ws.outs = append(ws.outs, make([]nodeOut, len(sons))...)
+		}
+		if out.solution && ws.emit != nil {
+			ws.emit(ws.order[ws.committed])
+		}
 		ws.committed++
 	}
 	ws.cond.Broadcast()
@@ -180,25 +201,45 @@ func (ws *wsState) complete(i int, o nodeOut) {
 // cancelled run keeps the contiguous committed prefix of the canonical
 // order (everything in it is genuine) plus one Skipped node.
 func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
+	s := newSearch(p, false)
+	var res Result
+	res.Stats.Thm1FastPath = s.thm1
+	parLoop(ctx, s, &res, []trace.Trace{root}, workers, nil)
+	res.Stats.Eval = s.e.Snapshot()
+	res.Stats.CompiledEval = s.e.Compiled()
+	return res
+}
+
+// parLoop runs the work-stealing pool over a seed queue (canonical BFS
+// order), folding classifications into res — which, as in seqLoop, may
+// arrive pre-loaded with a resumed search's classified prefix. A non-nil
+// cp selects capture semantics for depth-bound nodes and records the
+// resume frontier and any truncation remainder, exactly mirroring the
+// sequential capture path (see seqLoop).
+func parLoop(ctx context.Context, s *search, res *Result, seed []trace.Trace, workers int, cp *Checkpoint) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := newSearch(p, false)
-	var res Result
+	p := s.p
 	st := &res.Stats
-	st.Thm1FastPath = s.thm1
 	st.Workers = workers
 	start := time.Now()
 
 	ws := &wsState{
-		order: []trace.Trace{root},
-		outs:  make([]nodeOut, 1),
-		limit: math.MaxInt,
-		spans: make([]span, workers),
+		order:   seed,
+		outs:    make([]nodeOut, len(seed)),
+		limit:   math.MaxInt,
+		spans:   make([]span, workers),
+		capture: cp != nil,
+		emit:    p.OnSolution,
 	}
 	ws.cond.L = &ws.mu
 	if p.MaxNodes > 0 {
-		ws.limit = p.MaxNodes
+		// res.Nodes already counts the resumed prefix; the budget for this
+		// leg is whatever the prefix left over (callers validate it is
+		// positive). Claims stop at the limit index, matching sequential
+		// accounting: exactly MaxNodes nodes classified in total.
+		ws.limit = p.MaxNodes - res.Nodes
 	}
 
 	// Per-worker stats shards: classify/expand write edge counters into
@@ -213,7 +254,7 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 			if !ok {
 				return
 			}
-			ws.complete(i, s.visit(cur, shard))
+			ws.complete(i, s.visit(cur, shard, ws.capture))
 		}
 	}
 	var wg sync.WaitGroup
@@ -261,8 +302,23 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 	for w := range shards {
 		st.merge(shards[w])
 	}
-	st.Steals = ws.steals
-	st.IdleWaits = ws.idles
+	st.Steals += ws.steals
+	st.IdleWaits += ws.idles
+
+	// Capture collection, in committed (canonical) order: bound nodes
+	// with sons form the resume frontier; an uncommitted remainder of the
+	// order is the pending queue a truncated capture resumes from.
+	if cp != nil {
+		for i := 0; i < ws.committed; i++ {
+			if o := &ws.outs[i]; o.bound && o.frontier {
+				cp.frontier = append(cp.frontier, frontierEntry{node: ws.order[i], sons: o.sons})
+				st.RetainedSons += len(o.sons)
+			}
+		}
+		if ws.committed < len(ws.order) {
+			cp.pending = append([]trace.Trace(nil), ws.order[ws.committed:]...)
+		}
+	}
 
 	// Truncation accounting, identical to sequential: the first node
 	// past the stopping point is visited but skipped — counted in Nodes
@@ -279,19 +335,30 @@ func EnumerateParallel(ctx context.Context, p Problem, workers int) Result {
 		st.Skipped++
 	}
 
-	st.Elapsed = time.Since(start)
-	st.Eval = s.e.Snapshot()
-	st.CompiledEval = s.e.Compiled()
-	return res
+	st.Elapsed += time.Since(start)
 }
 
 // visit classifies one node: limit condition, role, and — below the
 // depth bound — its admitted sons. Pure with respect to the shared
-// search state; all counters go to the caller's shard.
-func (s *search) visit(cur trace.Trace, shard *SearchStats) nodeOut {
+// search state; all counters go to the caller's shard. capture selects
+// the checkpoint semantics at the depth bound (full expansion retained
+// for the resume frontier; see seqLoop).
+func (s *search) visit(cur trace.Trace, shard *SearchStats, capture bool) nodeOut {
 	var o nodeOut
 	o.solution = s.classify(cur, shard)
 	if cur.Len() >= s.p.MaxDepth {
+		if capture {
+			o.bound = true
+			o.sons = s.expand(cur, shard, nil)
+			if len(o.sons) > 0 {
+				o.frontier = true
+			} else if !o.solution {
+				o.dead = true
+			} else {
+				o.closed = true
+			}
+			return o
+		}
 		if s.hasSon(cur, shard) {
 			o.frontier = true
 		} else if !o.solution {

@@ -76,6 +76,15 @@ type Problem struct {
 	// mechanics for speed. Sides that cannot lower (opaque combinators)
 	// silently keep the interpreter.
 	Compiled bool
+	// OnSolution, when non-nil, is invoked for each smooth solution as it
+	// is classified, always in canonical BFS order — sequentially at
+	// classification time, in the parallel search as the commit pointer
+	// passes the node (so emission order is independent of worker
+	// scheduling). The callback runs on the search's critical path (in
+	// the parallel search it briefly holds the pool lock) and must not
+	// block; buffer and hand off instead. The streaming service endpoint
+	// is the intended consumer.
+	OnSolution func(trace.Trace)
 }
 
 // NewProblem builds a pruned problem with sane defaults.
@@ -231,12 +240,30 @@ func Enumerate(ctx context.Context, p Problem) Result {
 }
 
 func enumerate(ctx context.Context, s *search) Result {
-	p := s.p
 	var res Result
+	res.Stats.Thm1FastPath = s.thm1
+	seqLoop(ctx, s, &res, []trace.Trace{root}, nil)
+	return res
+}
+
+// seqLoop is the sequential BFS core, shared by Enumerate and the
+// checkpoint capture/resume paths. It folds classifications into res,
+// which may arrive pre-loaded with an already-classified prefix (a
+// resumed search); queue seeds the work list in canonical BFS order.
+//
+// A nil cp selects the plain semantics above. A non-nil cp selects
+// capture semantics: depth-bound nodes are fully expanded (instead of
+// probed with hasSon) and their admitted sons retained in cp as the
+// resume frontier, and a truncated run records its unclassified queue
+// remainder as cp.pending. Classification of every node is identical in
+// both modes — a bound node is Frontier iff it has at least one son —
+// only the bound-level edge accounting differs (expand visits every
+// candidate where hasSon stops at the first witness, and never counts
+// FrontierWitnesses). See Checkpoint for how that difference is reported.
+func seqLoop(ctx context.Context, s *search, res *Result, queue []trace.Trace, cp *Checkpoint) {
+	p := s.p
 	st := &res.Stats
-	st.Thm1FastPath = s.thm1
 	start := time.Now()
-	queue := []trace.Trace{root}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -249,11 +276,17 @@ func enumerate(ctx context.Context, s *search) Result {
 			res.Truncated = true
 			res.Canceled = true
 			st.Skipped++
+			if cp != nil {
+				cp.pending = append([]trace.Trace{cur}, queue...)
+			}
 			break
 		}
 		if p.MaxNodes > 0 && res.Nodes > p.MaxNodes {
 			res.Truncated = true
 			st.Skipped++
+			if cp != nil {
+				cp.pending = append([]trace.Trace{cur}, queue...)
+			}
 			break
 		}
 		lvl := st.level(cur.Len())
@@ -263,15 +296,36 @@ func enumerate(ctx context.Context, s *search) Result {
 			res.Solutions = append(res.Solutions, cur)
 			st.Solutions++
 			lvl.Solutions++
+			if p.OnSolution != nil {
+				p.OnSolution(cur)
+			}
 		}
 		if cur.Len() >= p.MaxDepth {
-			if s.hasSon(cur, st) {
+			switch {
+			case cp != nil:
+				// Capture mode: expand the bound node in full so the sons
+				// survive as the resume frontier. The role verdict is the
+				// same as hasSon's (a son exists iff expand admits one);
+				// retained sons must not live in sonBuf.
+				sons := s.expand(cur, st, nil)
+				if len(sons) > 0 {
+					res.Frontier = append(res.Frontier, cur)
+					st.Frontier++
+					cp.frontier = append(cp.frontier, frontierEntry{node: cur, sons: sons})
+					st.RetainedSons += len(sons)
+				} else if !isSolution {
+					res.DeadLeaves = append(res.DeadLeaves, cur)
+					st.Dead++
+				} else {
+					st.Closed++
+				}
+			case s.hasSon(cur, st):
 				res.Frontier = append(res.Frontier, cur)
 				st.Frontier++
-			} else if !isSolution {
+			case !isSolution:
 				res.DeadLeaves = append(res.DeadLeaves, cur)
 				st.Dead++
-			} else {
+			default:
 				st.Closed++
 			}
 			continue
@@ -288,8 +342,7 @@ func enumerate(ctx context.Context, s *search) Result {
 		}
 		queue = append(queue, sons...)
 	}
-	st.Elapsed = time.Since(start)
-	return res
+	st.Elapsed += time.Since(start)
 }
 
 // classify decides the limit condition at a node, with the full

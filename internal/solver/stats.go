@@ -48,6 +48,14 @@ type SearchStats struct {
 	SubtreesPruned    int `json:"subtrees_pruned"`
 	FrontierWitnesses int `json:"frontier_witnesses"`
 
+	// RetainedSons counts kept edges whose son is held in a checkpoint's
+	// resume frontier instead of being visited: a capture-mode search
+	// expands depth-bound nodes in full and retains the sons for a later
+	// resume. Always zero for plain solves and for Final resume legs (the
+	// frontier has been consumed), so cold-vs-resumed fingerprints still
+	// compare byte for byte.
+	RetainedSons int `json:"retained_sons,omitempty"`
+
 	// Thm1FastPath records that the search ran with the Theorem 1 fast
 	// path active: the description's supports are independent and the
 	// induction base f(⊥) ⊑ g(⊥) held (see Problem.Thm1).
@@ -122,8 +130,9 @@ func (s SearchStats) CheckInvariants(truncated bool) error {
 		if s.Skipped != 0 {
 			return fmt.Errorf("solver: stats: %d skipped nodes without truncation", s.Skipped)
 		}
-		if s.Visited != s.EdgesKept+1 {
-			return fmt.Errorf("solver: stats: visited %d ≠ kept edges %d + root", s.Visited, s.EdgesKept)
+		if s.Visited != s.EdgesKept-s.RetainedSons+1 {
+			return fmt.Errorf("solver: stats: visited %d ≠ kept edges %d − retained sons %d + root",
+				s.Visited, s.EdgesKept, s.RetainedSons)
 		}
 	}
 	var lvlNodes, lvlSols, lvlPruned int
@@ -164,6 +173,11 @@ func (s SearchStats) Report() report.Stats {
 	pruning.AddInt("subtrees pruned", s.SubtreesPruned)
 	pruning.AddInt("frontier witnesses", s.FrontierWitnesses)
 	pruning.AddInt("thm1 auto edges", s.Thm1AutoEdges)
+	if s.RetainedSons > 0 {
+		// Only capture-mode (resumable) searches retain sons, so plain
+		// solve goldens are unchanged.
+		pruning.AddInt("retained sons", s.RetainedSons)
+	}
 
 	memo := report.Section{Name: "memo"}
 	memo.Add("cache hits", s.Eval.CacheHits(), "")

@@ -11,8 +11,9 @@ import (
 // FileReport pairs a file name with its findings — the JSON output
 // shape of cmd/specvet and `smoothsolve vet`.
 type FileReport struct {
-	File     string       `json:"file"`
-	Findings []Diagnostic `json:"findings"`
+	File         string        `json:"file"`
+	Findings     []Diagnostic  `json:"findings"`
+	Eliminations []ElimVerdict `json:"eliminations,omitempty"`
 }
 
 // RunCLI implements the vet command line shared by cmd/specvet and
@@ -50,7 +51,7 @@ func RunCLI(prog string, args []string, stdin io.Reader, stdout, stderr io.Write
 			failed = true
 		}
 		if *asJSON {
-			reports = append(reports, FileReport{File: path, Findings: r.Findings})
+			reports = append(reports, FileReport{File: path, Findings: r.Findings, Eliminations: r.Eliminations})
 			continue
 		}
 		fmt.Fprint(stdout, r.Text(path))

@@ -76,12 +76,40 @@ func (d Diagnostic) String() string {
 	return s
 }
 
+// ElimVerdict is the machine-readable Theorems 5/6 verdict for one
+// defining-shaped description b ⟵ h: whether channel b can be
+// eliminated through it, and if not, which side condition blocks it.
+// Unlike the info diagnostics (whose messages are prose), the verdict
+// carries the system index desc.Eliminate needs, so tools — the
+// service's delta-solve endpoint — can act on it without parsing text.
+type ElimVerdict struct {
+	Channel    string `json:"channel"`
+	Desc       string `json:"desc"`
+	Index      int    `json:"index"`
+	Eliminable bool   `json:"eliminable"`
+	Reason     string `json:"reason,omitempty"`
+}
+
 // Result is the analysis of one spec.
 type Result struct {
 	Findings []Diagnostic `json:"findings"`
+	// Eliminations lists the Theorems 5/6 verdicts, one per
+	// defining-shaped description, in system order.
+	Eliminations []ElimVerdict `json:"eliminations,omitempty"`
 	// Program is the compiled program, nil when compilation failed (in
 	// which case Findings holds exactly one error diagnostic).
 	Program *eqlang.Program `json:"-"`
+}
+
+// Eliminable returns the positive verdict for the given channel, if any
+// defining description admits its elimination.
+func (r Result) Eliminable(channel string) (ElimVerdict, bool) {
+	for _, v := range r.Eliminations {
+		if v.Channel == channel && v.Eliminable {
+			return v, true
+		}
+	}
+	return ElimVerdict{}, false
 }
 
 // HasErrors reports whether any finding is an error.
@@ -180,7 +208,9 @@ func Vet(src string) Result {
 	samples := probeTraces(p.Alphabet, probeDepth, maxProbeTraces)
 	r.Findings = append(r.Findings, vetDeclaredContracts(f, p, samples)...)
 	r.Findings = append(r.Findings, vetTheorem1(f, p)...)
-	r.Findings = append(r.Findings, vetElimination(f, p)...)
+	elimDiags, verdicts := vetElimination(f, p)
+	r.Findings = append(r.Findings, elimDiags...)
+	r.Eliminations = verdicts
 	sortFindings(r.Findings)
 	return r
 }
@@ -410,11 +440,13 @@ func vetTheorem1(f *eqlang.File, p *eqlang.Program) []Diagnostic {
 // vetElimination reports, for every defining-shaped description b ⟵ h
 // (left side exactly the history of one channel), whether channel b can
 // be eliminated by Theorems 5/6 — and if not, which side condition
-// blocks it.
-func vetElimination(f *eqlang.File, p *eqlang.Program) []Diagnostic {
+// blocks it. Besides the prose diagnostics it returns the structured
+// verdicts consumers act on (Result.Eliminations).
+func vetElimination(f *eqlang.File, p *eqlang.Program) ([]Diagnostic, []ElimVerdict) {
 	var ds []Diagnostic
+	var vs []ElimVerdict
 	if len(p.System.Descs) < 2 {
-		return ds
+		return ds, vs
 	}
 	for i, d := range p.System.Descs {
 		lhs, ok := f.Descs[i].Lhs.(*eqlang.ChanExpr)
@@ -429,6 +461,7 @@ func vetElimination(f *eqlang.File, p *eqlang.Program) []Diagnostic {
 				Line: stmt.Line, Col: stmt.Col,
 				Message: fmt.Sprintf("channel %s is not eliminable via %s: %v", b, d.Name, err),
 			})
+			vs = append(vs, ElimVerdict{Channel: b, Desc: d.Name, Index: i, Reason: err.Error()})
 			continue
 		}
 		ds = append(ds, Diagnostic{
@@ -436,8 +469,9 @@ func vetElimination(f *eqlang.File, p *eqlang.Program) []Diagnostic {
 			Line: stmt.Line, Col: stmt.Col,
 			Message: fmt.Sprintf("channel %s can be eliminated using %s (Theorems 5/6); the reduced system has the same solutions on the remaining channels", b, d.Name),
 		})
+		vs = append(vs, ElimVerdict{Channel: b, Desc: d.Name, Index: i, Eliminable: true})
 	}
-	return ds
+	return ds, vs
 }
 
 // probeTraces enumerates traces over the alphabet breadth-first up to

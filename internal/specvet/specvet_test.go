@@ -213,3 +213,35 @@ func TestSupportMismatchDoc(t *testing.T) {
 		t.Errorf("constant fn violates its growth bound: %v", err)
 	}
 }
+
+func TestElimVerdicts(t *testing.T) {
+	src := `
+alphabet b = {0}
+alphabet c = {1}
+alphabet d = {0, 1}
+desc even(d) <- b
+desc odd(d)  <- c
+desc b <- [0]
+desc c <- [1]
+`
+	r := Vet(src)
+	if r.HasErrors() {
+		t.Fatalf("vet errors: %v", r.Findings)
+	}
+	v, ok := r.Eliminable("b")
+	if !ok || v.Index != 2 || v.Desc == "" || v.Reason != "" {
+		t.Fatalf("verdict for b: %+v (ok %v)", v, ok)
+	}
+	if _, ok := r.Eliminable("d"); ok {
+		t.Fatal("d has no defining description yet reports eliminable")
+	}
+	// Every defining-shaped description gets a verdict, eliminable or not.
+	if len(r.Eliminations) != 2 {
+		t.Fatalf("eliminations %+v, want verdicts for b and c", r.Eliminations)
+	}
+	for _, v := range r.Eliminations {
+		if !v.Eliminable {
+			t.Errorf("%s via %s unexpectedly blocked: %s", v.Channel, v.Desc, v.Reason)
+		}
+	}
+}

@@ -102,6 +102,67 @@ func solverWorkloads(t *testing.T) map[string]func(b *testing.B) {
 		if spec != "kahn-buffer.eq" {
 			continue
 		}
+		// resume-deepen is the incremental-solve acceptance workload: the
+		// capture at the spec's depth happens off the clock, the timed work
+		// is the Final resume two levels deeper. Against enumerate-d6 (the
+		// same search run cold) it shows what the retained frontier saves.
+		out[spec+"/resume-deepen"] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				half := prog.Problem()
+				_, cp := solver.EnumerateCapture(context.Background(), half)
+				b.StartTimer()
+				res, err := cp.Resume(context.Background(), solver.ResumeOpts{
+					MaxDepth: half.MaxDepth + 2,
+					Final:    true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Solutions) == 0 {
+					b.Fatal("search found nothing")
+				}
+			}
+		}
+		out[spec+"/enumerate-d6"] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := prog.Problem()
+				p.MaxDepth += 2
+				res := solver.Enumerate(context.Background(), p)
+				if len(res.Solutions) == 0 {
+					b.Fatal("search found nothing")
+				}
+			}
+		}
+		// stream-first-solution is the streaming acceptance workload:
+		// time-to-first-solution on a deep search, the latency a
+		// /v1/solve/stream client sees before its first "solution" event.
+		// The search is cancelled at the first solution callback.
+		out[spec+"/stream-first-solution"] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				p := prog.Problem()
+				p.MaxDepth = 8
+				first := 0
+				p.OnSolution = func(trace.Trace) {
+					if first == 0 {
+						cancel()
+					}
+					first++
+				}
+				res := solver.Enumerate(ctx, p)
+				cancel()
+				if first == 0 {
+					b.Fatal("search cancelled before any solution")
+				}
+				if !res.Canceled {
+					b.Fatal("first-solution cancel did not stop the search")
+				}
+			}
+		}
 		for _, workers := range []int{1, 4} {
 			workers := workers
 			out[fmt.Sprintf("%s/enumerate-parallel-w%d", spec, workers)] = func(b *testing.B) {
@@ -190,6 +251,9 @@ func TestPerfGate(t *testing.T) {
 		"fig4-brock-ackermann.eq/enumerate-compiled",
 		"kahn-buffer.eq/enumerate-parallel-w1",
 		"kahn-buffer.eq/enumerate-parallel-w4",
+		"kahn-buffer.eq/resume-deepen",
+		"kahn-buffer.eq/enumerate-d6",
+		"kahn-buffer.eq/stream-first-solution",
 	} {
 		solverGot = append(solverGot, measure(name, sw[name]))
 	}
@@ -216,6 +280,28 @@ func TestPerfGate(t *testing.T) {
 		} else {
 			t.Logf("%s: %.0fns/op — %.2fx the %dns interpreted PR 5 baseline",
 				g.Name, g.NsPerOp, float64(pr5InterpretedKahnNs)/g.NsPerOp, pr5InterpretedKahnNs)
+		}
+	}
+
+	// The incremental-solve acceptance bar, also absolute: resuming a
+	// depth-4 capture to depth 6 classifies only the new nodes, so it can
+	// never cost more than the same depth-6 search run cold (5% noise
+	// allowance). A resume slower than a cold solve means the retained
+	// frontier stopped paying for itself.
+	{
+		byName := map[string]perfEntry{}
+		for _, g := range solverGot {
+			byName[g.Name] = g
+		}
+		resume, cold := byName["kahn-buffer.eq/resume-deepen"], byName["kahn-buffer.eq/enumerate-d6"]
+		if resume.Name != "" && cold.Name != "" {
+			if resume.NsPerOp > cold.NsPerOp*1.05 {
+				t.Errorf("resume-deepen: %.0fns/op is slower than the %.0fns cold depth-6 solve — resuming must skip the classified prefix",
+					resume.NsPerOp, cold.NsPerOp)
+			} else {
+				t.Logf("resume-deepen: %.0fns/op vs %.0fns cold (%.2fx)",
+					resume.NsPerOp, cold.NsPerOp, cold.NsPerOp/resume.NsPerOp)
+			}
 		}
 	}
 
