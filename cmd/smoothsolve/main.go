@@ -6,6 +6,7 @@
 //	smoothsolve [-depth N] [-max-nodes N] [-frontier] [-dead] file.eq
 //	smoothsolve -            # read from stdin
 //	smoothsolve vet [-json] file.eq...   # static analysis only (see cmd/specvet)
+//	smoothsolve plan [-json] [-depth N] file.eq...   # static search-cost plan, no search
 //
 // Example input (the Brock-Ackermann system of Figure 4):
 //
@@ -19,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +29,7 @@ import (
 
 	"smoothproc/internal/eqlang"
 	"smoothproc/internal/solver"
+	"smoothproc/internal/specplan"
 	"smoothproc/internal/specvet"
 )
 
@@ -37,6 +40,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "vet" {
 		return specvet.RunCLI("smoothsolve vet", args[1:], stdin, stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "plan" {
+		return runPlan(args[1:], stdin, stdout, stderr)
 	}
 	fs := flag.NewFlagSet("smoothsolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -168,6 +174,96 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "expectations: %d checked, all hold\n", len(prog.Expects))
 	}
 	return 0
+}
+
+// runPlan is `smoothsolve plan`: derive each spec's static search-cost
+// plan — node bounds, the Theorem 1 partition, per-channel branching —
+// without running any search. This is the same analysis smoothd runs at
+// spec upload for admission control.
+func runPlan(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smoothsolve plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the plan as JSON")
+	depth := fs.Int("depth", 0, "plan at this depth instead of the file's probe depth")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: smoothsolve plan [-json] [-depth N] file.eq...  (use - for stdin)")
+		return 2
+	}
+
+	type filePlan struct {
+		File string         `json:"file"`
+		Plan *specplan.Plan `json:"plan"`
+	}
+	var plans []filePlan
+	for _, path := range fs.Args() {
+		var src []byte
+		var err error
+		if path == "-" {
+			src, err = io.ReadAll(stdin)
+		} else {
+			src, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "smoothsolve plan: %v\n", err)
+			return 1
+		}
+		prog, err := eqlang.CompileSource(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "smoothsolve plan: %s: %v\n", path, err)
+			return 1
+		}
+		d := prog.Depth
+		if *depth > 0 {
+			d = *depth
+		}
+		p := specplan.Analyze(prog.System, prog.Alphabet, d)
+		if *asJSON {
+			plans = append(plans, filePlan{File: path, Plan: p})
+			continue
+		}
+		printPlan(stdout, path, p)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plans); err != nil {
+			fmt.Fprintf(stderr, "smoothsolve plan: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func printPlan(w io.Writer, name string, p *specplan.Plan) {
+	fmt.Fprintf(w, "%s: plan: %s\n", name, p.Summary())
+	fmt.Fprintf(w, "  nodes(%d) in [%s, %s], base holds %v, thm1 fast path %v, shareability %.2f\n",
+		p.Depth, specplan.FormatBound(p.MinNodesBound), specplan.FormatBound(p.NodesBound),
+		p.BaseHolds, p.Thm1FastPath, p.Shareability)
+	if p.MaxPathLen >= 0 {
+		fmt.Fprintf(w, "  max path length %d (constant-bounded right sides)\n", p.MaxPathLen)
+	}
+	for _, cp := range p.Channels {
+		notes := ""
+		if cp.Auto {
+			notes += ", auto (Theorem 1)"
+		}
+		if cp.Dead {
+			notes += ", dead"
+		}
+		if cp.Cap >= 0 && !cp.Dead {
+			notes += fmt.Sprintf(", cap %d", cp.Cap)
+		}
+		fmt.Fprintf(w, "  channel %s: alphabet %d, branch <= %d%s\n", cp.Channel, cp.Alphabet, cp.Bound, notes)
+	}
+	for i, g := range p.Partition {
+		fmt.Fprintf(w, "  partition %d: channels %v descs %v\n", i, g.Channels, g.Descs)
+	}
+	if len(p.OmegaDescs) > 0 {
+		fmt.Fprintf(w, "  omega descs: %v\n", p.OmegaDescs)
+	}
 }
 
 func truncNote(res solver.Result) string {

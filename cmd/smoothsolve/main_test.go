@@ -206,3 +206,42 @@ func TestRunStatsJSON(t *testing.T) {
 		t.Errorf("pruning counter missing or zero in JSON:\n%s", got[start:])
 	}
 }
+
+func TestRunPlanSubcommand(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"plan", "-"}, strings.NewReader(fig4Source), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"plan: nodes(4) <= 121", "branch <= 3/4", "channel c: alphabet 3, branch <= 2", "partition 0:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunPlanJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"plan", "-json", "-depth", "6", "-"}, strings.NewReader(fig4Source), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var plans []struct {
+		File string `json:"file"`
+		Plan struct {
+			Depth       int    `json:"depth"`
+			BranchBound int    `json:"branch_bound"`
+			NodesBound  uint64 `json:"nodes_bound"`
+		} `json:"plan"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &plans); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(plans) != 1 || plans[0].Plan.Depth != 6 || plans[0].Plan.BranchBound != 3 {
+		t.Fatalf("unexpected plan: %+v", plans)
+	}
+	if plans[0].Plan.NodesBound != 1093 {
+		t.Errorf("nodes_bound = %d, want 1093 (geometric sum of 3^i to depth 6)", plans[0].Plan.NodesBound)
+	}
+}

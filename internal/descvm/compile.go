@@ -45,6 +45,14 @@ func Compile(f fn.TraceFn) (*Prog, bool) {
 	if !ok {
 		return nil, false
 	}
+	if verifyOnCompile() {
+		// Debug/CI mode (SMOOTHPROC_VERIFY=1): a program that fails the
+		// static verifier is a compiler bug, never an input condition, so
+		// it must not escape into an evaluator.
+		if err := Verify(p); err != nil {
+			panic(err)
+		}
+	}
 	if progCacheSize.Load() >= progCacheLimit {
 		return p, true
 	}

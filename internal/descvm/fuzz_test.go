@@ -107,3 +107,34 @@ func FuzzEvalMatchesInterpreter(f *testing.F) {
 		}
 	})
 }
+
+// FuzzVerifyNeverRejectsCompiled holds the static verifier sound with
+// respect to the compiler: any program Compile produces — any program
+// Eval would accept work from — must pass Verify. A rejection here is a
+// verifier that drifted stricter than the compiler (or a compiler
+// emitting genuinely malformed code, which the differential fuzz above
+// would also catch).
+func FuzzVerifyNeverRejectsCompiled(f *testing.F) {
+	f.Add([]byte{0, 4})
+	f.Add([]byte{1, 7, 3, 9})
+	f.Add([]byte{0, 11, 5, 6, 2, 9, 10})
+	f.Add([]byte{3, 8})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			t.Skip("function too deep for the budget")
+		}
+		tf := fuzzBuild(ops)
+		p, ok := Compile(tf)
+		if !ok {
+			t.Fatalf("%s: fuzz grammar produced a non-lowerable function", tf.Name)
+		}
+		if err := Verify(p); err != nil {
+			t.Fatalf("%s: verifier rejects a compiled program: %v\n%s", tf.Name, err, p.Disasm())
+		}
+		// The program must also actually evaluate: Verify accepting a
+		// prog Eval would crash on would be vacuous.
+		if got := p.Eval(fuzzTrace(ops)); got.Width() != tf.Out {
+			t.Fatalf("%s: eval width %d, want %d", tf.Name, got.Width(), tf.Out)
+		}
+	})
+}

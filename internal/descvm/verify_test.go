@@ -1,0 +1,128 @@
+package descvm
+
+import (
+	"strings"
+	"testing"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/value"
+)
+
+// mustCompile compiles a function the tests know to be lowerable.
+func mustCompile(t *testing.T, tf fn.TraceFn) *Prog {
+	t.Helper()
+	p, ok := Compile(tf)
+	if !ok {
+		t.Fatalf("%s: not lowerable", tf.Name)
+	}
+	return p
+}
+
+// TestVerifyAcceptsCompiled holds Verify on a spread of compiler
+// outputs: the solo-channel fast path, CSE'd reuse, generic calls,
+// ω-constants and a wide Pair.
+func TestVerifyAcceptsCompiled(t *testing.T) {
+	shared := fn.ApplySeq(fn.Even, fn.ChanFn("a"))
+	funcs := []fn.TraceFn{
+		fn.ChanFn("a"),
+		fn.ConstTraceFn(seq.OfInts(1, 2)),
+		fn.OmegaConstFn("trues", seq.OfBools(true)),
+		fn.ApplySeq(fn.PrependFn(value.Int(0)), fn.ApplySeq(fn.Double, fn.ChanFn("d"))),
+		fn.ApplySeq(fn.CountTs, fn.ChanFn("b")), // opaque SeqFn → generic call
+		fn.ApplyBi(fn.And, fn.ChanFn("b"), fn.ChanFn("c")),
+		fn.ApplyBi(fn.NonStrictAnd, fn.ChanFn("b"), fn.ChanFn("c")), // opaque BiSeqFn
+		fn.Pair(shared, shared, fn.ChanFn("b"), fn.ConstTraceFn(seq.OfInts(7))),
+	}
+	for _, tf := range funcs {
+		if err := Verify(mustCompile(t, tf)); err != nil {
+			t.Errorf("%s: %v", tf.Name, err)
+		}
+	}
+}
+
+// corrupt deep-copies a compiled program so a test can break one
+// invariant without poisoning the prog cache's shared instance.
+func corrupt(p *Prog, mutate func(*Prog)) *Prog {
+	q := &Prog{
+		code:     append([]instr(nil), p.code...),
+		nregs:    p.nregs,
+		outs:     append([]uint16(nil), p.outs...),
+		stable:   append([]bool(nil), p.stable...),
+		soloChan: p.soloChan,
+		chans:    append([]string(nil), p.chans...),
+		consts:   append([]seq.Seq(nil), p.consts...),
+		preds:    append([]func(value.Value) bool(nil), p.preds...),
+		maps:     append([]func(value.Value) value.Value(nil), p.maps...),
+		zips:     append([]func(a, b value.Value) value.Value(nil), p.zips...),
+		seqfns:   append([]fn.SeqFn(nil), p.seqfns...),
+		bifns:    append([]fn.BiSeqFn(nil), p.bifns...),
+		names:    append([]string(nil), p.names...),
+	}
+	mutate(q)
+	return q
+}
+
+// TestVerifyRejectsCorrupted checks every class of invariant the
+// verifier guards, by corrupting a known-good program one way at a time.
+func TestVerifyRejectsCorrupted(t *testing.T) {
+	base := mustCompile(t, fn.Pair(
+		fn.ApplySeq(fn.Even, fn.ChanFn("a")),
+		fn.ApplyBi(fn.And, fn.ChanFn("b"), fn.ChanFn("c")),
+	))
+	if err := Verify(base); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Prog)
+		want   string
+	}{
+		{"nil program is rejected", nil, "nil program"},
+		{"unknown opcode", func(p *Prog) { p.code[0].op = opInvalid }, "unknown opcode"},
+		{"chan table index out of bounds", func(p *Prog) { p.code[0].a = 99 }, "indexes chan table"},
+		{"read before write", func(p *Prog) { p.code[1].b = p.code[len(p.code)-1].dst }, "before it is written"},
+		{"double write", func(p *Prog) { p.code[1].dst = p.code[0].dst }, "rewrites"},
+		{"register out of range", func(p *Prog) { p.code[0].dst = uint16(p.nregs) }, "register file has"},
+		{"register never written", func(p *Prog) { p.nregs++ }, "registers for"},
+		{"no outputs", func(p *Prog) { p.outs = nil }, "no output registers"},
+		{"output out of range", func(p *Prog) { p.outs[0] = uint16(p.nregs) }, "register file has"},
+		{"stray operand on a leaf", func(p *Prog) { p.code[0].b = 1 }, "stray b operand"},
+		{"stable mark off a const", func(p *Prog) { p.stable[0] = true }, "marked stable"},
+		{"stable marks truncated", func(p *Prog) { p.stable = p.stable[:1] }, "stable marks cover"},
+		{"names truncated", func(p *Prog) { p.names = p.names[:1] }, "names cover"},
+		{"nil pred", func(p *Prog) { p.preds[0] = nil }, "pred table entry"},
+		{"bogus soloChan", func(p *Prog) { p.soloChan = 0 }, "soloChan"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var q *Prog
+			if tc.mutate != nil {
+				q = corrupt(base, tc.mutate)
+			}
+			err := Verify(q)
+			if err == nil {
+				t.Fatalf("corruption went undetected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %q, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVerifySoloChanShape pins the fast-path consistency check on the
+// genuine solo program.
+func TestVerifySoloChanShape(t *testing.T) {
+	p := mustCompile(t, fn.ChanFn("e"))
+	if p.soloChan < 0 {
+		t.Fatalf("single channel projection did not take the solo fast path")
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("solo program rejected: %v", err)
+	}
+	bad := corrupt(p, func(q *Prog) { q.soloChan = 1 })
+	if err := Verify(bad); err == nil {
+		t.Fatal("mismatched soloChan index went undetected")
+	}
+}

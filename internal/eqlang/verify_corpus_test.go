@@ -1,0 +1,71 @@
+package eqlang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smoothproc/internal/descvm"
+)
+
+// TestCorpusVerify is the corpus-wide static-verifier sweep: every
+// lowerable side of every program the corpus (and every shipped spec)
+// compiles — both per-description and through the combined Pair the
+// solver actually searches, whose cross-component CSE is the harder
+// shape — must pass descvm.Verify. This is the whole-corpus leg of the
+// verifier's contract: a rejection here is a compiler bug, not a spec
+// property.
+func TestCorpusVerify(t *testing.T) {
+	sources := Corpus()
+	files, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.eq"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no specs found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, string(src))
+	}
+
+	compiled, verified := 0, 0
+	for _, src := range sources {
+		p, err := CompileSource(src)
+		if err != nil {
+			continue // the corpus includes hostile inputs by design
+		}
+		compiled++
+		for _, d := range p.System.Descs {
+			if prog, ok := descvm.Compile(d.F); ok {
+				verified++
+				if err := descvm.Verify(prog); err != nil {
+					t.Errorf("desc %s left side: %v\nspec:\n%s", d.Name, err, src)
+				}
+			}
+			if prog, ok := descvm.Compile(d.G); ok {
+				verified++
+				if err := descvm.Verify(prog); err != nil {
+					t.Errorf("desc %s right side: %v\nspec:\n%s", d.Name, err, src)
+				}
+			}
+		}
+		combined := p.System.Combined()
+		if prog, ok := descvm.Compile(combined.F); ok {
+			verified++
+			if err := descvm.Verify(prog); err != nil {
+				t.Errorf("combined left side: %v\nspec:\n%s", err, src)
+			}
+		}
+		if prog, ok := descvm.Compile(combined.G); ok {
+			verified++
+			if err := descvm.Verify(prog); err != nil {
+				t.Errorf("combined right side: %v\nspec:\n%s", err, src)
+			}
+		}
+	}
+	if compiled == 0 || verified == 0 {
+		t.Fatalf("sweep was vacuous: %d compiled, %d programs verified", compiled, verified)
+	}
+	t.Logf("verified %d programs across %d compiled sources", verified, compiled)
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CompileOK enforces the bytecode-pipeline discipline introduced with
+// descvm.Verify: the compiler's fallibility and the verifier's verdict
+// are load-bearing, never decorative.
+//
+// Two concrete rules:
+//
+//  1. descvm.Compile's ok result must be consumed. A blank `_` for ok —
+//     or dropping both results — turns "this side is opaque, interpret
+//     it" into a nil *Prog dereference or a silently skipped fast path.
+//
+//  2. descvm.Verify's error must be consumed. Verify exists to catch
+//     compiler bugs before a malformed program reaches an evaluator;
+//     `_ = Verify(p)` runs the check and ignores the alarm.
+var CompileOK = &Analyzer{
+	Name: "compileok",
+	Doc:  "descvm.Compile's ok and descvm.Verify's error are consumed, never blanked or dropped",
+	Run:  runCompileOK,
+}
+
+const descvmPath = "smoothproc/internal/descvm"
+
+func runCompileOK(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				// A bare call statement drops every result.
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name := descvmCallee(pass, call); name != "" {
+						pass.Reportf(call.Pos(), "result of descvm.%s dropped: consume the %s", name, resultName(name))
+					}
+				}
+			case *ast.AssignStmt:
+				checkBlankedResult(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankedResult flags `p, _ := descvm.Compile(f)` (ok blanked) and
+// `_ = descvm.Verify(p)` (error blanked). Only the *final* result is
+// the verdict; `_, ok := Compile(f)` legitimately probes lowerability.
+func checkBlankedResult(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name := descvmCallee(pass, call)
+	if name == "" {
+		return
+	}
+	last, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	pass.Reportf(call.Pos(), "descvm.%s's %s blanked: check it (the final result is the verdict)", name, resultName(name))
+}
+
+// descvmCallee returns "Compile" or "Verify" when the call resolves to
+// that descvm function, "" otherwise. Both qualified uses
+// (descvm.Compile) and in-package calls are matched through the type
+// info, so aliased imports don't hide a drop.
+func descvmCallee(pass *Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != descvmPath {
+		return ""
+	}
+	if name := obj.Name(); name == "Compile" || name == "Verify" {
+		return name
+	}
+	return ""
+}
+
+func resultName(callee string) string {
+	if callee == "Verify" {
+		return "error"
+	}
+	return "ok result"
+}

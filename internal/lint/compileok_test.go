@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const compileokSrc = `package fake
+
+import (
+	"smoothproc/internal/descvm"
+	"smoothproc/internal/fn"
+)
+
+func blankOK(f fn.TraceFn) *descvm.Prog {
+	p, _ := descvm.Compile(f) // want: ok blanked
+	return p
+}
+
+func droppedCall(f fn.TraceFn) {
+	descvm.Compile(f) // want: results dropped
+}
+
+func blankVerify(p *descvm.Prog) {
+	_ = descvm.Verify(p) // want: error blanked
+}
+
+func droppedVerify(p *descvm.Prog) {
+	descvm.Verify(p) // want: result dropped
+}
+
+func consumed(f fn.TraceFn) error {
+	p, ok := descvm.Compile(f)
+	if !ok {
+		return nil
+	}
+	return descvm.Verify(p)
+}
+
+func probeOnly(f fn.TraceFn) bool {
+	// Probing lowerability with the program blanked is legitimate: the
+	// final result is consumed.
+	_, ok := descvm.Compile(f)
+	return ok
+}
+
+func suppressed(f fn.TraceFn) {
+	//smoothlint:allow compileok exercising the suppression path
+	descvm.Compile(f)
+}
+`
+
+func TestCompileOK(t *testing.T) {
+	diags := checkSrc(t, "smoothproc/internal/fake", compileokSrc, CompileOK)
+	if len(diags) != 4 {
+		t.Fatalf("got %d findings, want 4: %v", len(diags), diags)
+	}
+	wants := []string{
+		"descvm.Compile's ok result blanked",
+		"result of descvm.Compile dropped",
+		"descvm.Verify's error blanked",
+		"result of descvm.Verify dropped",
+	}
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("finding %d = %q, want it to mention %q", i, diags[i].Message, want)
+		}
+	}
+}

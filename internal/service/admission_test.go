@@ -1,0 +1,126 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+)
+
+// overBudget is the crafted admission-control victim: a Kahn buffer
+// over a 10-symbol alphabet at depth 12. Theorem 1 auto-admits every
+// input event, so the search is *guaranteed* to visit Σ 10^i ≈ 1.1e12
+// nodes — six orders of magnitude over the default 500k budget. The
+// static plan proves that floor without running anything.
+const overBudget = `alphabet a = ints 0 .. 9
+alphabet e = ints 0 .. 9
+depth 12
+desc e <- a
+`
+
+// TestAdmissionRejectsBeforeScheduler holds the acceptance criterion:
+// a predictably over-budget solve gets a structured 422 carrying the
+// plan estimate, and never reaches the scheduler — no job is submitted,
+// no worker burned.
+func TestAdmissionRejectsBeforeScheduler(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Source: overBudget, Wait: true})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	eb := decode[ErrorBody](t, body)
+	if eb.Plan == nil {
+		t.Fatalf("422 body carries no plan estimate: %s", body)
+	}
+	if eb.Plan.PredictedMinNodes <= uint64(eb.Plan.MaxNodes) {
+		t.Errorf("estimate does not justify the rejection: floor %d vs budget %d",
+			eb.Plan.PredictedMinNodes, eb.Plan.MaxNodes)
+	}
+	if eb.Plan.Depth != 12 {
+		t.Errorf("estimate depth = %d, want 12", eb.Plan.Depth)
+	}
+
+	// The stream endpoint runs the same gate.
+	resp, body = postJSON(t, ts.URL+"/v1/solve/stream", SolveRequest{Source: overBudget})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("stream status %d, want 422: %s", resp.StatusCode, body)
+	}
+
+	if submitted, _, _, _ := srv.sched.Counts(); submitted != 0 {
+		t.Errorf("scheduler saw %d jobs; admission control must fire before submission", submitted)
+	}
+	if n, ok := srv.Metrics().Get("admission", "rejected over budget"); !ok || n != 2 {
+		t.Errorf("rejected counter = %d (%v), want 2", n, ok)
+	}
+	if n, _ := srv.Metrics().Get("admission", "admitted"); n != 0 {
+		t.Errorf("admitted counter = %d, want 0", n)
+	}
+}
+
+// TestAdmissionAdmitsWithinBudget: the same spec at its own shallow
+// depth sails through, and the admitted counter says the gate ran.
+func TestAdmissionAdmitsWithinBudget(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Source: overBudget, Depth: 2, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	job := decode[JobView](t, body)
+	if job.State != JobDone || job.Result == nil || job.Result.Truncated {
+		t.Fatalf("admitted solve did not finish cleanly: %+v", job)
+	}
+	if n, ok := srv.Metrics().Get("admission", "admitted"); !ok || n != 1 {
+		t.Errorf("admitted counter = %d (%v), want 1", n, ok)
+	}
+	if submitted, _, _, _ := srv.sched.Counts(); submitted != 1 {
+		t.Errorf("scheduler saw %d jobs, want 1", submitted)
+	}
+}
+
+// twoGroups has two independent descriptions on disjoint channels — a
+// partition of width 2, which the server should pick as the worker
+// count when the client leaves it unset.
+const twoGroups = `alphabet a = {0}
+alphabet e = {0}
+alphabet x = {0}
+alphabet y = {0}
+depth 4
+desc e <- a
+desc y <- x
+`
+
+func TestAutoWorkersFromPartitionWidth(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/specs", SpecRequest{Source: twoGroups})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	info := decode[SpecInfo](t, body)
+	if info.Plan == nil {
+		t.Fatal("spec upload carries no plan")
+	}
+	if info.Plan.PartitionWidth != 2 {
+		t.Fatalf("partition width = %d, want 2", info.Plan.PartitionWidth)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{SpecHash: info.Hash, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	job := decode[JobView](t, body)
+	want := min(2, runtime.GOMAXPROCS(0))
+	if job.Params.Workers != want {
+		t.Errorf("auto-picked workers = %d, want %d (partition width clamped to cores)", job.Params.Workers, want)
+	}
+
+	// An explicit worker count always wins over the plan.
+	resp, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{SpecHash: info.Hash, Workers: 1, Wait: true, NoCache: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit-workers solve: status %d: %s", resp.StatusCode, body)
+	}
+	if job := decode[JobView](t, body); job.Params.Workers != 1 {
+		t.Errorf("explicit workers overridden: got %d, want 1", job.Params.Workers)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"smoothproc/internal/report"
+	"smoothproc/internal/specplan"
 	"smoothproc/internal/specvet"
 )
 
@@ -45,6 +46,10 @@ type SpecInfo struct {
 	// findings never appear here — those reject the upload with 400 and
 	// ride in ErrorBody.Findings instead.
 	Findings []specvet.Diagnostic `json:"findings,omitempty"`
+	// Plan is the static search-cost analysis computed at upload and
+	// cached beside the compiled spec: node bounds, the Theorem 1
+	// partition, per-channel branching. Admission control runs against it.
+	Plan *specplan.Plan `json:"plan,omitempty"`
 }
 
 // VetError is the rejection of a spec that parses or compiles with
@@ -269,6 +274,20 @@ type StreamJob struct {
 	Params   SolveParams `json:"params"`
 }
 
+// PlanEstimate is the admission-control verdict attached to a 422: the
+// static floor on the search the request asked for, against the budget
+// it was allowed. PredictedMinNodes is a sound lower bound (the
+// Theorem 1 auto-admitted subtree), so a rejected solve was *guaranteed*
+// to truncate — the server is not guessing.
+type PlanEstimate struct {
+	Depth             int    `json:"depth"`
+	PredictedMinNodes uint64 `json:"predicted_min_nodes"`
+	// NodesBound is the matching upper bound at the same depth, for scale.
+	NodesBound     uint64 `json:"nodes_bound"`
+	MaxNodes       int    `json:"max_nodes"`
+	PartitionWidth int    `json:"partition_width"`
+}
+
 // ErrorBody is the structured JSON shape of every non-2xx response.
 type ErrorBody struct {
 	Error string `json:"error"`
@@ -279,6 +298,9 @@ type ErrorBody struct {
 	// Findings carries the full static-analysis report when the spec was
 	// rejected by specvet (see VetError).
 	Findings []specvet.Diagnostic `json:"findings,omitempty"`
+	// Plan carries the admission-control estimate when a solve was
+	// rejected as predictably over budget (422).
+	Plan *PlanEstimate `json:"plan,omitempty"`
 }
 
 // specHash names a spec by the SHA-256 of its source text.

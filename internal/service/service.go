@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"smoothproc/internal/metrics"
 	"smoothproc/internal/report"
 	"smoothproc/internal/solver"
+	"smoothproc/internal/specplan"
 	"smoothproc/internal/specvet"
 )
 
@@ -92,6 +94,9 @@ type compiledSpec struct {
 	// elims are the structured Theorems 5/6 verdicts; the delta-solve
 	// endpoint is gated on them.
 	elims []specvet.ElimVerdict
+	// plan is the static search-cost analysis, computed once at upload.
+	// Admission control and worker auto-selection read it on every solve.
+	plan *specplan.Plan
 }
 
 // Server wires the caches, the scheduler and the HTTP surface together.
@@ -109,6 +114,12 @@ type Server struct {
 	compileErrors metrics.Counter
 	nodesSearched metrics.Counter
 	solutions     metrics.Counter
+	// Admission control: solves the static plan admitted, solves it
+	// rejected as guaranteed over budget, and solves whose worker count
+	// the Theorem 1 partition width picked.
+	admitted           metrics.Counter
+	rejectedOverBudget metrics.Counter
+	autoWorkers        metrics.Counter
 	// Session and streaming traffic: how often incremental state was
 	// created, deepened (resumes), served as-is (replays), answered by a
 	// Theorem 5/6 projection (deltas), and how many solutions were pushed
@@ -212,7 +223,7 @@ func (s *Server) compile(source string) (hash string, spec compiledSpec, cached 
 		s.compileErrors.Inc()
 		return "", compiledSpec{}, false, &VetError{Findings: vr.Findings}
 	}
-	spec = compiledSpec{prog: vr.Program, findings: vr.Findings, elims: vr.Eliminations}
+	spec = compiledSpec{prog: vr.Program, findings: vr.Findings, elims: vr.Eliminations, plan: vr.Plan}
 	s.specs.Put(hash, spec)
 	return hash, spec, false, nil
 }
@@ -225,6 +236,7 @@ func specInfo(hash string, spec compiledSpec, cached bool) SpecInfo {
 		Depth:    spec.prog.Depth,
 		Cached:   cached,
 		Findings: spec.findings,
+		Plan:     spec.plan,
 	}
 	for _, d := range spec.prog.System.Descs {
 		info.Descriptions = append(info.Descriptions, d.String())
@@ -298,8 +310,13 @@ func (s *Server) resolveSpec(w http.ResponseWriter, source, specHash string) (ha
 	}
 }
 
-// params normalizes a solve request against the server caps.
-func (s *Server) params(req SolveRequest, prog *eqlang.Program) SolveParams {
+// params normalizes a solve request against the server caps. When the
+// client does not choose a worker count, the spec's plan does: the
+// Theorem 1 partition width is the number of independent channel groups
+// — parallelism beyond it shares no structure to split. Safe to vary
+// per request because SolveResult.Stats is the deterministic report
+// (worker count never changes the answer, only the wall clock).
+func (s *Server) params(req SolveRequest, prog *eqlang.Program, plan *specplan.Plan) SolveParams {
 	p := SolveParams{Depth: req.Depth, MaxNodes: req.MaxNodes, Workers: req.Workers}
 	if p.Depth <= 0 {
 		p.Depth = prog.Depth
@@ -308,9 +325,48 @@ func (s *Server) params(req SolveRequest, prog *eqlang.Program) SolveParams {
 	if p.MaxNodes <= 0 || p.MaxNodes > s.cfg.MaxNodes {
 		p.MaxNodes = s.cfg.MaxNodes
 	}
+	if p.Workers <= 0 && plan != nil && plan.PartitionWidth > 1 {
+		p.Workers = min(plan.PartitionWidth, runtime.GOMAXPROCS(0))
+		s.autoWorkers.Inc()
+	}
 	p.Workers = max(p.Workers, 1)
 	p.Workers = min(p.Workers, 4*runtime.GOMAXPROCS(0))
 	return p
+}
+
+// admit runs static admission control: a request whose *guaranteed*
+// search floor (Plan.MinNodes, the Theorem 1 auto-admitted subtree)
+// exceeds its node budget cannot finish — it would burn a worker only
+// to truncate — so it is rejected up front and never reaches the
+// scheduler. The estimate is returned for the 422 body; nil admits.
+// The upper bound alone never rejects: a small Nodes bound proves a
+// search cheap, but a large one does not prove it expensive.
+func (s *Server) admit(p SolveParams, plan *specplan.Plan) *PlanEstimate {
+	if plan == nil {
+		return nil
+	}
+	lo := plan.MinNodes(p.Depth)
+	if lo <= uint64(p.MaxNodes) {
+		s.admitted.Inc()
+		return nil
+	}
+	s.rejectedOverBudget.Inc()
+	return &PlanEstimate{
+		Depth:             p.Depth,
+		PredictedMinNodes: lo,
+		NodesBound:        plan.Nodes(p.Depth),
+		MaxNodes:          p.MaxNodes,
+		PartitionWidth:    plan.PartitionWidth,
+	}
+}
+
+// rejectOverBudget writes the structured 422 for an inadmissible solve.
+func rejectOverBudget(w http.ResponseWriter, est *PlanEstimate) {
+	writeJSON(w, http.StatusUnprocessableEntity, ErrorBody{
+		Error: fmt.Sprintf("service: solve rejected by admission control: the search visits at least %s nodes at depth %d, over the %d-node budget (lower the depth or raise max_nodes)",
+			specplan.FormatBound(est.PredictedMinNodes), est.Depth, est.MaxNodes),
+		Plan: est,
+	})
 }
 
 func (s *Server) timeout(req SolveRequest) time.Duration {
@@ -384,7 +440,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	prog := spec.prog
 
-	p := s.params(req, prog)
+	p := s.params(req, prog, spec.plan)
+	if est := s.admit(p, spec.plan); est != nil {
+		rejectOverBudget(w, est)
+		return
+	}
 	key := resultKey{hash: hash, params: p}
 	if !req.NoCache {
 		if cached, ok := s.results.Get(key); ok {
@@ -461,6 +521,11 @@ func (s *Server) Metrics() report.Stats {
 	cache.Add("result misses", s.results.Misses(), "")
 	cache.AddInt("result entries", s.results.Len())
 
+	admission := report.Section{Name: "admission"}
+	admission.Add("admitted", s.admitted.Load(), "")
+	admission.Add("rejected over budget", s.rejectedOverBudget.Load(), "")
+	admission.Add("auto workers picked", s.autoWorkers.Load(), "")
+
 	jobs := report.Section{Name: "jobs"}
 	submitted, completed, failed, canceled := s.sched.Counts()
 	jobs.Add("submitted", submitted, "")
@@ -489,7 +554,7 @@ func (s *Server) Metrics() report.Stats {
 	search.Add("idle waits total", s.idleWaits.Load(), "sched")
 	search.Add("memo inflight waits total", s.inflightWaits.Load(), "sched")
 
-	return report.Stats{Sections: []report.Section{server, cache, jobs, sessions, search}}
+	return report.Stats{Sections: []report.Section{server, cache, admission, jobs, sessions, search}}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -83,7 +83,11 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	prog := spec.prog
-	p := s.params(req, prog)
+	p := s.params(req, prog, spec.plan)
+	if est := s.admit(p, spec.plan); est != nil {
+		rejectOverBudget(w, est)
+		return
+	}
 
 	buf := newStreamBuf()
 	key := resultKey{hash: hash, params: p}

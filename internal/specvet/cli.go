@@ -6,14 +6,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"smoothproc/internal/specplan"
 )
 
 // FileReport pairs a file name with its findings — the JSON output
 // shape of cmd/specvet and `smoothsolve vet`.
 type FileReport struct {
-	File         string        `json:"file"`
-	Findings     []Diagnostic  `json:"findings"`
-	Eliminations []ElimVerdict `json:"eliminations,omitempty"`
+	File         string         `json:"file"`
+	Findings     []Diagnostic   `json:"findings"`
+	Eliminations []ElimVerdict  `json:"eliminations,omitempty"`
+	Plan         *specplan.Plan `json:"plan,omitempty"`
 }
 
 // RunCLI implements the vet command line shared by cmd/specvet and
@@ -51,7 +54,7 @@ func RunCLI(prog string, args []string, stdin io.Reader, stdout, stderr io.Write
 			failed = true
 		}
 		if *asJSON {
-			reports = append(reports, FileReport{File: path, Findings: r.Findings, Eliminations: r.Eliminations})
+			reports = append(reports, FileReport{File: path, Findings: r.Findings, Eliminations: r.Eliminations, Plan: r.Plan})
 			continue
 		}
 		fmt.Fprint(stdout, r.Text(path))

@@ -7,14 +7,17 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"smoothproc/internal/specplan"
 )
 
 // specReport is the JSON golden entry for one spec file — the same
 // shape cmd/specvet -json emits.
 type specReport struct {
-	File         string        `json:"file"`
-	Findings     []Diagnostic  `json:"findings"`
-	Eliminations []ElimVerdict `json:"eliminations,omitempty"`
+	File         string         `json:"file"`
+	Findings     []Diagnostic   `json:"findings"`
+	Eliminations []ElimVerdict  `json:"eliminations,omitempty"`
+	Plan         *specplan.Plan `json:"plan,omitempty"`
 }
 
 // vetAllSpecs runs the analyzer over every file in specs/.
@@ -38,7 +41,12 @@ func vetAllSpecs(t *testing.T) []specReport {
 		if r.Program == nil {
 			t.Errorf("%s: shipped spec failed to compile", f)
 		}
-		reports = append(reports, specReport{File: filepath.Base(f), Findings: r.Findings, Eliminations: r.Eliminations})
+		if r.Plan == nil {
+			t.Errorf("%s: shipped spec has no static plan", f)
+		} else if r.Plan.VerifyError != "" {
+			t.Errorf("%s: bytecode verifier rejected a compiled side: %s", f, r.Plan.VerifyError)
+		}
+		reports = append(reports, specReport{File: filepath.Base(f), Findings: r.Findings, Eliminations: r.Eliminations, Plan: r.Plan})
 	}
 	return reports
 }
@@ -50,7 +58,7 @@ func TestSpecsGolden(t *testing.T) {
 
 	var text strings.Builder
 	for _, rep := range reports {
-		r := Result{Findings: rep.Findings}
+		r := Result{Findings: rep.Findings, Plan: rep.Plan}
 		text.WriteString(r.Text(rep.File))
 	}
 	jsonBytes, err := json.MarshalIndent(reports, "", "  ")

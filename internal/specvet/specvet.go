@@ -30,6 +30,7 @@ import (
 	"smoothproc/internal/desc"
 	"smoothproc/internal/eqlang"
 	"smoothproc/internal/fn"
+	"smoothproc/internal/specplan"
 	"smoothproc/internal/trace"
 	"smoothproc/internal/value"
 )
@@ -96,6 +97,10 @@ type Result struct {
 	// Eliminations lists the Theorems 5/6 verdicts, one per
 	// defining-shaped description, in system order.
 	Eliminations []ElimVerdict `json:"eliminations,omitempty"`
+	// Plan is the static search-cost analysis at the spec's declared
+	// depth, nil when compilation failed. The service reuses it for
+	// admission control; the Nodes/MinNodes methods answer any depth.
+	Plan *specplan.Plan `json:"plan,omitempty"`
 	// Program is the compiled program, nil when compilation failed (in
 	// which case Findings holds exactly one error diagnostic).
 	Program *eqlang.Program `json:"-"`
@@ -146,6 +151,9 @@ func (r Result) Text(name string) string {
 	}
 	if len(r.Findings) == 0 {
 		fmt.Fprintf(&b, "%s: clean\n", name)
+	}
+	if r.Plan != nil {
+		fmt.Fprintf(&b, "%s: plan: %s\n", name, r.Plan.Summary())
 	}
 	return b.String()
 }
@@ -201,6 +209,7 @@ func Vet(src string) Result {
 		return r
 	}
 	r.Program = p
+	r.Plan = specplan.Analyze(p.System, p.Alphabet, p.Depth)
 
 	r.Findings = append(r.Findings, vetUnusedAlphabets(f, refs)...)
 	r.Findings = append(r.Findings, vetDuplicateDescs(f)...)

@@ -198,8 +198,9 @@ func TestResultHelpers(t *testing.T) {
 	if !strings.Contains(r.Text("x.eq"), "x.eq:") {
 		t.Error("Text lacks the file prefix")
 	}
-	if clean := Vet("alphabet c = {0}\ndesc c <- c\n"); strings.TrimSpace(clean.Text("y.eq")) != "y.eq: clean" {
-		t.Errorf("clean render = %q", clean.Text("y.eq"))
+	clean := Vet("alphabet c = {0}\ndesc c <- c\n")
+	if got := clean.Text("y.eq"); !strings.HasPrefix(got, "y.eq: clean\n") || !strings.Contains(got, "y.eq: plan: nodes(") {
+		t.Errorf("clean render = %q, want a clean line followed by a plan line", got)
 	}
 }
 
