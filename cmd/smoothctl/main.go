@@ -5,9 +5,11 @@
 // Usage:
 //
 //	smoothctl upload [-addr URL] file.eq
-//	smoothctl solve  [-addr URL] [-hash H | file.eq] [-depth N] [-workers N] [-timeout-ms N] [-async] [-no-cache] [-stream] [-resume]
+//	smoothctl solve  [-addr URL] [-hash H | file.eq] [-depth N] [-workers N] [-timeout-ms N] [-async] [-no-cache] [-stream] [-resume] [-tenant T] [-trace ID]
 //	smoothctl status [-addr URL] job-id
+//	smoothctl jobs   [-addr URL] [-trace] job-id...
 //	smoothctl delta  [-addr URL] (-hash H | file.eq) -channel NAME [-check]
+//	smoothctl store  (stats | ls -kind KIND | gc -max-bytes N) [-addr URL]
 //	smoothctl bench  [-addr URL] [-concurrency N] [-requests N] [-o BENCH_service.json] file.eq
 //
 // solve -stream reads the /v1/solve/stream server-sent event stream and
@@ -54,8 +56,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdSolve(rest, stdin, stdout, stderr)
 	case "status":
 		return cmdStatus(rest, stdout, stderr)
+	case "jobs":
+		return cmdJobs(rest, stdout, stderr)
 	case "delta":
 		return cmdDelta(rest, stdin, stdout, stderr)
+	case "store":
+		return cmdStore(rest, stdout, stderr)
 	case "bench":
 		return cmdBench(rest, stdout, stderr)
 	default:
@@ -72,14 +78,21 @@ commands:
   upload  compile a spec on the server and print its hash
   solve   run the smooth-solution search for a spec
   status  show a job by id
+  jobs    show jobs by id; -trace adds tenant, trace id and spans
   delta   answer a channel elimination from a solve session
+  store   inspect the durable store: stats, ls -kind, gc -max-bytes
   bench   load-test the server and write BENCH_service.json`)
 }
 
-// client is a thin JSON-over-HTTP wrapper around one smoothd.
+// client is a thin JSON-over-HTTP wrapper around one smoothd. When
+// tenant or trace are set, every request carries the matching
+// X-Smoothproc header, so the server bills the work to that tenant and
+// threads the trace id through its scheduler spans.
 type client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	tenant string
+	trace  string
 }
 
 func newClient(addr string) *client {
@@ -87,6 +100,15 @@ func newClient(addr string) *client {
 		addr = "http://" + addr
 	}
 	return &client{base: strings.TrimRight(addr, "/"), http: &http.Client{}}
+}
+
+func (c *client) setHeaders(req *http.Request) {
+	if c.tenant != "" {
+		req.Header.Set("X-Smoothproc-Tenant", c.tenant)
+	}
+	if c.trace != "" {
+		req.Header.Set("X-Smoothproc-Trace", c.trace)
+	}
 }
 
 // call posts body (or GETs when body is nil) and decodes the response
@@ -108,6 +130,7 @@ func (c *client) call(method, path string, body, out any) (int, error) {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.setHeaders(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, err
@@ -143,7 +166,13 @@ func (c *client) stream(path string, body any) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(js))
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(js))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.setHeaders(req)
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +265,8 @@ func cmdSolve(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	noCache := fs.Bool("no-cache", false, "skip the server's result cache")
 	stream := fs.Bool("stream", false, "stream solutions as the search finds them (SSE)")
 	resume := fs.Bool("resume", false, "run in a resumable session; repeating at a larger -depth deepens the previous search")
+	tenant := fs.String("tenant", "", "tenant to bill the work to (X-Smoothproc-Tenant)")
+	trace := fs.String("trace", "", "trace id to thread through the scheduler (X-Smoothproc-Trace)")
 	if fs.Parse(args) != nil {
 		return 2
 	}
@@ -267,6 +298,7 @@ func cmdSolve(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	c := newClient(*addr)
+	c.tenant, c.trace = *tenant, *trace
 	if *stream {
 		return solveStream(c, req, stdout, stderr)
 	}
@@ -438,6 +470,111 @@ func cmdStatus(args []string, stdout, stderr io.Writer) int {
 	}
 	printJob(stdout, job)
 	return 0
+}
+
+// cmdJobs shows one or more jobs; -trace adds the scheduling metadata a
+// plain status hides — owning tenant, trace id, and per-stage spans.
+func cmdJobs(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("jobs", stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "smoothd address")
+	trace := fs.Bool("trace", false, "also print tenant, trace id and admit/queue/run spans")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: smoothctl jobs [-addr URL] [-trace] job-id...")
+		return 2
+	}
+	c := newClient(*addr)
+	exit := 0
+	for _, id := range fs.Args() {
+		var job service.JobView
+		if _, err := c.call("GET", "/v1/jobs/"+id, nil, &job); err != nil {
+			fmt.Fprintf(stderr, "smoothctl: jobs: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		printJob(stdout, job)
+		if *trace {
+			fmt.Fprintf(stdout, "tenant: %s\n", job.Tenant)
+			fmt.Fprintf(stdout, "trace: %s\n", job.TraceID)
+			for _, sp := range job.Spans {
+				fmt.Fprintf(stdout, "span: %-5s %.2fms\n", sp.Name, sp.Ms)
+			}
+		}
+	}
+	return exit
+}
+
+// cmdStore drives the /v1/store ops surface: aggregate stats, per-kind
+// listings, and size-bounded garbage collection.
+func cmdStore(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: smoothctl store (stats | ls -kind KIND | gc -max-bytes N) [-addr URL]")
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	fs := newFlagSet("store "+sub, stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "smoothd address")
+	kind := fs.String("kind", "", "blob kind to list: spec, result, checkpoint or session")
+	maxBytes := fs.Int64("max-bytes", 0, "gc target: delete oldest blobs until at most this many bytes remain")
+	if fs.Parse(rest) != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: smoothctl store (stats | ls -kind KIND | gc -max-bytes N) [-addr URL]")
+		return 2
+	}
+	c := newClient(*addr)
+	switch sub {
+	case "stats":
+		var sv service.StoreView
+		if _, err := c.call("GET", "/v1/store", nil, &sv); err != nil {
+			fmt.Fprintf(stderr, "smoothctl: store stats: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "backend: %s", sv.Backend)
+		if sv.Dir != "" {
+			fmt.Fprintf(stdout, " (%s)", sv.Dir)
+		}
+		fmt.Fprintln(stdout)
+		for _, kv := range sv.Kinds {
+			fmt.Fprintf(stdout, "%-10s %4d objects  %8d bytes  puts %d  hits %d  misses %d\n",
+				kv.Kind, kv.Objects, kv.Bytes, kv.Stats.Puts, kv.Stats.Hits, kv.Stats.Misses)
+		}
+		fmt.Fprintf(stdout, "total: %d objects, %d bytes\n", sv.TotalObjects, sv.TotalBytes)
+		return 0
+	case "ls":
+		if *kind == "" {
+			fmt.Fprintln(stderr, "usage: smoothctl store ls -kind KIND [-addr URL]")
+			return 2
+		}
+		var lv service.StoreListView
+		if _, err := c.call("GET", "/v1/store/"+*kind, nil, &lv); err != nil {
+			fmt.Fprintf(stderr, "smoothctl: store ls: %v\n", err)
+			return 1
+		}
+		for _, obj := range lv.Objects {
+			fmt.Fprintf(stdout, "%s  %8d bytes  %s\n", obj.Key, obj.Size, obj.ModTime.Format(time.RFC3339))
+		}
+		fmt.Fprintf(stdout, "%d %s blobs\n", len(lv.Objects), lv.Kind)
+		return 0
+	case "gc":
+		var gv service.StoreGCView
+		if _, err := c.call("POST", "/v1/store/gc", service.StoreGCRequest{MaxBytes: *maxBytes}, &gv); err != nil {
+			fmt.Fprintf(stderr, "smoothctl: store gc: %v\n", err)
+			return 1
+		}
+		for _, obj := range gv.Deleted {
+			fmt.Fprintf(stdout, "deleted: %s %s  %d bytes\n", obj.Kind, obj.Key, obj.Size)
+		}
+		fmt.Fprintf(stdout, "gc: deleted %d blobs (%d bytes), %d bytes remain\n",
+			len(gv.Deleted), gv.DeletedBytes, gv.RemainingBytes)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "smoothctl: unknown store subcommand %q\n", sub)
+		return 2
+	}
 }
 
 func printJob(w io.Writer, job service.JobView) {

@@ -28,7 +28,10 @@ const fig4Solution = "⟨(c,0)(c,2)(b,1)(c,1)⟩"
 // address in the bare host:port form smoothctl defaults expect.
 func testDaemon(t *testing.T) string {
 	t.Helper()
-	srv := service.New(service.Config{Workers: 2})
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -295,5 +298,104 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := percentile(nil, 50); got != 0 {
 		t.Errorf("percentile(nil) = %d, want 0", got)
+	}
+}
+
+func TestJobsTraceAndTenant(t *testing.T) {
+	addr := testDaemon(t)
+	spec := writeSpec(t, fig4)
+	code, out, errOut := runCtl(t, "",
+		"solve", "-addr", addr, "-async", "-no-cache", "-tenant", "alice", "-trace", "trace-77", spec)
+	if code != 0 {
+		t.Fatalf("solve exit %d: %s", code, errOut)
+	}
+	var id string
+	for _, line := range strings.Split(out, "\n") {
+		if j, ok := strings.CutPrefix(line, "job: "); ok {
+			id = j
+		}
+	}
+	if id == "" {
+		t.Fatalf("no job id in %q", out)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, out, errOut = runCtl(t, "", "jobs", "-addr", addr, "-trace", id)
+		if code != 0 {
+			t.Fatalf("jobs exit %d: %s", code, errOut)
+		}
+		if strings.Contains(out, "state: done") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %q", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out, "tenant: alice") || !strings.Contains(out, "trace: trace-77") {
+		t.Errorf("jobs -trace output missing identity: %q", out)
+	}
+	for _, span := range []string{"span: admit", "span: queue", "span: run"} {
+		if !strings.Contains(out, span) {
+			t.Errorf("jobs -trace output missing %q: %q", span, out)
+		}
+	}
+	// Without -trace the extra lines stay hidden.
+	code, out, _ = runCtl(t, "", "jobs", "-addr", addr, id)
+	if code != 0 || strings.Contains(out, "span: ") {
+		t.Errorf("plain jobs (exit %d) leaked spans: %q", code, out)
+	}
+	if code, _, _ := runCtl(t, "", "jobs", "-addr", addr); code != 2 {
+		t.Errorf("jobs without ids exit %d, want 2", code)
+	}
+}
+
+func TestStoreStatsLsGC(t *testing.T) {
+	addr := testDaemon(t)
+	spec := writeSpec(t, fig4)
+	if code, _, errOut := runCtl(t, "", "solve", "-addr", addr, spec); code != 0 {
+		t.Fatalf("solve exit %d: %s", code, errOut)
+	}
+
+	code, out, errOut := runCtl(t, "", "store", "stats", "-addr", addr)
+	if code != 0 {
+		t.Fatalf("store stats exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "backend: memory") {
+		t.Errorf("stats missing backend: %q", out)
+	}
+	for _, kind := range []string{"spec", "result"} {
+		if !strings.Contains(out, kind) {
+			t.Errorf("stats missing kind %s: %q", kind, out)
+		}
+	}
+
+	code, out, errOut = runCtl(t, "", "store", "ls", "-addr", addr, "-kind", "spec")
+	if code != 0 {
+		t.Fatalf("store ls exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "1 spec blobs") {
+		t.Errorf("ls summary: %q", out)
+	}
+	if code, _, _ := runCtl(t, "", "store", "ls", "-addr", addr, "-kind", "bogus"); code != 1 {
+		t.Errorf("ls bogus kind exit %d, want 1", code)
+	}
+	if code, _, _ := runCtl(t, "", "store", "ls", "-addr", addr); code != 2 {
+		t.Errorf("ls without -kind exit %d, want 2", code)
+	}
+
+	code, out, errOut = runCtl(t, "", "store", "gc", "-addr", addr, "-max-bytes", "0")
+	if code != 0 {
+		t.Fatalf("store gc exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "0 bytes remain") {
+		t.Errorf("gc summary: %q", out)
+	}
+	code, out, _ = runCtl(t, "", "store", "stats", "-addr", addr)
+	if code != 0 || !strings.Contains(out, "total: 0 objects, 0 bytes") {
+		t.Errorf("post-gc stats (exit %d): %q", code, out)
+	}
+	if code, _, _ := runCtl(t, "", "store", "frobnicate", "-addr", addr); code != 2 {
+		t.Errorf("unknown store subcommand exit %d, want 2", code)
 	}
 }

@@ -59,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight searches before cancelling them")
 	noVisited := fs.Bool("no-visited", false, "do not retain visited-node lists in searches (lower memory; results are unchanged)")
 	compiled := fs.Bool("compiled", false, "evaluate descriptions as descvm bytecode in every search (same results, faster)")
+	dataDir := fs.String("data-dir", "", "durable store root: specs, results and session checkpoints survive restarts (empty = in-memory)")
+	tenantQueued := fs.Int("tenant-max-queued", 0, "per-tenant bound on queued jobs, 429 beyond it (0 = the -queue bound, negative = unlimited)")
+	tenantRunning := fs.Int("tenant-max-running", 0, "per-tenant bound on running jobs (0 = the -workers bound, negative = unlimited)")
+	tenantBudget := fs.Uint64("tenant-node-budget", 0, "per-tenant cap on summed in-flight node estimates, 429 beyond it (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		return 2
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		SpecCacheSize:    *specCache,
@@ -79,7 +83,15 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		MaxTimeout:       *maxTimeout,
 		NoVisited:        *noVisited,
 		Compiled:         *compiled,
+		DataDir:          *dataDir,
+		TenantMaxQueued:  *tenantQueued,
+		TenantMaxRunning: *tenantRunning,
+		TenantNodeBudget: *tenantBudget,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "smoothd: %v\n", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,96 @@
+package desc
+
+import (
+	"sort"
+
+	"smoothproc/internal/fn"
+	"smoothproc/internal/trace"
+)
+
+// MemoEntry is one exported cached application: the trace and the tuple
+// its side evaluated to. The solver's checkpoint codec persists these so
+// a decoded checkpoint's evaluator serves the same hits — and therefore
+// reports the same deterministic hit/miss counters — as the live one it
+// was captured from.
+type MemoEntry struct {
+	T trace.Trace
+	V fn.Tuple
+}
+
+// ExportMemo snapshots both sides' memo entries in a deterministic
+// order (by trace length, then rendered trace). Safe for concurrent
+// use: shards are locked one at a time, so the export is per-shard
+// consistent — callers that need a globally quiescent snapshot (the
+// checkpoint codec) hold the search stopped anyway.
+func (e *Evaluator) ExportMemo() (f, g []MemoEntry) {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		f = exportSide(&sh.f, f)
+		g = exportSide(&sh.g, g)
+		sh.mu.Unlock()
+	}
+	sortMemo(f)
+	sortMemo(g)
+	return f, g
+}
+
+func exportSide(m *memoSide, dst []MemoEntry) []MemoEntry {
+	for _, e := range m.primary {
+		dst = append(dst, MemoEntry{T: e.t, V: e.v})
+	}
+	for _, os := range m.overflow {
+		for _, o := range os {
+			dst = append(dst, MemoEntry{T: o.t, V: o.v})
+		}
+	}
+	return dst
+}
+
+func sortMemo(es []MemoEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if li, lj := es[i].T.Len(), es[j].T.Len(); li != lj {
+			return li < lj
+		}
+		return es[i].T.String() < es[j].T.String()
+	})
+}
+
+// SeedMemo inserts exported entries into the memo, skipping traces that
+// are already cached — the evaluator may have run (the Theorem 1
+// induction-base check evaluates both sides at ⊥ during construction),
+// and a fresh application equals the exported tuple because sides are
+// pure, so first-in wins either way.
+func (e *Evaluator) SeedMemo(f, g []MemoEntry) {
+	e.seedSide(f, false)
+	e.seedSide(g, true)
+}
+
+func (e *Evaluator) seedSide(es []MemoEntry, g bool) {
+	for _, en := range es {
+		key := en.T.Key()
+		sh := e.shardFor(key)
+		side := &sh.f
+		if g {
+			side = &sh.g
+		}
+		sh.mu.Lock()
+		if _, ok, present := side.lookup(en.T, key); !ok {
+			side.insertKnown(en.T, key, en.V, present)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// SeedSnapshot forces the apply/hit counters to exactly s, compensating
+// for whatever the evaluator already counted (again: the induction-base
+// check). Wall-clock nanos are not restorable (timers have no setter)
+// and are excluded from deterministic fingerprints anyway.
+func (e *Evaluator) SeedSnapshot(s EvalSnapshot) {
+	cur := e.Snapshot()
+	e.stats.FApplies.Add(s.FApplies - cur.FApplies)
+	e.stats.GApplies.Add(s.GApplies - cur.GApplies)
+	e.stats.FHits.Add(s.FHits - cur.FHits)
+	e.stats.GHits.Add(s.GHits - cur.GHits)
+	e.stats.InflightWaits.Add(s.InflightWaits - cur.InflightWaits)
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStoreCheckDroppedErrors(t *testing.T) {
+	src := `package fake
+
+import (
+	"context"
+
+	"smoothproc/internal/store"
+)
+
+func bad(ctx context.Context, s *store.Memory, m *store.Measured) {
+	s.Put(ctx, store.KindSpec, store.KeyOf(nil), nil)
+	m.Delete(ctx, store.KindSpec, store.KeyOf(nil))
+	s.Close()
+}
+
+func good(ctx context.Context, s *store.Memory) error {
+	if err := s.Put(ctx, store.KindSpec, store.KeyOf(nil), nil); err != nil {
+		return err
+	}
+	_ = s.Close() // deliberate: assigned away, not dropped
+	data, err := s.Get(ctx, store.KindSpec, store.KeyOf(nil))
+	_ = data
+	return err
+}
+`
+	diags := checkSrc(t, "smoothproc/internal/fake", src, StoreCheck)
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %v, want 3", messages(diags))
+	}
+	for i, want := range []string{"Put dropped", "Delete dropped", "Close dropped"} {
+		if !strings.Contains(diags[i].Message, strings.Fields(want)[0]) {
+			t.Errorf("diag %d = %q, want mention of %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+func TestStoreCheckIgnoredContext(t *testing.T) {
+	src := `package fake
+
+import (
+	"context"
+
+	"smoothproc/internal/store"
+)
+
+// null is a Store-shaped backend that ignores cancellation two ways.
+type null struct{}
+
+func (null) Put(_ context.Context, kind store.Kind, key store.Key, data []byte) error {
+	return nil
+}
+
+func (null) Get(ctx context.Context, kind store.Kind, key store.Key) ([]byte, error) {
+	return nil, store.ErrNotFound
+}
+
+// threaded consults its context, as backends must.
+type threaded struct{}
+
+func (threaded) Put(ctx context.Context, kind store.Kind, key store.Key, data []byte) error {
+	return ctx.Err()
+}
+
+// unrelated caches are out of scope even with a Get(ctx, ...) method.
+type cache struct{}
+
+func (cache) Get(ctx context.Context, key string) (string, bool) {
+	return "", false
+}
+`
+	diags := checkSrc(t, "smoothproc/internal/fake", src, StoreCheck)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 (blank ctx on Put, unused ctx on Get)", messages(diags))
+	}
+	if !strings.Contains(diags[0].Message, "Put discards its context") {
+		t.Errorf("diag 0 = %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "Get never consults ctx") {
+		t.Errorf("diag 1 = %q", diags[1].Message)
+	}
+}
+
+func TestStoreCheckAllowAnnotation(t *testing.T) {
+	src := `package fake
+
+import (
+	"context"
+
+	"smoothproc/internal/store"
+)
+
+func fireAndForget(ctx context.Context, s *store.Memory) {
+	s.Delete(ctx, store.KindResult, store.KeyOf(nil)) //smoothlint:allow storecheck best-effort cache invalidation
+}
+`
+	diags := checkSrc(t, "smoothproc/internal/fake", src, StoreCheck)
+	if len(diags) != 0 {
+		t.Fatalf("annotated drop still reported: %v", messages(diags))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"smoothproc/internal/report"
 	"smoothproc/internal/specplan"
 	"smoothproc/internal/specvet"
+	"smoothproc/internal/store"
 )
 
 // SpecRequest is the body of POST /v1/specs.
@@ -154,15 +155,31 @@ type JobView struct {
 	State    JobState    `json:"state"`
 	SpecHash string      `json:"spec_hash"`
 	Params   SolveParams `json:"params"`
+	// Tenant is the fair-queuing bucket the job was scheduled under
+	// (X-Smoothproc-Tenant header, or "default").
+	Tenant string `json:"tenant,omitempty"`
+	// TraceID is the request-scoped trace identifier (X-Smoothproc-Trace
+	// header, or server-generated) threaded handler → queue → worker →
+	// search.
+	TraceID string `json:"trace_id,omitempty"`
 	// QueueMs and RunMs are this job's queue wait and run duration in
 	// milliseconds — final for terminal jobs, still growing for live ones
 	// (a queued job has no RunMs yet).
 	QueueMs float64 `json:"queue_ms"`
 	RunMs   float64 `json:"run_ms,omitempty"`
+	// Spans are the job's per-stage timings (admit, queue, run) in
+	// pipeline order.
+	Spans []SpanView `json:"spans,omitempty"`
 	// Error is set for failed jobs; Result for finished ones (a
 	// cancelled job keeps its partial result).
 	Error  string       `json:"error,omitempty"`
 	Result *SolveResult `json:"result,omitempty"`
+}
+
+// SpanView is one stage of a job's pipeline on the wire.
+type SpanView struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
 }
 
 // SessionRequest is the body of POST /v1/sessions (create or first
@@ -301,6 +318,59 @@ type ErrorBody struct {
 	// Plan carries the admission-control estimate when a solve was
 	// rejected as predictably over budget (422).
 	Plan *PlanEstimate `json:"plan,omitempty"`
+	// Quota carries the per-tenant quota verdict when a submission was
+	// rejected with 429 — structurally distinguishable from the
+	// server-wide load-shed 503, which has no Quota.
+	Quota *QuotaBody `json:"quota,omitempty"`
+}
+
+// QuotaBody details a per-tenant quota rejection (429).
+type QuotaBody struct {
+	Tenant string `json:"tenant"`
+	// Quota names the exceeded limit: "max_queued" or "node_budget".
+	Quota   string `json:"quota"`
+	Limit   uint64 `json:"limit"`
+	Current uint64 `json:"current"`
+}
+
+// StoreKindView is one object kind's slice of GET /v1/store.
+type StoreKindView struct {
+	Kind    string `json:"kind"`
+	Objects int    `json:"objects"`
+	Bytes   int64  `json:"bytes"`
+	// Stats are the per-kind traffic counters (hits, misses, …).
+	Stats store.KindStats `json:"stats"`
+}
+
+// StoreView is the body of GET /v1/store: the durable layer's footprint
+// and traffic.
+type StoreView struct {
+	// Backend is "disk" (running with -data-dir) or "memory".
+	Backend string `json:"backend"`
+	// Dir is the disk backend's root ("" for memory).
+	Dir          string          `json:"dir,omitempty"`
+	Kinds        []StoreKindView `json:"kinds"`
+	TotalObjects int             `json:"total_objects"`
+	TotalBytes   int64           `json:"total_bytes"`
+}
+
+// StoreListView is the body of GET /v1/store/{kind}.
+type StoreListView struct {
+	Kind    string       `json:"kind"`
+	Objects []store.Info `json:"objects"`
+}
+
+// StoreGCRequest is the body of POST /v1/store/gc: delete oldest
+// objects until at most MaxBytes of payload remain.
+type StoreGCRequest struct {
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// StoreGCView reports what a GC pass deleted.
+type StoreGCView struct {
+	Deleted        []store.Info `json:"deleted"`
+	DeletedBytes   int64        `json:"deleted_bytes"`
+	RemainingBytes int64        `json:"remaining_bytes"`
 }
 
 // specHash names a spec by the SHA-256 of its source text.

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -10,13 +11,18 @@ import (
 
 func okResult() *SolveResult { return &SolveResult{Nodes: 1} }
 
+// submitFn is shorthand for the common single-tenant test submission.
+func submitFn(s *Scheduler, timeout time.Duration, fn func(context.Context) (*SolveResult, error)) (*Job, error) {
+	return s.Submit(Submission{SpecHash: "h", Timeout: timeout, Run: fn})
+}
+
 func TestSchedulerRunsJobs(t *testing.T) {
 	s := NewScheduler(4, 16)
 	defer s.Shutdown(context.Background())
 	var ran atomic.Int64
 	var jobs []*Job
 	for i := 0; i < 8; i++ {
-		j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		j, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 			ran.Add(1)
 			return okResult(), nil
 		})
@@ -47,7 +53,7 @@ func TestSchedulerQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	// Occupy the single worker...
-	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+	if _, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 		close(started)
 		<-release
 		return okResult(), nil
@@ -56,13 +62,13 @@ func TestSchedulerQueueFull(t *testing.T) {
 	}
 	<-started
 	// ...fill the queue...
-	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+	if _, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 		return okResult(), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// ...and the next submission must shed load.
-	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+	if _, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 		return okResult(), nil
 	}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
@@ -72,7 +78,7 @@ func TestSchedulerQueueFull(t *testing.T) {
 func TestSchedulerJobFailure(t *testing.T) {
 	s := NewScheduler(1, 4)
 	defer s.Shutdown(context.Background())
-	j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+	j, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 		return nil, errors.New("boom")
 	})
 	if err != nil {
@@ -91,7 +97,7 @@ func TestSchedulerJobFailure(t *testing.T) {
 func TestSchedulerJobDeadline(t *testing.T) {
 	s := NewScheduler(1, 4)
 	defer s.Shutdown(context.Background())
-	j, err := s.Submit("h", SolveParams{}, 5*time.Millisecond, func(ctx context.Context) (*SolveResult, error) {
+	j, err := submitFn(s, 5*time.Millisecond, func(ctx context.Context) (*SolveResult, error) {
 		<-ctx.Done() // a well-behaved search notices the deadline...
 		return &SolveResult{Canceled: true}, nil
 	})
@@ -107,7 +113,7 @@ func TestSchedulerJobDeadline(t *testing.T) {
 func TestSchedulerShutdownDrains(t *testing.T) {
 	s := NewScheduler(1, 4)
 	var finished atomic.Bool
-	j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+	j, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 		time.Sleep(30 * time.Millisecond)
 		finished.Store(true)
 		return okResult(), nil
@@ -124,7 +130,7 @@ func TestSchedulerShutdownDrains(t *testing.T) {
 	if v := s.View(j); v.State != JobDone {
 		t.Errorf("drained job state = %s, want done", v.State)
 	}
-	if _, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+	if _, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 		return okResult(), nil
 	}); !errors.Is(err, ErrShutdown) {
 		t.Errorf("post-shutdown Submit err = %v, want ErrShutdown", err)
@@ -134,7 +140,7 @@ func TestSchedulerShutdownDrains(t *testing.T) {
 func TestSchedulerForcedShutdownCancels(t *testing.T) {
 	s := NewScheduler(1, 4)
 	started := make(chan struct{})
-	j, err := s.Submit("h", SolveParams{}, 0, func(ctx context.Context) (*SolveResult, error) {
+	j, err := submitFn(s, 0, func(ctx context.Context) (*SolveResult, error) {
 		close(started)
 		<-ctx.Done() // runs until shutdown forces cancellation
 		return &SolveResult{Canceled: true}, nil
@@ -163,7 +169,7 @@ func TestSchedulerForcedShutdownCancels(t *testing.T) {
 func TestSchedulerForcedShutdownCancelsQueued(t *testing.T) {
 	s := NewScheduler(1, 8)
 	started := make(chan struct{})
-	running, err := s.Submit("h", SolveParams{}, 0, func(ctx context.Context) (*SolveResult, error) {
+	running, err := submitFn(s, 0, func(ctx context.Context) (*SolveResult, error) {
 		close(started)
 		<-ctx.Done() // occupy the only worker until the forced drain
 		return &SolveResult{Canceled: true}, nil
@@ -175,7 +181,7 @@ func TestSchedulerForcedShutdownCancelsQueued(t *testing.T) {
 	var ran atomic.Int64
 	var queued []*Job
 	for i := 0; i < 4; i++ {
-		j, err := s.Submit("h", SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
+		j, err := submitFn(s, 0, func(context.Context) (*SolveResult, error) {
 			ran.Add(1)
 			return okResult(), nil
 		})
@@ -218,5 +224,195 @@ func TestSchedulerShutdownIdempotent(t *testing.T) {
 	}
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSchedulerTenantFairness: with a single worker and one tenant's
+// backlog queued ahead, a second tenant's jobs interleave by deficit
+// round-robin instead of waiting behind the whole backlog — the
+// fairness property the per-tenant refactor exists for.
+func TestSchedulerTenantFairness(t *testing.T) {
+	s := NewScheduler(1, 32)
+	defer s.Shutdown(context.Background())
+	gateStarted := make(chan struct{})
+	release := make(chan struct{})
+	// Occupy the worker so every subsequent submission queues.
+	if _, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+		close(gateStarted)
+		<-release
+		return okResult(), nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-gateStarted
+
+	var mu sync.Mutex
+	var order []string
+	var jobs []*Job
+	enqueue := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			j, err := s.Submit(Submission{Tenant: tenant, SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				return okResult(), nil
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	enqueue("alice", 6) // the flood, queued first
+	enqueue("bob", 3)   // the light tenant, queued last
+
+	close(release)
+	for _, j := range jobs {
+		<-j.Done()
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	bobDone := 0
+	for i, tenant := range order {
+		if tenant == "bob" {
+			bobDone++
+		}
+		// All of bob's jobs must finish within the first six completions:
+		// strict FIFO would hold them until positions 7–9.
+		if i == 5 && bobDone != 3 {
+			t.Fatalf("after 6 completions bob finished %d/3 jobs (order %v); tenant starved", bobDone, order)
+		}
+	}
+}
+
+func TestSchedulerQuotaMaxQueued(t *testing.T) {
+	s := NewSchedulerQuota(1, 32, TenantQuota{MaxQueued: 2})
+	defer s.Shutdown(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+		close(started)
+		<-release
+		return okResult(), nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+			return okResult(), nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+		return okResult(), nil
+	}})
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Quota != "max_queued" || qe.Tenant != "alice" {
+		t.Fatalf("err = %v, want *QuotaError{alice, max_queued}", err)
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Fatal("quota rejection must be distinguishable from the global queue-full error")
+	}
+	// Another tenant is unaffected: the server has room, alice is over
+	// *her* share.
+	if _, err := s.Submit(Submission{Tenant: "bob", SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+		return okResult(), nil
+	}}); err != nil {
+		t.Fatalf("other tenant rejected alongside the over-quota one: %v", err)
+	}
+}
+
+func TestSchedulerQuotaNodeBudget(t *testing.T) {
+	s := NewSchedulerQuota(1, 32, TenantQuota{NodeBudget: 1000})
+	defer s.Shutdown(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Estimate: 600, Run: func(context.Context) (*SolveResult, error) {
+		close(started)
+		<-release
+		return okResult(), nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	_, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Estimate: 600, Run: func(context.Context) (*SolveResult, error) {
+		return okResult(), nil
+	}})
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Quota != "node_budget" {
+		t.Fatalf("err = %v, want *QuotaError{node_budget}", err)
+	}
+	if qe.Limit != 1000 || qe.Current != 1200 {
+		t.Errorf("quota error limit=%d current=%d, want 1000/1200", qe.Limit, qe.Current)
+	}
+}
+
+// TestSchedulerQuotaMaxRunning: a tenant at its running cap keeps its
+// next job queued even with idle workers; the job dispatches once a
+// running one finishes.
+func TestSchedulerQuotaMaxRunning(t *testing.T) {
+	s := NewSchedulerQuota(2, 32, TenantQuota{MaxRunning: 1})
+	defer s.Shutdown(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+		close(started)
+		<-release
+		return okResult(), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	second, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", Run: func(context.Context) (*SolveResult, error) {
+		return okResult(), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if v := s.View(second); v.State != JobQueued {
+		t.Fatalf("second job state = %s while the first still runs, want queued (MaxRunning=1)", v.State)
+	}
+	close(release)
+	<-first.Done()
+	<-second.Done()
+	if v := s.View(second); v.State != JobDone {
+		t.Errorf("second job state = %s after release, want done", v.State)
+	}
+}
+
+// TestSchedulerSpans: a finished job reports its admit/queue/run spans
+// and carries tenant and trace ID through to the view.
+func TestSchedulerSpans(t *testing.T) {
+	s := NewScheduler(1, 4)
+	defer s.Shutdown(context.Background())
+	var got string
+	j, err := s.Submit(Submission{Tenant: "alice", SpecHash: "h", TraceID: "t-123", AdmitNs: 42_000, Run: func(ctx context.Context) (*SolveResult, error) {
+		got = TraceID(ctx)
+		return okResult(), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if got != "t-123" {
+		t.Errorf("TraceID(ctx) in worker = %q, want t-123", got)
+	}
+	v := s.View(j)
+	if v.Tenant != "alice" || v.TraceID != "t-123" {
+		t.Errorf("view tenant=%q trace=%q, want alice/t-123", v.Tenant, v.TraceID)
+	}
+	names := make([]string, 0, len(v.Spans))
+	for _, sp := range v.Spans {
+		names = append(names, sp.Name)
+	}
+	if len(names) != 3 || names[0] != "admit" || names[1] != "queue" || names[2] != "run" {
+		t.Errorf("span names = %v, want [admit queue run]", names)
 	}
 }

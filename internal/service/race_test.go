@@ -54,8 +54,14 @@ func TestSchedulerUnderRace(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 16; i++ {
-				j, err := s.Submit(fmt.Sprintf("h%d", g), SolveParams{}, 0, func(context.Context) (*SolveResult, error) {
-					return okResult(), nil
+				// Distinct tenants per goroutine exercise the DRR ring and
+				// per-tenant accounting under contention.
+				j, err := s.Submit(Submission{
+					Tenant:   fmt.Sprintf("t%d", g%3),
+					SpecHash: fmt.Sprintf("h%d", g),
+					Run: func(context.Context) (*SolveResult, error) {
+						return okResult(), nil
+					},
 				})
 				if err != nil {
 					continue // queue-full shedding is fine under load
@@ -84,5 +90,54 @@ func TestSchedulerUnderRace(t *testing.T) {
 	}
 	if completed+failed+canceled != submitted {
 		t.Errorf("terminal states %d+%d+%d ≠ submitted %d", completed, failed, canceled, submitted)
+	}
+	var perTenant int64
+	for _, ts := range s.TenantStats() {
+		perTenant += ts.Submitted
+		if ts.Queued != 0 || ts.Running != 0 || ts.Inflight != 0 {
+			t.Errorf("tenant %s not drained: queued=%d running=%d inflight=%d", ts.Tenant, ts.Queued, ts.Running, ts.Inflight)
+		}
+	}
+	if perTenant != submitted {
+		t.Errorf("per-tenant submitted totals %d ≠ global %d", perTenant, submitted)
+	}
+}
+
+// TestLRUPinUnderRace: concurrent Pin/Unpin and Put churn over a
+// deliberately tiny cache. Pinned entries must remain retrievable for
+// the whole pin window even while the cache is forced over capacity,
+// and once every pin is released the cache settles back within bounds.
+func TestLRUPinUnderRace(t *testing.T) {
+	const goroutines = 8
+	const perG = 300
+	c := NewLRU[int, int](2)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g + i) % 8
+				c.Put(k, k)
+				if v, ok := c.Pin(k); ok {
+					if v != k {
+						t.Errorf("Pin(%d) = %d", k, v)
+						return
+					}
+					// Churn other keys while k is pinned: k must survive.
+					c.Put(k+100, k)
+					c.Put(k+200, k)
+					if v, ok := c.Get(k); !ok || v != k {
+						t.Errorf("pinned key %d evicted under churn", k)
+						return
+					}
+					c.Unpin(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 2 {
+		t.Errorf("len %d exceeds capacity 2 after all pins released", c.Len())
 	}
 }

@@ -2,6 +2,8 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +18,7 @@ import (
 	"smoothproc/internal/solver"
 	"smoothproc/internal/specplan"
 	"smoothproc/internal/specvet"
+	"smoothproc/internal/store"
 )
 
 // Config bounds the server. Every knob has a production-minded default:
@@ -52,6 +55,25 @@ type Config struct {
 	// to interpreted evaluation (the solver's differential suite holds
 	// the two equal), so the switch is safe to flip on a live fleet.
 	Compiled bool
+	// DataDir roots the durable content-addressed store. When set,
+	// uploaded specs, finished solve results and session checkpoints
+	// survive restarts: the in-memory LRUs become read-through caches in
+	// front of the disk store. Empty means an in-memory store (caching
+	// and metrics behave identically; nothing survives the process).
+	DataDir string
+	// Store overrides the backend directly (tests inject one); it takes
+	// precedence over DataDir.
+	Store store.Store
+	// Per-tenant scheduling quotas (tenant = X-Smoothproc-Tenant header,
+	// "default" otherwise). TenantMaxQueued bounds one tenant's waiting
+	// jobs (default QueueDepth), TenantMaxRunning its running jobs
+	// (default Workers), TenantNodeBudget the summed static node
+	// estimates of its in-flight work (default 0 = unlimited). Negative
+	// values mean unlimited. A quota rejection is a structured 429,
+	// distinct from the server-wide load-shed 503.
+	TenantMaxQueued  int
+	TenantMaxRunning int
+	TenantNodeBudget uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -82,7 +104,23 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.TenantMaxQueued == 0 {
+		c.TenantMaxQueued = c.QueueDepth
+	}
+	if c.TenantMaxRunning == 0 {
+		c.TenantMaxRunning = c.Workers
+	}
 	return c
+}
+
+// quota converts the config knobs to the scheduler's quota (negative =
+// unlimited = zero there).
+func (c Config) quota() TenantQuota {
+	return TenantQuota{
+		MaxQueued:  max(c.TenantMaxQueued, 0),
+		MaxRunning: max(c.TenantMaxRunning, 0),
+		NodeBudget: c.TenantNodeBudget,
+	}
 }
 
 // compiledSpec is the spec cache's value: the compiled program together
@@ -99,10 +137,17 @@ type compiledSpec struct {
 	plan *specplan.Plan
 }
 
-// Server wires the caches, the scheduler and the HTTP surface together.
+// Server wires the store, the caches, the scheduler and the HTTP
+// surface together. The three LRUs are read-through caches over one
+// content-addressed store: a miss consults the store before declaring
+// the object unknown, and completed work is written through, so a
+// restart on the same -data-dir resumes with its specs, results and
+// sessions intact.
 type Server struct {
 	cfg      Config
 	sched    *Scheduler
+	store    *store.Measured
+	backend  string // "disk" or "memory", for /v1/store
 	specs    *LRU[string, compiledSpec]
 	results  *LRU[resultKey, SolveResult]
 	sessions *LRU[string, *sessionEntry]
@@ -129,6 +174,12 @@ type Server struct {
 	sessionReplays metrics.Counter
 	deltaSolves    metrics.Counter
 	streamed       metrics.Counter
+	// Durable-layer traffic: sessions rebuilt from persisted checkpoints
+	// after a restart (or cache eviction), and store operations that
+	// failed (persistence is best-effort on the write path: a full disk
+	// degrades durability, not availability).
+	sessionRestores metrics.Counter
+	storeErrors     metrics.Counter
 	// Work-stealing residue accumulated across parallel searches: steal
 	// events, worker parks, and memo in-flight waits. Scheduling noise by
 	// nature (never part of cached results), but the totals show whether
@@ -140,12 +191,30 @@ type Server struct {
 }
 
 // New builds a server and starts its worker pool. Callers own shutdown:
-// see Shutdown.
-func New(cfg Config) *Server {
+// see Shutdown. The only construction error is a DataDir that cannot be
+// opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	backend, name := cfg.Store, "memory"
+	if backend == nil {
+		if cfg.DataDir != "" {
+			disk, err := store.NewDisk(cfg.DataDir)
+			if err != nil {
+				return nil, err
+			}
+			backend = disk
+		} else {
+			backend = store.NewMemory()
+		}
+	}
+	if _, ok := backend.(*store.Disk); ok {
+		name = "disk"
+	}
 	s := &Server{
 		cfg:      cfg,
-		sched:    NewScheduler(cfg.Workers, cfg.QueueDepth),
+		sched:    NewSchedulerQuota(cfg.Workers, cfg.QueueDepth, cfg.quota()),
+		store:    store.NewMeasured(backend),
+		backend:  name,
 		specs:    NewLRU[string, compiledSpec](cfg.SpecCacheSize),
 		results:  NewLRU[resultKey, SolveResult](cfg.ResultCacheSize),
 		sessions: NewLRU[string, *sessionEntry](cfg.SessionCacheSize),
@@ -160,17 +229,31 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{hash}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /v1/sessions/{hash}/resume", s.handleSessionResume)
 	s.mux.HandleFunc("POST /v1/sessions/{hash}/delta", s.handleSessionDelta)
+	s.mux.HandleFunc("GET /v1/store", s.handleStoreStats)
+	s.mux.HandleFunc("GET /v1/store/{kind}", s.handleStoreList)
+	s.mux.HandleFunc("POST /v1/store/gc", s.handleStoreGC)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the scheduler (see Scheduler.Shutdown). The HTTP
-// listener is the caller's to stop first.
-func (s *Server) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }
+// Shutdown drains the scheduler (see Scheduler.Shutdown) and closes the
+// store. The HTTP listener is the caller's to stop first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.sched.Shutdown(ctx)
+	if cerr := s.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// persistCtx is the context for store writes. Deliberately a root:
+// durable writes are server-scoped — a client disconnecting mid-request
+// must not abort persisting work the server already did.
+var persistCtx = context.Background() //smoothlint:allow ctxflow store persistence is server-scoped, not request-scoped
 
 // maxBodyBytes bounds request bodies; specs are small programs, not
 // bulk uploads.
@@ -225,7 +308,71 @@ func (s *Server) compile(source string) (hash string, spec compiledSpec, cached 
 	}
 	spec = compiledSpec{prog: vr.Program, findings: vr.Findings, elims: vr.Eliminations, plan: vr.Plan}
 	s.specs.Put(hash, spec)
+	// Write the source through to the store: the hash stays resolvable
+	// across cache eviction and restarts (specs are tiny; findings and
+	// plan are recomputed on the way back in).
+	if err := s.store.Put(persistCtx, store.KindSpec, store.Key(hash), []byte(source)); err != nil {
+		s.storeErrors.Inc()
+	}
 	return hash, spec, false, nil
+}
+
+// lookupSpec resolves a hash to its compiled spec: LRU first, then the
+// durable store (recompiling the persisted source). False means the
+// hash is genuinely unknown.
+func (s *Server) lookupSpec(ctx context.Context, hash string) (compiledSpec, bool) {
+	if spec, ok := s.specs.Get(hash); ok {
+		return spec, true
+	}
+	data, err := s.store.Get(ctx, store.KindSpec, store.Key(hash))
+	if err != nil {
+		return compiledSpec{}, false
+	}
+	h, spec, _, err := s.compile(string(data))
+	if err != nil || h != hash {
+		// A persisted spec that no longer vets (or hashes differently)
+		// cannot be served under this name.
+		s.storeErrors.Inc()
+		return compiledSpec{}, false
+	}
+	return spec, true
+}
+
+// storeResultKey derives the result blob's content address from the
+// cache key: the SHA-256 of the canonical (spec, params) rendering.
+func storeResultKey(k resultKey) store.Key {
+	return store.KeyOf([]byte(fmt.Sprintf("result|%s|d%d|n%d|w%d",
+		k.hash, k.params.Depth, k.params.MaxNodes, k.params.Workers)))
+}
+
+// cachedResult is the read-through result lookup: LRU, then store.
+func (s *Server) cachedResult(ctx context.Context, key resultKey) (*SolveResult, bool) {
+	if res, ok := s.results.Get(key); ok {
+		return &res, true
+	}
+	data, err := s.store.Get(ctx, store.KindResult, storeResultKey(key))
+	if err != nil {
+		return nil, false
+	}
+	var res SolveResult
+	if json.Unmarshal(data, &res) != nil {
+		s.storeErrors.Inc()
+		return nil, false
+	}
+	s.results.Put(key, res)
+	return &res, true
+}
+
+// saveResult writes a finished search through the LRU into the store.
+func (s *Server) saveResult(key resultKey, res SolveResult) {
+	s.results.Put(key, res)
+	data, err := json.Marshal(res)
+	if err == nil {
+		err = s.store.Put(persistCtx, store.KindResult, storeResultKey(key), data)
+	}
+	if err != nil {
+		s.storeErrors.Inc()
+	}
 }
 
 func specInfo(hash string, spec compiledSpec, cached bool) SpecInfo {
@@ -285,7 +432,7 @@ func compileErrorBody(err error, source string) ErrorBody {
 
 // resolveSpec turns a request's source-or-hash pair into a compiled
 // spec, writing the error response itself when it cannot (false return).
-func (s *Server) resolveSpec(w http.ResponseWriter, source, specHash string) (hash string, spec compiledSpec, ok bool) {
+func (s *Server) resolveSpec(w http.ResponseWriter, r *http.Request, source, specHash string) (hash string, spec compiledSpec, ok bool) {
 	switch {
 	case source != "" && specHash != "":
 		writeError(w, http.StatusBadRequest, errors.New("service: give source or spec_hash, not both"))
@@ -298,7 +445,7 @@ func (s *Server) resolveSpec(w http.ResponseWriter, source, specHash string) (ha
 		}
 		return hash, spec, true
 	case specHash != "":
-		spec, found := s.specs.Get(specHash)
+		spec, found := s.lookupSpec(r.Context(), specHash)
 		if !found {
 			writeError(w, http.StatusNotFound, errors.New("service: unknown spec hash (upload it via /v1/specs)"))
 			return "", compiledSpec{}, false
@@ -308,6 +455,65 @@ func (s *Server) resolveSpec(w http.ResponseWriter, source, specHash string) (ha
 		writeError(w, http.StatusBadRequest, errors.New("service: need source or spec_hash"))
 		return "", compiledSpec{}, false
 	}
+}
+
+// maxTenantLen bounds the accepted tenant header; longer names are
+// truncated rather than rejected (quota identity, not data).
+const maxTenantLen = 64
+
+// tenantOf extracts the request's fair-queuing tenant.
+func tenantOf(r *http.Request) string {
+	t := r.Header.Get("X-Smoothproc-Tenant")
+	if t == "" {
+		return DefaultTenant
+	}
+	if len(t) > maxTenantLen {
+		t = t[:maxTenantLen]
+	}
+	return t
+}
+
+// traceOf returns the request's trace ID, honoring a client-supplied
+// X-Smoothproc-Trace and minting one otherwise, so every job is
+// traceable end to end whether or not the caller propagates IDs.
+func (s *Server) traceOf(r *http.Request) string {
+	if id := r.Header.Get("X-Smoothproc-Trace"); id != "" {
+		if len(id) > maxTenantLen {
+			id = id[:maxTenantLen]
+		}
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// writeSubmitError maps a Scheduler.Submit error to the wire: quota
+// rejections are structured 429s (per-tenant back-pressure), queue-full
+// and shutdown are 503s (server-wide), anything else a 500. Returns
+// false when err was nil.
+func writeSubmitError(w http.ResponseWriter, err error) bool {
+	var qe *QuotaError
+	switch {
+	case err == nil:
+		return false
+	case errors.As(err, &qe):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+			Error: qe.Error(),
+			Quota: &QuotaBody{Tenant: qe.Tenant, Quota: qe.Quota, Limit: qe.Limit, Current: qe.Current},
+		})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+	return true
 }
 
 // params normalizes a solve request against the server caps. When the
@@ -429,12 +635,13 @@ func wireResult(res solver.Result, start time.Time) *SolveResult {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	admitStart := time.Now()
 	var req SolveRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 
-	hash, spec, ok := s.resolveSpec(w, req.Source, req.SpecHash)
+	hash, spec, ok := s.resolveSpec(w, r, req.Source, req.SpecHash)
 	if !ok {
 		return
 	}
@@ -447,35 +654,39 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	key := resultKey{hash: hash, params: p}
 	if !req.NoCache {
-		if cached, ok := s.results.Get(key); ok {
+		if cached, ok := s.cachedResult(r.Context(), key); ok {
 			cached.Cached = true
 			writeJSON(w, http.StatusOK, JobView{
 				State:    JobDone,
 				SpecHash: hash,
 				Params:   p,
-				Result:   &cached,
+				Result:   cached,
 			})
 			return
 		}
 	}
 
-	job, err := s.sched.Submit(hash, p, s.timeout(req), func(ctx context.Context) (*SolveResult, error) {
-		res := s.solve(ctx, prog, p)
-		if !res.Truncated && !res.Canceled {
-			s.results.Put(key, *res)
-		}
-		return res, nil
+	var estimate uint64
+	if spec.plan != nil {
+		estimate = spec.plan.MinNodes(p.Depth)
+	}
+	job, err := s.sched.Submit(Submission{
+		Tenant:   tenantOf(r),
+		SpecHash: hash,
+		Params:   p,
+		Timeout:  s.timeout(req),
+		Estimate: estimate,
+		TraceID:  s.traceOf(r),
+		AdmitNs:  time.Since(admitStart).Nanoseconds(),
+		Run: func(ctx context.Context) (*SolveResult, error) {
+			res := s.solve(ctx, prog, p)
+			if !res.Truncated && !res.Canceled {
+				s.saveResult(key, *res)
+			}
+			return res, nil
+		},
 	})
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, ErrShutdown):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+	if writeSubmitError(w, err) {
 		return
 	}
 
@@ -501,6 +712,82 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.sched.View(job))
+}
+
+// storeView assembles the durable layer's footprint for GET /v1/store
+// and the smoothctl store tooling.
+func (s *Server) storeView(ctx context.Context) (StoreView, error) {
+	v := StoreView{Backend: s.backend}
+	if d, ok := s.store.Unwrap().(*store.Disk); ok {
+		v.Dir = d.Dir()
+	}
+	for _, k := range store.Kinds() {
+		infos, err := s.store.List(ctx, k)
+		if err != nil {
+			return StoreView{}, err
+		}
+		kv := StoreKindView{Kind: string(k), Objects: len(infos), Stats: s.store.KindStats(k)}
+		for _, info := range infos {
+			kv.Bytes += info.Size
+		}
+		v.Kinds = append(v.Kinds, kv)
+		v.TotalObjects += kv.Objects
+		v.TotalBytes += kv.Bytes
+	}
+	return v, nil
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	v, err := s.storeView(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleStoreList(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	kind := store.Kind(r.PathValue("kind"))
+	if !store.ValidKind(kind) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown store kind %q", kind))
+		return
+	}
+	infos, err := s.store.List(r.Context(), kind)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StoreListView{Kind: string(kind), Objects: infos})
+}
+
+func (s *Server) handleStoreGC(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req StoreGCRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.MaxBytes < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: max_bytes must be >= 0"))
+		return
+	}
+	deleted, err := store.GC(r.Context(), s.store, req.MaxBytes)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	v := StoreGCView{Deleted: deleted}
+	if v.Deleted == nil {
+		v.Deleted = []store.Info{}
+	}
+	for _, info := range deleted {
+		v.DeletedBytes += info.Size
+	}
+	if sv, err := s.storeView(r.Context()); err == nil {
+		v.RemainingBytes = sv.TotalBytes
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 // Metrics snapshots the server counters in the repository's stable
@@ -545,7 +832,34 @@ func (s *Server) Metrics() report.Stats {
 	sessions.Add("replayed", s.sessionReplays.Load(), "")
 	sessions.Add("delta solves", s.deltaSolves.Load(), "")
 	sessions.Add("solutions streamed", s.streamed.Load(), "")
+	sessions.Add("restored from store", s.sessionRestores.Load(), "")
 	sessions.AddInt("live", s.sessions.Len())
+
+	storeSec := report.Section{Name: "store"}
+	for _, k := range store.Kinds() {
+		ks := s.store.KindStats(k)
+		storeSec.Add(string(k)+" puts", ks.Puts, "")
+		storeSec.Add(string(k)+" hits", ks.Hits, "")
+		storeSec.Add(string(k)+" misses", ks.Misses, "")
+		storeSec.Add(string(k)+" corrupt", ks.Corrupt, "")
+		storeSec.Add(string(k)+" bytes in", ks.BytesIn, "B")
+		storeSec.Add(string(k)+" bytes out", ks.BytesOut, "B")
+	}
+	storeSec.Add("errors", s.storeErrors.Load(), "")
+
+	tenants := report.Section{Name: "tenants"}
+	for _, ts := range s.sched.TenantStats() {
+		tenants.Add(ts.Tenant+" submitted", ts.Submitted, "")
+		tenants.Add(ts.Tenant+" completed", ts.Completed, "")
+		tenants.Add(ts.Tenant+" failed", ts.Failed, "")
+		tenants.Add(ts.Tenant+" canceled", ts.Canceled, "")
+		tenants.Add(ts.Tenant+" quota rejected", ts.Rejected, "")
+		tenants.AddInt(ts.Tenant+" queued", ts.Queued)
+		tenants.AddInt(ts.Tenant+" running", ts.Running)
+		tenants.Add(ts.Tenant+" inflight node estimate", int64(ts.Inflight), "")
+		tenants.Add(ts.Tenant+" queue wait total", ts.QueueNs, "ns")
+		tenants.Add(ts.Tenant+" run total", ts.RunNs, "ns")
+	}
 
 	search := report.Section{Name: "search"}
 	search.Add("nodes searched total", s.nodesSearched.Load(), "")
@@ -554,7 +868,7 @@ func (s *Server) Metrics() report.Stats {
 	search.Add("idle waits total", s.idleWaits.Load(), "sched")
 	search.Add("memo inflight waits total", s.inflightWaits.Load(), "sched")
 
-	return report.Stats{Sections: []report.Section{server, cache, admission, jobs, sessions, search}}
+	return report.Stats{Sections: []report.Section{server, cache, admission, jobs, sessions, storeSec, tenants, search}}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

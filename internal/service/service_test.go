@@ -46,7 +46,10 @@ desc d       <- [20, 20, 20, 20]
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -466,7 +469,10 @@ func TestQueueFullShedsLoad(t *testing.T) {
 // TestGracefulShutdownDrains submits real work and shuts down with a
 // generous deadline: the in-flight search must complete, not be killed.
 func TestGracefulShutdownDrains(t *testing.T) {
-	srv := New(Config{Workers: 1})
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Source: fig4, NoCache: true})
@@ -517,7 +523,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/metrics", &stats); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
-	want := map[string]bool{"server": false, "cache": false, "jobs": false, "search": false}
+	want := map[string]bool{"server": false, "cache": false, "jobs": false, "store": false, "tenants": false, "search": false}
 	for _, sec := range stats.Sections {
 		want[sec.Name] = true
 	}

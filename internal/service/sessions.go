@@ -9,35 +9,100 @@ import (
 	"time"
 
 	"smoothproc/internal/session"
+	"smoothproc/internal/specplan"
 	"smoothproc/internal/specvet"
+	"smoothproc/internal/store"
 )
 
 // sessionEntry pairs a live solve session with the static-analysis
-// verdicts that gate its delta-solves, so deltas keep working after the
-// spec LRU evicts the compiled spec.
+// verdicts that gate its delta-solves (and the plan feeding scheduler
+// estimates), so both keep working after the spec LRU evicts the
+// compiled spec.
 type sessionEntry struct {
 	sess  *session.Session
 	elims []specvet.ElimVerdict
+	plan  *specplan.Plan
 }
 
-// sessionFor returns the session for a compiled spec, creating it on
-// first use. Serialized so concurrent creates converge on one session
-// (whose evaluator memo and frontier they then share).
-func (s *Server) sessionFor(hash string, spec compiledSpec) *sessionEntry {
+// sessionFor returns the session for a compiled spec — live from the
+// cache, restored from the durable store's checkpoint, or (when create
+// is set) fresh. Serialized so concurrent lookups converge on one
+// session (whose evaluator memo and frontier they then share). The
+// returned entry is pinned against eviction; the caller must
+// s.sessions.Unpin(hash) when its leg is done.
+func (s *Server) sessionFor(ctx context.Context, hash string, spec compiledSpec, create bool) (*sessionEntry, bool) {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
-	if e, ok := s.sessions.Get(hash); ok {
-		return e
+	if e, ok := s.sessions.Pin(hash); ok {
+		return e, true
 	}
 	p := spec.prog.Problem()
 	// Sessions retain their state between solves, so never pin the
 	// visited-node list; the wire result does not carry it anyway.
 	p.CollectVisited = false
 	p.Compiled = s.cfg.Compiled
-	e := &sessionEntry{sess: session.New(hash, p, spec.prog.System), elims: spec.elims}
-	s.sessions.Put(hash, e)
+	// A persisted session (same spec, same evaluation mode) resumes
+	// exactly where the previous process stopped: the decoder verifies
+	// the checkpoint's content address and rebuilds frontier and memo.
+	if meta, err := s.store.Get(ctx, store.KindSession, store.Key(hash)); err == nil {
+		sess, err := session.Decode(meta, p, spec.prog.System, func(ref string) ([]byte, error) {
+			return s.store.Get(ctx, store.KindCheckpoint, store.Key(ref))
+		})
+		if err == nil {
+			e := &sessionEntry{sess: sess, elims: spec.elims, plan: spec.plan}
+			s.sessions.PutPinned(hash, e)
+			s.sessionRestores.Inc()
+			return e, true
+		}
+		// Corrupt or incompatible persisted state fails closed: count it
+		// and fall through to a fresh session rather than serving doubt.
+		s.storeErrors.Inc()
+	}
+	if !create {
+		return nil, false
+	}
+	e := &sessionEntry{sess: session.New(hash, p, spec.prog.System), elims: spec.elims, plan: spec.plan}
+	s.sessions.PutPinned(hash, e)
 	s.sessionCreates.Inc()
-	return e
+	return e, true
+}
+
+// persistSession writes a session's checkpoint and metadata through to
+// the store: first the checkpoint blob under its content address, then
+// the meta object naming that address — ordered so a crash between the
+// two leaves a resolvable (older) state, never a dangling reference.
+// Best-effort: a failed write degrades durability, not the response.
+func (s *Server) persistSession(hash string, e *sessionEntry) {
+	blob, err := e.sess.Encode()
+	if err != nil {
+		s.storeErrors.Inc()
+		return
+	}
+	if blob.CheckpointRef != "" {
+		if err := s.store.Put(persistCtx, store.KindCheckpoint, store.Key(blob.CheckpointRef), blob.Checkpoint); err != nil {
+			s.storeErrors.Inc()
+			return
+		}
+	}
+	if err := s.store.Put(persistCtx, store.KindSession, store.Key(hash), blob.Meta); err != nil {
+		s.storeErrors.Inc()
+	}
+}
+
+// liveSession resolves the session for hash without creating one,
+// pinned; it writes the 404 itself when neither a live nor a persisted
+// session exists. Callers must Unpin on success.
+func (s *Server) liveSession(w http.ResponseWriter, r *http.Request, hash string) (*sessionEntry, bool) {
+	if spec, ok := s.lookupSpec(r.Context(), hash); ok {
+		if e, ok := s.sessionFor(r.Context(), hash, spec, false); ok {
+			return e, true
+		}
+	} else if e, ok := s.sessions.Pin(hash); ok {
+		// The spec is gone (store unavailable) but the session is live.
+		return e, true
+	}
+	writeError(w, http.StatusNotFound, errors.New("service: no session for this spec hash (create one via POST /v1/sessions)"))
+	return nil, false
 }
 
 // sessionView snapshots a session for the wire.
@@ -77,34 +142,48 @@ func (s *Server) runSession(w http.ResponseWriter, r *http.Request, hash string,
 	p := s.sessionParams(req)
 	var outcome session.Outcome
 	start := time.Now()
-	job, err := s.sched.Submit(hash, p, s.timeout(SolveRequest{TimeoutMs: req.TimeoutMs}), func(ctx context.Context) (*SolveResult, error) {
-		// The prefix's nodes and solutions were counted by the legs that
-		// classified them; feed the counters only the growth.
-		prevNodes := e.sess.Nodes()
-		prevRes, _ := e.sess.Result()
-		res, out, err := e.sess.Solve(ctx, session.Options{
-			Depth:    p.Depth,
-			MaxNodes: p.MaxNodes,
-			Workers:  p.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		outcome = out
-		s.countSearch(res, res.Nodes-prevNodes, len(res.Solutions)-len(prevRes.Solutions))
-		return wireResult(res, start), nil
+	var estimate uint64
+	if e.plan != nil && p.Depth > 0 {
+		estimate = e.plan.MinNodes(p.Depth)
+	}
+	job, err := s.sched.Submit(Submission{
+		Tenant:   tenantOf(r),
+		SpecHash: hash,
+		Params:   p,
+		Timeout:  s.timeout(SolveRequest{TimeoutMs: req.TimeoutMs}),
+		Estimate: estimate,
+		TraceID:  s.traceOf(r),
+		AdmitNs:  time.Since(start).Nanoseconds(),
+		Run: func(ctx context.Context) (*SolveResult, error) {
+			// The prefix's nodes and solutions were counted by the legs that
+			// classified them; feed the counters only the growth.
+			prevNodes := e.sess.Nodes()
+			prevRes, _ := e.sess.Result()
+			res, out, err := e.sess.Solve(ctx, session.Options{
+				Depth:    p.Depth,
+				MaxNodes: p.MaxNodes,
+				Workers:  p.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			outcome = out
+			s.countSearch(res, res.Nodes-prevNodes, len(res.Solutions)-len(prevRes.Solutions))
+			// Checkpoint the advanced chain element while still on the
+			// worker, so legs whose client disconnected persist too.
+			s.persistSession(hash, e)
+			return wireResult(res, start), nil
+		},
 	})
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+	if writeSubmitError(w, err) {
 		return
-	case errors.Is(err, ErrShutdown):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
-		return
+	}
+	// The caller's pin drops when the handler returns — which can be at
+	// the disconnect 202 below, while the worker still mutates the
+	// session. Hold an extra pin for the job's full lifetime (Done is
+	// closed on every terminal transition, including forced shutdown).
+	if _, ok := s.sessions.Pin(hash); ok {
+		go func() { <-job.Done(); s.sessions.Unpin(hash) }()
 	}
 
 	select {
@@ -139,11 +218,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	hash, spec, ok := s.resolveSpec(w, req.Source, req.SpecHash)
+	hash, spec, ok := s.resolveSpec(w, r, req.Source, req.SpecHash)
 	if !ok {
 		return
 	}
-	e := s.sessionFor(hash, spec)
+	e, _ := s.sessionFor(r.Context(), hash, spec, true)
+	defer s.sessions.Unpin(hash)
 	if req.Depth <= 0 {
 		req.Depth = spec.prog.Depth
 	}
@@ -153,22 +233,22 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	hash := r.PathValue("hash")
-	e, ok := s.sessions.Get(hash)
+	e, ok := s.liveSession(w, r, hash)
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("service: no session for this spec hash (create one via POST /v1/sessions)"))
 		return
 	}
+	defer s.sessions.Unpin(hash)
 	writeJSON(w, http.StatusOK, sessionView(hash, e))
 }
 
 func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	hash := r.PathValue("hash")
-	e, ok := s.sessions.Get(hash)
+	e, ok := s.liveSession(w, r, hash)
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("service: no session for this spec hash (create one via POST /v1/sessions)"))
 		return
 	}
+	defer s.sessions.Unpin(hash)
 	var req SessionRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -183,11 +263,11 @@ func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	hash := r.PathValue("hash")
-	e, ok := s.sessions.Get(hash)
+	e, ok := s.liveSession(w, r, hash)
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("service: no session for this spec hash (create one via POST /v1/sessions)"))
 		return
 	}
+	defer s.sessions.Unpin(hash)
 	var req DeltaRequest
 	if !decodeBody(w, r, &req) {
 		return

@@ -78,7 +78,7 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("service: response writer cannot stream"))
 		return
 	}
-	hash, spec, ok := s.resolveSpec(w, req.Source, req.SpecHash)
+	hash, spec, ok := s.resolveSpec(w, r, req.Source, req.SpecHash)
 	if !ok {
 		return
 	}
@@ -92,36 +92,40 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 	buf := newStreamBuf()
 	key := resultKey{hash: hash, params: p}
 	start := time.Now()
-	job, err := s.sched.Submit(hash, p, s.timeout(req), func(ctx context.Context) (*SolveResult, error) {
-		problem := prog.Problem()
-		problem.CollectVisited = false
-		problem.MaxDepth = p.Depth
-		problem.MaxNodes = p.MaxNodes
-		problem.Compiled = s.cfg.Compiled
-		problem.OnSolution = buf.push
-		var res solver.Result
-		if p.Workers > 1 {
-			res = solver.EnumerateParallel(ctx, problem, p.Workers)
-		} else {
-			res = solver.Enumerate(ctx, problem)
-		}
-		s.countSearch(res, res.Nodes, len(res.Solutions))
-		out := wireResult(res, start)
-		if !out.Truncated && !out.Canceled {
-			s.results.Put(key, *out)
-		}
-		return out, nil
+	var estimate uint64
+	if spec.plan != nil {
+		estimate = spec.plan.MinNodes(p.Depth)
+	}
+	job, err := s.sched.Submit(Submission{
+		Tenant:   tenantOf(r),
+		SpecHash: hash,
+		Params:   p,
+		Timeout:  s.timeout(req),
+		Estimate: estimate,
+		TraceID:  s.traceOf(r),
+		AdmitNs:  time.Since(start).Nanoseconds(),
+		Run: func(ctx context.Context) (*SolveResult, error) {
+			problem := prog.Problem()
+			problem.CollectVisited = false
+			problem.MaxDepth = p.Depth
+			problem.MaxNodes = p.MaxNodes
+			problem.Compiled = s.cfg.Compiled
+			problem.OnSolution = buf.push
+			var res solver.Result
+			if p.Workers > 1 {
+				res = solver.EnumerateParallel(ctx, problem, p.Workers)
+			} else {
+				res = solver.Enumerate(ctx, problem)
+			}
+			s.countSearch(res, res.Nodes, len(res.Solutions))
+			out := wireResult(res, start)
+			if !out.Truncated && !out.Canceled {
+				s.saveResult(key, *out)
+			}
+			return out, nil
+		},
 	})
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, ErrShutdown):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+	if writeSubmitError(w, err) {
 		return
 	}
 

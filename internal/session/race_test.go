@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"smoothproc/internal/eqlang"
 	"smoothproc/internal/trace"
 )
 
@@ -108,4 +109,101 @@ func TestRaceConcurrentResumeAndReaders(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestRaceConcurrentEncodeDuringResume hammers the persistence surface
+// the durable store added: goroutines Encode the session while others
+// deepen it. Every snapshot taken mid-flight must be internally
+// consistent — it decodes cleanly against the same problem, and a
+// session rebuilt from it deepens to exactly the reference answer. A
+// torn snapshot (frontier from one depth, commit pointer from another)
+// would either fail Decode or diverge on the deepen.
+func TestRaceConcurrentEncodeDuringResume(t *testing.T) {
+	ctx := context.Background()
+	prog, err := eqlang.CompileSource(dfmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Problem()
+	p.CollectVisited = false
+
+	s := New("dfm", p, prog.System)
+	if _, _, err := s.Solve(ctx, Options{Depth: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the depth-4 answer a never-snapshotted session reaches.
+	ref := New("dfm-ref", p, prog.System)
+	refRes, _, err := ref.Solve(ctx, Options{Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := keys(refRes.Solutions)
+
+	var mu sync.Mutex
+	var blobs []Blob
+
+	var wg sync.WaitGroup
+	// Writers deepen the session toward depth 4 while encoders snapshot.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Depth-shrink errors are legitimate when another goroutine
+			// already deepened past this target.
+			_, _, _ = s.Solve(ctx, Options{Depth: 2 + i})
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				b, err := s.Encode()
+				if err != nil {
+					t.Errorf("encode under concurrent resume: %v", err)
+					return
+				}
+				mu.Lock()
+				blobs = append(blobs, b)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, b := range blobs {
+		fetch := func(ref string) ([]byte, error) {
+			if ref != b.CheckpointRef {
+				t.Fatalf("blob %d: fetch of unknown ref %q (have %q)", i, ref, b.CheckpointRef)
+			}
+			return b.Checkpoint, nil
+		}
+		restored, err := Decode(b.Meta, p, prog.System, fetch)
+		if err != nil {
+			t.Fatalf("blob %d does not decode: %v", i, err)
+		}
+		if d := restored.Depth(); d < 1 || d > 4 {
+			t.Fatalf("blob %d restored at impossible depth %d", i, d)
+		}
+		res, _, err := restored.Solve(ctx, Options{Depth: 4})
+		if err != nil {
+			t.Fatalf("blob %d: deepen after restore: %v", i, err)
+		}
+		if got := keys(res.Solutions); !equalStrings(got, want) {
+			t.Fatalf("blob %d: restored session diverged: %v, want %v", i, got, want)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

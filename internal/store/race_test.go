@@ -1,0 +1,122 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// hammer backs the package's safe-for-concurrent-use claim on one
+// backend: writers, readers, listers and deleters overlap on a shared
+// key range, and every observed value must be intact — a Get either
+// misses cleanly or returns exactly the bytes some Put wrote for that
+// content address. Run with -race in the CI invariants job.
+func hammer(t *testing.T, s Store) {
+	t.Helper()
+	ctx := context.Background()
+	const goroutines = 8
+	const perG = 60
+
+	blobs := make([][]byte, 16)
+	keys := make([]Key, 16)
+	for i := range blobs {
+		blobs[i] = []byte(fmt.Sprintf("blob-%d-payload", i))
+		keys[i] = KeyOf(blobs[i])
+	}
+	kinds := Kinds()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := (g + i) % len(blobs)
+				kind := kinds[(g+i)%len(kinds)]
+				switch i % 4 {
+				case 0:
+					if err := s.Put(ctx, kind, keys[n], blobs[n]); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					data, err := s.Get(ctx, kind, keys[n])
+					if errors.Is(err, ErrNotFound) {
+						continue
+					}
+					if err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					if string(data) != string(blobs[n]) {
+						t.Errorf("Get(%s) = %q, want %q", keys[n], data, blobs[n])
+						return
+					}
+				case 2:
+					if _, err := s.List(ctx, kind); err != nil {
+						t.Errorf("List: %v", err)
+						return
+					}
+				case 3:
+					if err := s.Delete(ctx, kind, keys[n]); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The books must balance after the storm: everything still listed is
+	// retrievable and content-addressed correctly.
+	for _, kind := range kinds {
+		infos, err := s.List(ctx, kind)
+		if err != nil {
+			t.Fatalf("final List(%s): %v", kind, err)
+		}
+		for _, in := range infos {
+			data, err := s.Get(ctx, kind, in.Key)
+			if err != nil {
+				t.Fatalf("listed blob %s/%s unreadable: %v", kind, in.Key, err)
+			}
+			if KeyOf(data) != in.Key {
+				t.Fatalf("blob %s/%s fails its own content address", kind, in.Key)
+			}
+		}
+	}
+}
+
+func TestMemoryUnderRace(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	hammer(t, s)
+}
+
+func TestDiskUnderRace(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hammer(t, s)
+}
+
+func TestMeasuredUnderRace(t *testing.T) {
+	s := NewMeasured(NewMemory())
+	defer s.Close()
+	hammer(t, s)
+	// Counters must be coherent: every hit and miss was some Get.
+	var gets, hits, misses int64
+	for _, k := range Kinds() {
+		st := s.KindStats(k)
+		gets += st.Gets
+		hits += st.Hits
+		misses += st.Misses
+	}
+	if hits+misses != gets {
+		t.Errorf("hits %d + misses %d ≠ gets %d", hits, misses, gets)
+	}
+}

@@ -20,11 +20,13 @@ import (
 
 	"smoothproc/internal/eqlang"
 	"smoothproc/internal/solver"
+	"smoothproc/internal/store"
 	"smoothproc/internal/trace"
 	"smoothproc/internal/value"
 )
 
 const traceBaselineFile = "BENCH_trace.json"
+const storeBaselineFile = "BENCH_store.json"
 
 // pr5InterpretedKahnNs is the recorded interpreted time/op for
 // kahn-buffer.eq/enumerate when the bytecode VM landed (the PR 5
@@ -217,6 +219,96 @@ func benchName(op string, depth int) string {
 	return op + "/d" + value.Int(int64(depth)).String()
 }
 
+// storeWorkloads cover the durable-state hot paths the -data-dir
+// refactor added: spine codec round trips (what every checkpoint
+// persist/restore pays), full checkpoint encode/decode on a real
+// captured search, and content-addressed put/get on the memory backend
+// (the read-through cache's miss path minus the disk).
+func storeWorkloads(t *testing.T) map[string]func(b *testing.B) {
+	t.Helper()
+	out := map[string]func(b *testing.B){}
+
+	ts := make([]trace.Trace, 0, 64)
+	for i := 0; i < 64; i++ {
+		tr := trace.Empty
+		for d := 0; d <= i%16; d++ {
+			tr = tr.Append(trace.E("b", value.Int(int64((i+d)%7))))
+		}
+		ts = append(ts, tr)
+	}
+	spine := trace.EncodeTraces(ts)
+	out["codec/traces-encode"] = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = trace.EncodeTraces(ts)
+		}
+	}
+	out["codec/traces-decode"] = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.DecodeTraces(spine); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	src, err := os.ReadFile(filepath.Join("specs", "kahn-buffer.eq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := eqlang.CompileSource(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cp := solver.EnumerateCapture(context.Background(), prog.Problem())
+	blob, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["codec/checkpoint-encode"] = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cp.Encode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	out["codec/checkpoint-decode"] = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.DecodeCheckpoint(blob, prog.Problem()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	key := store.KeyOf(blob)
+	out["store/memory-put"] = func(b *testing.B) {
+		b.ReportAllocs()
+		s := store.NewMemory()
+		defer s.Close()
+		for i := 0; i < b.N; i++ {
+			if err := s.Put(context.Background(), store.KindCheckpoint, key, blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	out["store/memory-get"] = func(b *testing.B) {
+		b.ReportAllocs()
+		s := store.NewMemory()
+		defer s.Close()
+		if err := s.Put(context.Background(), store.KindCheckpoint, key, blob); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Get(context.Background(), store.KindCheckpoint, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return out
+}
+
 // gate compares one measured workload against its baseline.
 func gate(t *testing.T, got perfEntry, want map[string]perfEntry) {
 	t.Helper()
@@ -242,7 +334,7 @@ func TestPerfGate(t *testing.T) {
 	if os.Getenv("SMOOTHPROC_BENCH_GATE") == "" && !update {
 		t.Skip("set SMOOTHPROC_BENCH_GATE=1 (CI bench-smoke) to run the perf regression gate")
 	}
-	var solverGot, traceGot []perfEntry
+	var solverGot, traceGot, storeGot []perfEntry
 	sw := solverWorkloads(t)
 	for _, name := range []string{
 		"kahn-buffer.eq/enumerate",
@@ -263,6 +355,17 @@ func TestPerfGate(t *testing.T) {
 			name := benchName(op, depth)
 			traceGot = append(traceGot, measure(name, tw[name]))
 		}
+	}
+	stw := storeWorkloads(t)
+	for _, name := range []string{
+		"codec/traces-encode",
+		"codec/traces-decode",
+		"codec/checkpoint-encode",
+		"codec/checkpoint-decode",
+		"store/memory-put",
+		"store/memory-get",
+	} {
+		storeGot = append(storeGot, measure(name, stw[name]))
 	}
 
 	// The compiled-path acceptance bar is absolute, checked on every
@@ -309,7 +412,8 @@ func TestPerfGate(t *testing.T) {
 	// array; the CI perf-gate job feeds it to cmd/benchdelta to render
 	// the old-vs-new table in the job summary.
 	if out := os.Getenv("SMOOTHPROC_BENCH_OUT"); out != "" {
-		js, err := json.MarshalIndent(append(append([]perfEntry{}, solverGot...), traceGot...), "", "  ")
+		all := append(append(append([]perfEntry{}, solverGot...), traceGot...), storeGot...)
+		js, err := json.MarshalIndent(all, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -334,7 +438,14 @@ func TestPerfGate(t *testing.T) {
 		if err := os.WriteFile(traceBaselineFile, append(js, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("perf baselines regenerated (%d solver, %d trace workloads)", len(solverGot), len(traceGot))
+		js, err = json.MarshalIndent(storeGot, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(storeBaselineFile, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("perf baselines regenerated (%d solver, %d trace, %d store workloads)", len(solverGot), len(traceGot), len(storeGot))
 		return
 	}
 
@@ -357,7 +468,18 @@ func TestPerfGate(t *testing.T) {
 	for _, e := range traceWant {
 		want[e.Name] = e
 	}
-	for _, g := range append(solverGot, traceGot...) {
+	js, err = os.ReadFile(storeBaselineFile)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var storeWant []perfEntry
+	if err := json.Unmarshal(js, &storeWant); err != nil {
+		t.Fatalf("corrupt %s: %v", storeBaselineFile, err)
+	}
+	for _, e := range storeWant {
+		want[e.Name] = e
+	}
+	for _, g := range append(append(solverGot, traceGot...), storeGot...) {
 		gate(t, g, want)
 	}
 }
