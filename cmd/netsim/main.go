@@ -8,6 +8,7 @@
 //	netsim -list
 //	netsim -net fig4 -seed 3
 //	netsim -net fig2 -seed 1 -max-events 20
+//	netsim -gen mailbox:7 -seed 2      # run a generated corpus instance
 package main
 
 import (
@@ -17,8 +18,11 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"smoothproc/internal/desc"
+	"smoothproc/internal/netgen"
 	"smoothproc/internal/netsim"
 	"smoothproc/internal/procs"
 	"smoothproc/internal/solver"
@@ -75,10 +79,34 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// generated resolves a -gen family:seed reference through the corpus
+// generator, so any instance `smoothsolve corpus` produces can also be
+// run operationally here and checked for smoothness along the way.
+func generated(ref string, stderr io.Writer) (network, int) {
+	i := strings.LastIndexByte(ref, ':')
+	if i < 0 {
+		fmt.Fprintf(stderr, "netsim: -gen wants family:seed, got %q\n", ref)
+		return network{}, 2
+	}
+	seed, err := strconv.ParseInt(ref[i+1:], 10, 64)
+	if err != nil {
+		fmt.Fprintf(stderr, "netsim: -gen seed: %v\n", err)
+		return network{}, 2
+	}
+	in, err := netgen.GenerateInstance(ref[:i], seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "netsim: %v\n", err)
+		return network{}, 1
+	}
+	d := in.Prog.Problem().D
+	return network{spec: in.Spec, d: &d, note: in.Shape}, 0
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	name := fs.String("net", "", "network to run (see -list)")
+	gen := fs.String("gen", "", "run a generated corpus instance instead, as family:seed (e.g. mailbox:7)")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	maxEvents := fs.Int("max-events", 16, "event budget")
 	list := fs.Bool("list", false, "list available networks")
@@ -89,6 +117,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	nets := catalogue()
+	if *gen != "" {
+		net, code := generated(*gen, stderr)
+		if code != 0 {
+			return code
+		}
+		nets = map[string]network{*gen: net}
+		*name = *gen
+	}
 	if *list || *name == "" {
 		names := make([]string, 0, len(nets))
 		for n := range nets {

@@ -105,3 +105,24 @@ func TestRunStatsFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestRunGeneratedInstance(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-gen", "mailbox:7", "-seed", "2", "-max-events", "12"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "smooth edge") {
+		t.Errorf("smoothness verdict missing for generated instance:\n%s", got)
+	}
+}
+
+func TestRunGeneratedBadRef(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-gen", "mailbox"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-gen", "nofamily:0"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut.String())
+	}
+}

@@ -7,6 +7,7 @@
 //	smoothsolve -            # read from stdin
 //	smoothsolve vet [-json] file.eq...   # static analysis only (see cmd/specvet)
 //	smoothsolve plan [-json] [-depth N] file.eq...   # static search-cost plan, no search
+//	smoothsolve corpus [check|generate|stress] [-family F] [-seed N] [-count N] [-out DIR]   # generated-spec corpus
 //
 // Example input (the Brock-Ackermann system of Figure 4):
 //
@@ -43,6 +44,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "plan" {
 		return runPlan(args[1:], stdin, stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "corpus" {
+		return runCorpus(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("smoothsolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)

@@ -41,6 +41,54 @@ type Conformance struct {
 	Opts netsim.RealizeOpts
 }
 
+// Mode selects which conformance comparison applies to a network. The
+// generated corpus tags every instance with the mode its family is
+// checkable under, so one driver (Conformance.Check) can sweep a
+// heterogeneous corpus.
+type Mode int
+
+const (
+	// ModeQuiescent is CheckQuiescent: set equality of quiescent traces
+	// and smooth solutions. Right for networks whose every maximal run
+	// terminates (finite feeders).
+	ModeQuiescent Mode = iota
+	// ModeHistories is CheckHistories: reachable histories equal tree
+	// nodes. Right for ω-processes with no finite quiescent trace
+	// (clocks, repeat-feeders).
+	ModeHistories
+	// ModeRefines is CheckRefines: one-sided containment, for
+	// deterministic implementations of nondeterministic specifications.
+	ModeRefines
+)
+
+// String names the mode for shape strings and failure messages.
+func (m Mode) String() string {
+	switch m {
+	case ModeQuiescent:
+		return "quiescent"
+	case ModeHistories:
+		return "histories"
+	case ModeRefines:
+		return "refines"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Check dispatches to the comparison the mode selects.
+func (c Conformance) Check(ctx context.Context, m Mode) error {
+	switch m {
+	case ModeQuiescent:
+		return c.CheckQuiescent(ctx)
+	case ModeHistories:
+		return c.CheckHistories(ctx)
+	case ModeRefines:
+		return c.CheckRefines(ctx)
+	default:
+		return fmt.Errorf("check: %s: unknown mode %d", c.Name, int(m))
+	}
+}
+
 func (c Conformance) project(t trace.Trace) trace.Trace {
 	if c.Visible == nil {
 		return t

@@ -29,7 +29,42 @@ func Corpus() []string {
 		strings.Repeat("(", 100),
 		strings.Repeat("desc d <- d\n", 50),
 	}
+	base = append(base, generatedCorpus()...)
 	return append(base, vetCorpus()...)
+}
+
+// generatedCorpus pins representative netgen-emitted shapes (the corpus
+// generator in internal/netgen, which cannot be imported here without a
+// cycle) so the fuzzer and the service replay tests exercise the exact
+// idioms the generator produces: tagged merge nodes over pair alphabets,
+// Brock–Ackermann feedback with expect statements, and deep linear
+// pipelines. Kept in sync by eye with specs/generated/*.eq — these are
+// seeds, not goldens, so drift is harmless.
+func generatedCorpus() []string {
+	return []string{
+		// A netgen merge node: tag0/tag1 into a shared mailbox channel,
+		// untag out — pair-valued alphabets plus zero/one filters.
+		"alphabet l0 = {4}\nalphabet l1 = {5}\n" +
+			"alphabet t0a = {(0,4)}\nalphabet t1a = {(1,5)}\n" +
+			"alphabet ma = {(0,4), (1,5)}\nalphabet o = {4, 5}\n" +
+			"depth 8\n" +
+			"desc l0 <- [4]\ndesc l1 <- [5]\n" +
+			"desc t0a <- tag0(l0)\ndesc t1a <- tag1(l1)\n" +
+			"desc zero(ma) <- t0a\ndesc one(ma) <- t1a\n" +
+			"desc o <- untag(ma)\n" +
+			"expect solution [(l1,5)(t1a,(1,5))(ma,(1,5))(l0,4)(t0a,(0,4))(ma,(0,4))(o,5)(o,4)]\n",
+		// A netgen anomaly instance: the Brock–Ackermann pair with both a
+		// pinned solution and a pinned anomalous nonsolution trace.
+		"alphabet c = {4, 12, 5}\nalphabet b = {5}\ndepth 4\n" +
+			"desc even(c) <- [4, 12]\ndesc odd(c) <- b\ndesc b <- fBA(c)\n" +
+			"expect nonsolution [(c,4)(c,5)(c,12)(b,5)]\n" +
+			"expect solution [(c,4)(c,12)(b,5)(c,5)]\n",
+		// A netgen pipeline: feeder then chained linear/copy stages.
+		"alphabet s0 = {4}\nalphabet s1 = {9}\nalphabet s2 = {18}\nalphabet s3 = {18}\n" +
+			"depth 4\n" +
+			"desc s0 <- [4]\ndesc s1 <- 2*s0 + 1\ndesc s2 <- 2*s1 + 0\ndesc s3 <- s2\n" +
+			"expect solution [(s0,4)(s1,9)(s2,18)(s3,18)]\n",
+	}
 }
 
 // vetCorpus holds, for each specvet rule, one input that triggers it

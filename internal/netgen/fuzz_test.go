@@ -1,0 +1,51 @@
+package netgen
+
+import (
+	"testing"
+
+	"smoothproc/internal/descvm"
+	"smoothproc/internal/eqlang"
+	"smoothproc/internal/specvet"
+)
+
+// FuzzGeneratedSources drives the generator with arbitrary (family,
+// seed) pairs and holds it to the emitter's invariant: whatever the
+// grammar walk produces must compile through eqlang, vet clean, and
+// lower to verifiable bytecode. This is the generated corpus feeding the
+// language front end as a fuzz corpus — the seed corpus below plus
+// whatever the fuzzer mutates into new walks.
+func FuzzGeneratedSources(f *testing.F) {
+	fams := FamilyNames()
+	for i := range fams {
+		f.Add(uint8(i), int64(0))
+		f.Add(uint8(i), int64(41))
+	}
+	f.Fuzz(func(t *testing.T, famIdx uint8, seed int64) {
+		fam := fams[int(famIdx)%len(fams)]
+		in, err := GenerateInstance(fam, seed)
+		if err != nil {
+			// The generator may reject a walk, but only with a reported
+			// error — GenerateInstance must never panic (that is the
+			// satellite contract) — and rejection must name the seed.
+			return
+		}
+		if _, err := eqlang.CompileSource(in.Source); err != nil {
+			t.Fatalf("%s: emitted source does not recompile: %v", in.Name, err)
+		}
+		if res := specvet.Vet(in.Source); res.HasErrors() {
+			t.Fatalf("%s: specvet errors:\n%s", in.Name, res.Text(in.Name))
+		}
+		d := in.Prog.Problem().D
+		pf, okf := descvm.Compile(d.F)
+		pg, okg := descvm.Compile(d.G)
+		if !okf || !okg {
+			t.Fatalf("%s: sides did not lower (f %v, g %v)", in.Name, okf, okg)
+		}
+		if err := descvm.Verify(pf); err != nil {
+			t.Fatalf("%s: f verify: %v", in.Name, err)
+		}
+		if err := descvm.Verify(pg); err != nil {
+			t.Fatalf("%s: g verify: %v", in.Name, err)
+		}
+	})
+}

@@ -39,7 +39,8 @@ type Config struct {
 	// channel (§8.2) otherwise exercises the projection path.
 	NoFork bool
 	// MaxTotalEvents caps the network's total stream length; stages and
-	// forks that would exceed it are dropped (default 10).
+	// forks that would exceed it are dropped (default 8, pinned by
+	// TestConfigDefaults so the comment and code cannot drift apart).
 	MaxTotalEvents int
 }
 
@@ -84,7 +85,7 @@ const (
 // with random feed contents, stage kinds and parameters. Parities of the
 // two feeds are disjoint by construction, which is what makes the
 // discriminated merge describable (Section 2.2).
-func Generate(seed int64, cfg Config) Generated {
+func Generate(seed int64, cfg Config) (Generated, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -130,7 +131,10 @@ func Generate(seed int64, cfg Config) Generated {
 			break // keep the instance exhaustively checkable
 		}
 		next := fmt.Sprintf("d%d", i+1)
-		entry, outVals := buildStage(fmt.Sprintf("stage%d", i+1), kind, rng, cur, next, alphabet[cur])
+		entry, outVals, err := buildStage(fmt.Sprintf("stage%d", i+1), kind, rng, cur, next, alphabet[cur])
+		if err != nil {
+			return Generated{}, fmt.Errorf("netgen: seed %d (%s): %w", seed, shape, err)
+		}
 		specProcs = append(specProcs, entry.Proc)
 		components = append(components, entry.Comp)
 		alphabet[next] = outVals
@@ -162,7 +166,10 @@ func Generate(seed int64, cfg Config) Generated {
 	net := desc.Network{Name: fmt.Sprintf("gen-%d", seed), Components: components}
 	d, err := desc.Compose(net)
 	if err != nil {
-		panic(fmt.Sprintf("netgen: generated network violates dc: %v", err))
+		// Report the seed and shape instead of panicking: in a corpus run
+		// over many thousands of seeds one bad instance must surface as a
+		// diagnosable error, not kill the whole job.
+		return Generated{}, fmt.Errorf("netgen: seed %d (%s): generated network violates dc: %w", seed, shape, err)
 	}
 
 	visible := trace.ChanSet(nil)
@@ -184,7 +191,17 @@ func Generate(seed int64, cfg Config) Generated {
 			MaxDecisions: 4 * total,
 		},
 		Shape: shape,
+	}, nil
+}
+
+// MustGenerate is Generate for callers that treat a bad seed as a test
+// bug (the in-package property tests over fixed seed ranges).
+func MustGenerate(seed int64, cfg Config) Generated {
+	g, err := Generate(seed, cfg)
+	if err != nil {
+		panic(err)
 	}
+	return g
 }
 
 // randomFeed picks 1..max values with the given parity (0 even, 1 odd).
@@ -199,7 +216,7 @@ func randomFeed(rng *rand.Rand, max int, parity int64) []value.Value {
 
 // buildStage constructs a deterministic stage and the exact image
 // alphabet of its output channel.
-func buildStage(name string, kind stageKind, rng *rand.Rand, in, out string, inVals []value.Value) (procs.Entry, []value.Value) {
+func buildStage(name string, kind stageKind, rng *rand.Rand, in, out string, inVals []value.Value) (procs.Entry, []value.Value, error) {
 	switch kind {
 	case stageDouble:
 		return mapStage(name+"-double", in, out, fn.Double, inVals)
@@ -222,14 +239,22 @@ func buildStage(name string, kind stageKind, rng *rand.Rand, in, out string, inV
 				D:        desc.MustNew(name, fn.ChanFn(out), fn.OnChan(sf, in)),
 			},
 		}
-		return entry, dedup(append([]value.Value{k}, inVals...))
+		return entry, dedup(append([]value.Value{k}, inVals...)), nil
 	default:
 		return mapStage(name+"-copy", in, out, fn.Identity, inVals)
 	}
 }
 
 // mapStage is a deterministic pointwise stage for a SeqFn that is a map.
-func mapStage(name, in, out string, sf fn.SeqFn, inVals []value.Value) (procs.Entry, []value.Value) {
+// The map property is validated at construction time over the declared
+// input alphabet, so a non-map function is a reported error with the
+// offending stage name — not a panic out of a process body mid-run.
+func mapStage(name, in, out string, sf fn.SeqFn, inVals []value.Value) (procs.Entry, []value.Value, error) {
+	for _, v := range inVals {
+		if sf.Apply(seq.Of(v)).Len() != 1 {
+			return procs.Entry{}, nil, fmt.Errorf("stage %s: %s is not a map on input %s", name, sf.Name, v)
+		}
+	}
 	entry := procs.Entry{
 		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
 			for {
@@ -237,11 +262,7 @@ func mapStage(name, in, out string, sf fn.SeqFn, inVals []value.Value) (procs.En
 				if !ok {
 					return
 				}
-				mapped := sf.Apply(seq.Of(v))
-				if mapped.Len() != 1 {
-					panic("netgen: mapStage used with a non-map function")
-				}
-				if !c.Send(out, mapped.At(0)) {
+				if !c.Send(out, sf.Apply(seq.Of(v)).At(0)) {
 					return
 				}
 			}
@@ -253,7 +274,7 @@ func mapStage(name, in, out string, sf fn.SeqFn, inVals []value.Value) (procs.En
 		},
 	}
 	image := sf.Apply(seq.Of(inVals...))
-	return entry, dedup(image)
+	return entry, dedup(image), nil
 }
 
 func copyLoop(c *netsim.Ctx, in, out string) {
@@ -268,19 +289,24 @@ func copyLoop(c *netsim.Ctx, in, out string) {
 	}
 }
 
+// dedup removes duplicate values, keeping the first occurrence of each
+// and preserving first-seen order. Values are bucketed by Hash64 with an
+// Equal fallback inside each bucket (the trace memo's pattern), so wide
+// generated alphabets dedup in O(n) instead of the old O(n²) pairwise
+// scan.
 func dedup(vals []value.Value) []value.Value {
 	var out []value.Value
+	buckets := make(map[uint64][]value.Value, len(vals))
+next:
 	for _, v := range vals {
-		dup := false
-		for _, w := range out {
+		h := v.Hash64()
+		for _, w := range buckets[h] {
 			if v.Equal(w) {
-				dup = true
-				break
+				continue next
 			}
 		}
-		if !dup {
-			out = append(out, v)
-		}
+		buckets[h] = append(buckets[h], v)
+		out = append(out, v)
 	}
 	return out
 }

@@ -1,0 +1,64 @@
+package procs
+
+import (
+	"smoothproc/internal/desc"
+	"smoothproc/internal/fn"
+	"smoothproc/internal/netsim"
+	"smoothproc/internal/seq"
+	"smoothproc/internal/trace"
+	"smoothproc/internal/value"
+)
+
+// Periodic generalises Ticks (Section 4.2) to an arbitrary period: an
+// unending cyclic stream period^ω on b. With period ⟨T⟩ this is exactly
+// Ticks; with period ⟨T, F, ..., F⟩ it is a rate-limited clock — the
+// discrete approximation of a continuous-time tick source that fires
+// once per len(period) slots (Beauxis–Mimram's non-standard Kahn
+// semantics, approximated at a fixed sampling rate).
+//
+// Description: b ⟵ period^ω (the eqlang `repeat [period]` form).
+func Periodic(name, b string, period ...value.Value) Entry {
+	p := seq.Of(period...)
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			for i := 0; ; i++ {
+				if !c.Send(b, p.At(i%p.Len())) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(b),
+			D:        desc.MustNew(name, fn.ChanFn(b), fn.OmegaConstFn("repeat"+p.String(), p)),
+		},
+	}
+}
+
+// ZipAnd is the strict AND gate of Section 4.5 as a process: it reads
+// one boolean from each input in lockstep and emits their conjunction.
+// Description: out ⟵ AND(a, b) (the eqlang `and(a, b)` builtin).
+func ZipAnd(name, a, b, out string) Entry {
+	return Entry{
+		Proc: netsim.Proc{Name: name, Body: func(c *netsim.Ctx) {
+			for {
+				x, ok := c.Recv(a)
+				if !ok {
+					return
+				}
+				y, ok := c.Recv(b)
+				if !ok {
+					return
+				}
+				if !c.Send(out, value.Bool(x.IsTrue() && y.IsTrue())) {
+					return
+				}
+			}
+		}},
+		Comp: desc.Component{
+			Name:     name,
+			Incident: trace.NewChanSet(a, b, out),
+			D:        desc.MustNew(name, fn.ChanFn(out), fn.OnTwoChans(fn.And, a, b)),
+		},
+	}
+}

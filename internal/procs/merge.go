@@ -49,7 +49,15 @@ func DFM(name, b, c, d string) Entry {
 // owed — which is exactly why the network can only ever produce 0 2 1 and
 // not the anomalous 0 1 2.
 func BrockAckermannA(name, b, c string) Entry {
-	internal := []value.Value{value.Int(0), value.Int(2)}
+	return BrockAckermannAWith(name, b, c, value.Int(0), value.Int(2))
+}
+
+// BrockAckermannAWith is BrockAckermannA with an arbitrary internal
+// sequence in place of the paper's "0 2" — the generator of the whole
+// anomaly family: any internally stored even sequence fair-merged with
+// the odd feedback from B exhibits the same it-can-only-happen-in-order
+// behaviour, which is what the generated corpus randomises over.
+func BrockAckermannAWith(name, b, c string, internal ...value.Value) Entry {
 	return Entry{
 		Proc: netsim.Proc{Name: name, Body: func(ctx *netsim.Ctx) {
 			pending := append([]value.Value(nil), internal...)
@@ -75,7 +83,7 @@ func BrockAckermannA(name, b, c string) Entry {
 			Name:     name,
 			Incident: trace.NewChanSet(b, c),
 			D: desc.Combine(name,
-				desc.MustNew(name+".even", fn.OnChan(fn.Even, c), fn.ConstTraceFn(seq.OfInts(0, 2))),
+				desc.MustNew(name+".even", fn.OnChan(fn.Even, c), fn.ConstTraceFn(seq.Of(internal...))),
 				desc.MustNew(name+".odd", fn.OnChan(fn.Odd, c), fn.ChanFn(b)),
 			),
 		},

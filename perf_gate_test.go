@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"smoothproc/internal/eqlang"
+	"smoothproc/internal/netgen"
 	"smoothproc/internal/solver"
 	"smoothproc/internal/store"
 	"smoothproc/internal/trace"
@@ -175,6 +176,42 @@ func solverWorkloads(t *testing.T) map[string]func(b *testing.B) {
 						b.Fatal("search found nothing")
 					}
 				}
+			}
+		}
+	}
+	// corpus/generate-check-tier times the generator front end: emitting
+	// and compiling one instance of every family (no search). Guards the
+	// cost of the per-PR CI corpus job's generation half.
+	out["corpus/generate-check-tier"] = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ins, err := netgen.Corpus("all", 0, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ins) != 6 {
+				b.Fatalf("generated %d instances, want 6", len(ins))
+			}
+		}
+	}
+	// corpus/stress-solve-w4 is the stress-tier representative scaled to
+	// benchmark size: the seed-3 buffer farm calibrated to a ~10k-node
+	// planner target (one depth level below the real 1e5 tier, ~20k
+	// actual nodes), solved with the 4-worker search the stress tier
+	// uses. Tracks the stress tier's per-node search cost without the
+	// full 1e5-node runtime.
+	out["corpus/stress-solve-w4"] = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := netgen.Stress(3, netgen.StressConfig{TargetNodes: 10_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res := s.Solve(context.Background(), 4)
+			if uint64(res.Nodes) < s.PredictedMin {
+				b.Fatalf("solved %d nodes, below planner floor %d", res.Nodes, s.PredictedMin)
 			}
 		}
 	}
@@ -346,6 +383,8 @@ func TestPerfGate(t *testing.T) {
 		"kahn-buffer.eq/resume-deepen",
 		"kahn-buffer.eq/enumerate-d6",
 		"kahn-buffer.eq/stream-first-solution",
+		"corpus/generate-check-tier",
+		"corpus/stress-solve-w4",
 	} {
 		solverGot = append(solverGot, measure(name, sw[name]))
 	}

@@ -1,0 +1,10 @@
+# generated: family=anomaly seed=0
+# shape: BA(4,12)
+alphabet c = {4, 12, 5}
+alphabet b = {5}
+depth 4
+desc even(c) <- [4, 12]
+desc odd(c) <- b
+desc b <- fBA(c)
+expect nonsolution [(c,4)(c,5)(c,12)(b,5)]
+expect solution [(c,4)(c,12)(b,5)(c,5)]

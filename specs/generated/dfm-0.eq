@@ -1,0 +1,13 @@
+# generated: family=dfm seed=0
+# shape: feeds(1,2) dfm lin2_0
+alphabet b = {4}
+alphabet c = {5, 7}
+alphabet d0 = {4, 5, 7}
+alphabet d1 = {8, 10, 14}
+depth 9
+desc b <- [4]
+desc c <- [5, 7]
+desc even(d0) <- b
+desc odd(d0) <- c
+desc d1 <- 2*d0 + 0
+expect solution [(c,5)(b,4)(d0,5)(c,7)(d0,4)(d0,7)(d1,10)(d1,8)(d1,14)]

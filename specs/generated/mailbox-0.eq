@@ -1,0 +1,17 @@
+# generated: family=mailbox seed=0
+# shape: senders(1,1) merge(s0,s1)
+alphabet s0 = {4}
+alphabet s1 = {5}
+alphabet t0mb = {(0,4)}
+alphabet t1mb = {(1,5)}
+alphabet mmb = {(0,4), (1,5)}
+alphabet body = {4, 5}
+depth 8
+desc s0 <- [4]
+desc s1 <- [5]
+desc t0mb <- tag0(s0)
+desc t1mb <- tag1(s1)
+desc zero(mmb) <- t0mb
+desc one(mmb) <- t1mb
+desc body <- untag(mmb)
+expect solution [(s1,5)(t1mb,(1,5))(mmb,(1,5))(s0,4)(t0mb,(0,4))(mmb,(0,4))(body,5)(body,4)]

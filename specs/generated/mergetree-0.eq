@@ -1,0 +1,17 @@
+# generated: family=mergetree seed=0
+# shape: leaves(1,1) merge(l0,l1)
+alphabet l0 = {4}
+alphabet l1 = {5}
+alphabet t0a = {(0,4)}
+alphabet t1a = {(1,5)}
+alphabet ma = {(0,4), (1,5)}
+alphabet o = {4, 5}
+depth 8
+desc l0 <- [4]
+desc l1 <- [5]
+desc t0a <- tag0(l0)
+desc t1a <- tag1(l1)
+desc zero(ma) <- t0a
+desc one(ma) <- t1a
+desc o <- untag(ma)
+expect solution [(l1,5)(t1a,(1,5))(ma,(1,5))(l0,4)(t0a,(0,4))(ma,(0,4))(o,5)(o,4)]

@@ -1,0 +1,14 @@
+# generated: family=pipeline seed=0
+# shape: feed(1) lin2_1 lin2_0 copy copy depth=4
+alphabet s0 = {4}
+alphabet s1 = {9}
+alphabet s2 = {18}
+alphabet s3 = {18}
+alphabet s4 = {18}
+depth 5
+desc s0 <- [4]
+desc s1 <- 2*s0 + 1
+desc s2 <- 2*s1 + 0
+desc s3 <- s2
+desc s4 <- s3
+expect solution [(s0,4)(s1,9)(s2,18)(s3,18)(s4,18)]

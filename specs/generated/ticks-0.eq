@@ -1,0 +1,5 @@
+# generated: family=ticks seed=0
+# shape: clockk0(period=1)
+alphabet k0 = {T, F}
+depth 4
+desc k0 <- repeat [T]
